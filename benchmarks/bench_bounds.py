@@ -1,0 +1,30 @@
+"""Benchmark: Cosmos vs the offline static-table ceiling."""
+
+from conftest import SEED, once
+
+from repro.experiments.bounds import run_bounds
+
+
+def test_optimality_bounds(benchmark):
+    result = once(
+        benchmark,
+        run_bounds,
+        apps=("appbt", "barnes", "dsmc"),
+        depths=(1, 2),
+        seed=SEED,
+        quick=True,
+    )
+    print("\n" + result.format())
+    for app, bounds in result.bounds.items():
+        for bound in bounds:
+            assert bound.bound_accuracy >= bound.cosmos_accuracy - 0.02, (
+                app,
+                bound.depth,
+            )
+    # barnes' churn is training loss: its gap dwarfs dsmc's.
+    barnes_gap = result.bounds["barnes"][0].gap
+    dsmc_gap = result.bounds["dsmc"][0].gap
+    assert barnes_gap > dsmc_gap
+    benchmark.extra_info["gaps_depth1"] = {
+        app: round(bounds[0].gap, 3) for app, bounds in result.bounds.items()
+    }

@@ -1,0 +1,67 @@
+"""Microbenchmarks: predictor, evaluation, and simulator throughput."""
+
+from repro.core.config import CosmosConfig
+from repro.core.evaluation import evaluate_trace
+from repro.core.predictor import CosmosPredictor
+from repro.protocol.messages import MessageType
+from repro.sim.machine import Machine
+from repro.workloads.moldyn import MolDyn
+
+CYCLE = [
+    (1, MessageType.GET_RO_REQUEST),
+    (2, MessageType.INVAL_RO_RESPONSE),
+    (1, MessageType.UPGRADE_REQUEST),
+    (2, MessageType.GET_RO_REQUEST),
+    (1, MessageType.INVAL_RW_RESPONSE),
+]
+
+
+def test_predictor_observe_throughput(benchmark):
+    """Single-predictor observe() rate on a periodic stream."""
+    predictor = CosmosPredictor(CosmosConfig(depth=2))
+    stream = CYCLE * 200
+
+    def run():
+        for tup in stream:
+            predictor.observe(0x40, tup)
+
+    benchmark(run)
+    assert predictor.accuracy > 0.9
+
+
+def test_predictor_observe_throughput_deep(benchmark):
+    """Depth-4 predictor on the same stream (hashing longer patterns)."""
+    predictor = CosmosPredictor(CosmosConfig(depth=4))
+    stream = CYCLE * 200
+
+    def run():
+        for tup in stream:
+            predictor.observe(0x40, tup)
+
+    benchmark(run)
+
+
+def test_evaluation_throughput(benchmark, quick_traces):
+    """Full-bank trace replay rate (events/second)."""
+    events = quick_traces["moldyn"]
+    result = benchmark(
+        evaluate_trace, events, CosmosConfig(depth=1), None, (), False
+    )
+    assert result.overall.refs == len(events)
+    benchmark.extra_info["events"] = len(events)
+
+
+def test_simulator_throughput(benchmark):
+    """Machine simulation rate on a small moldyn run."""
+
+    def run():
+        machine = Machine(seed=1)
+        machine.run_workload(
+            MolDyn(force_blocks=8, coord_blocks=8, cold_blocks=0),
+            iterations=5,
+        )
+        return machine
+
+    machine = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert machine.network.messages_sent > 0
+    benchmark.extra_info["messages"] = machine.network.messages_sent

@@ -1,0 +1,37 @@
+"""Benchmark: Figure 8 / Section 7 -- Cosmos vs directed predictors."""
+
+from conftest import SEED, once
+
+from repro.experiments.figure8 import run_figure8
+
+
+def test_figure8(benchmark):
+    result = once(
+        benchmark,
+        run_figure8,
+        iterations=30,
+        seed=SEED,
+        include_apps=("unstructured",),
+        quick=True,
+    )
+    print("\n" + result.format())
+    migratory = {s.predictor: s for s in result.scores["migratory-micro"]}
+    # Directed predictors are precise on their home signature; Cosmos
+    # matches them there *and* covers everything else.
+    assert migratory["migratory"].precision > 0.9
+    assert migratory["cosmos-d1"].accuracy > migratory["migratory"].accuracy
+    unstructured = {s.predictor: s for s in result.scores["unstructured"]}
+    # The paper's headline for Section 7: no directed predictor tracks
+    # unstructured's composite (migratory <-> producer-consumer) pattern.
+    assert (
+        unstructured["cosmos-d2"].accuracy
+        > unstructured["migratory"].accuracy + 0.2
+    )
+    assert (
+        unstructured["cosmos-d2"].accuracy
+        > unstructured["dsi"].accuracy + 0.2
+    )
+    benchmark.extra_info["unstructured_accuracy"] = {
+        name: round(score.accuracy, 3)
+        for name, score in unstructured.items()
+    }

@@ -1,0 +1,37 @@
+"""Benchmarks: regenerate Figures 1/2, 5, and 6-7."""
+
+from conftest import SEED, once
+
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figures6_7 import run_figures6_7
+from repro.protocol.messages import format_table1
+
+
+def test_table1(benchmark):
+    """Static: the message vocabulary table."""
+    text = benchmark(format_table1)
+    assert "get_ro_request" in text
+
+
+def test_figure2(benchmark):
+    result = once(benchmark, run_figure2, iterations=40, seed=SEED)
+    print("\n" + result.format())
+    assert result.steady_accuracy > 0.9
+    benchmark.extra_info["steady_accuracy"] = round(
+        result.steady_accuracy, 3
+    )
+
+
+def test_figure5(benchmark):
+    result = benchmark(run_figure5)
+    print("\n" + result.format())
+    # The paper's quoted example point must be reproduced exactly.
+    assert abs(result.example_speedup_percent - 56.25) < 0.5
+
+
+def test_figures6_7(benchmark):
+    result = once(benchmark, run_figures6_7, quick=True, seed=SEED)
+    print("\n" + result.format())
+    for app, data in result.apps.items():
+        assert data.arcs, app

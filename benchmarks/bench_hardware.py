@@ -1,0 +1,34 @@
+"""Benchmark: hardware budgets -- bounded MHT capacity, confidence gating."""
+
+from conftest import SEED, once
+
+from repro.experiments.hardware import run_hardware
+
+
+def test_hardware_budget(benchmark):
+    result = once(
+        benchmark,
+        run_hardware,
+        app="moldyn",
+        capacities=(None, 256, 64, 16, 4),
+        thresholds=(0, 1, 2, 3),
+        seed=SEED,
+        quick=True,
+    )
+    print("\n" + result.format())
+    # Accuracy degrades gracefully until the table stops covering the
+    # working set, then falls off a cliff.
+    overall = [p.overall for p in result.capacity_points]
+    assert overall == sorted(overall, reverse=True)
+    assert overall[-1] < overall[0]
+    # Gating buys precision with coverage.
+    first, *rest, last = result.confidence_points
+    assert last.precision > first.precision
+    assert last.coverage < first.coverage
+    benchmark.extra_info["capacity_overall"] = [
+        (p.capacity, round(p.overall, 3)) for p in result.capacity_points
+    ]
+    benchmark.extra_info["confidence"] = [
+        (p.threshold, round(p.precision, 3), round(p.coverage, 3))
+        for p in result.confidence_points
+    ]

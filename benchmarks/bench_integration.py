@@ -1,0 +1,27 @@
+"""Benchmark: Section 4 integration (model-based and inline)."""
+
+from conftest import SEED, once
+
+from repro.experiments.integration import run_integration
+
+
+def test_integration(benchmark):
+    result = once(
+        benchmark,
+        run_integration,
+        model_apps=("moldyn",),
+        inline_apps=("appbt", "moldyn"),
+        seed=SEED,
+        quick=True,
+    )
+    print("\n" + result.format())
+    report = result.model_reports["moldyn"]
+    assert report.model_speedup > 1.0
+    for label, comparison in result.inline_comparisons.items():
+        # Inline prediction must never inflate traffic catastrophically.
+        assert comparison.message_reduction > -0.05, label
+        assert comparison.exclusive_grants + comparison.pushes > 0, label
+    benchmark.extra_info["message_reduction"] = {
+        label: round(cmp.message_reduction, 3)
+        for label, cmp in result.inline_comparisons.items()
+    }

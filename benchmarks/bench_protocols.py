@@ -1,0 +1,26 @@
+"""Benchmark: Section 2.1's protocol-independence claim (Stache vs Origin)."""
+
+from conftest import SEED, once
+
+from repro.experiments.protocols import run_protocol_comparison
+
+
+def test_protocol_comparison(benchmark):
+    result = once(
+        benchmark,
+        run_protocol_comparison,
+        apps=("appbt", "moldyn"),
+        depth=2,
+        seed=SEED,
+        quick=True,
+    )
+    print("\n" + result.format())
+    # "No first-order effect": accuracy stays in the same band (within
+    # ~10 points), even though forwarding makes cache-side senders vary.
+    assert result.max_overall_delta() < 10.0
+    for app, by_proto in result.points.items():
+        for point in by_proto.values():
+            assert point.messages > 0, app
+    benchmark.extra_info["max_overall_delta"] = round(
+        result.max_overall_delta(), 2
+    )

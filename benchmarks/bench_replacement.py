@@ -1,0 +1,27 @@
+"""Benchmark: Section 3.7 replacement / history-loss study."""
+
+from conftest import SEED, once
+
+from repro.experiments.replacement import run_replacement_study
+
+
+def test_replacement_study(benchmark):
+    result = once(
+        benchmark,
+        run_replacement_study,
+        cache_blocks=(None, 32, 16),
+        depth=1,
+        seed=SEED,
+        quick=True,
+    )
+    print("\n" + result.format())
+    infinite, *finite = result.points
+    assert infinite.replacements == 0
+    # Shrinking the cache inflates traffic monotonically...
+    messages = [p.messages for p in result.points]
+    assert messages == sorted(messages)
+    # ...and merging predictor history into cache lines costs accuracy.
+    assert finite[-1].history_loss_cost > 1.0
+    benchmark.extra_info["merge_cost_points"] = round(
+        finite[-1].history_loss_cost, 1
+    )

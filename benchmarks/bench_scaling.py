@@ -1,0 +1,43 @@
+"""Benchmark: machine-size scaling and seed robustness (beyond-paper)."""
+
+from conftest import SEED, once
+
+from repro.experiments.scaling import run_scaling, run_seed_study
+
+
+def test_scaling(benchmark):
+    result = once(
+        benchmark,
+        run_scaling,
+        apps=("moldyn", "unstructured"),
+        node_counts=(4, 8, 16, 32),
+        depth=2,
+        seed=SEED,
+        quick=True,
+    )
+    print("\n" + result.format())
+    for app, points in result.points.items():
+        overall = [p.overall for p in points]
+        # Accuracy varies gently with machine size; no collapse.
+        assert max(overall) - min(overall) < 20.0, app
+    benchmark.extra_info["overall_by_nodes"] = {
+        app: [(p.n_nodes, round(p.overall, 1)) for p in points]
+        for app, points in result.points.items()
+    }
+
+
+def test_seed_robustness(benchmark):
+    result = once(
+        benchmark,
+        run_seed_study,
+        apps=("appbt", "barnes", "moldyn"),
+        seeds=(0, 1, 2, 3, 4),
+        depth=1,
+        quick=True,
+    )
+    print("\n" + result.format())
+    for app in result.accuracies:
+        assert result.spread(app) < 8.0, app
+    benchmark.extra_info["spreads"] = {
+        app: round(result.spread(app), 2) for app in result.accuracies
+    }

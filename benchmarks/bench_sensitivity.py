@@ -1,0 +1,20 @@
+"""Benchmark: Section 5's network-latency insensitivity claim."""
+
+from conftest import SEED, once
+
+from repro.experiments.sensitivity import run_sensitivity
+
+
+def test_latency_sensitivity(benchmark):
+    result = once(
+        benchmark,
+        run_sensitivity,
+        apps=("appbt", "dsmc"),
+        slow_latency_ns=1000,
+        seed=SEED,
+        quick=True,
+    )
+    print("\n" + result.format())
+    # "hardly changes Cosmos' prediction rates"
+    assert result.max_delta() < 8.0
+    benchmark.extra_info["max_delta_points"] = round(result.max_delta(), 2)

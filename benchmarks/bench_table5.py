@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Table 5 (prediction rates per app x MHR depth)."""
+
+from conftest import SEED, once
+
+from repro.experiments.table5 import run_table5
+
+
+def test_table5(benchmark):
+    result = once(benchmark, run_table5, quick=True, seed=SEED)
+    print("\n" + result.format())
+    # Sanity: every measured cell is a percentage.
+    for app, rows in result.rows.items():
+        for row in rows:
+            assert 0.0 <= row.overall <= 100.0
+    benchmark.extra_info["overall_depth1"] = {
+        app: round(rows[0].overall, 1) for app, rows in result.rows.items()
+    }
+
+
+def test_table5_single_app_depth_sweep(benchmark, quick_traces):
+    """Evaluation cost of one app across depths 1-4 (no simulation)."""
+    from repro.analysis.accuracy import depth_sweep
+
+    rows = benchmark(depth_sweep, quick_traces["moldyn"], (1, 2, 3, 4))
+    assert len(rows) == 4

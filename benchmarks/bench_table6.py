@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 6 (noise-filter sweep)."""
+
+from conftest import SEED, once
+
+from repro.experiments.table6 import run_table6
+
+
+def test_table6(benchmark):
+    result = once(benchmark, run_table6, quick=True, seed=SEED)
+    print("\n" + result.format())
+    for app, by_depth in result.cells.items():
+        for depth, by_filter in by_depth.items():
+            # Filters never swing accuracy catastrophically.
+            assert abs(by_filter[2] - by_filter[0]) < 20.0, (app, depth)

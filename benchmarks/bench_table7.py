@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table 7 (memory overhead)."""
+
+from conftest import SEED, once
+
+from repro.experiments.table7 import run_table7
+
+
+def test_table7(benchmark):
+    result = once(benchmark, run_table7, quick=True, seed=SEED)
+    print("\n" + result.format())
+    for app, rows in result.rows.items():
+        for row in rows:
+            assert row.ratio >= 0.0
+            assert row.overhead_percent >= 0.0
+    benchmark.extra_info["ratio_depth1"] = {
+        app: round(rows[0].ratio, 2) for app, rows in result.rows.items()
+    }

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Table 8 (dsmc adaptation) and time-to-adapt."""
+
+from conftest import SEED, once
+
+from repro.experiments.table8 import run_table8
+
+
+def test_table8(benchmark):
+    result = once(benchmark, run_table8, quick=True, seed=SEED)
+    print("\n" + result.format())
+    assert result.progress
+    assert result.curves
+
+
+def test_time_to_adapt(benchmark, quick_traces):
+    """Cumulative accuracy curve computation for one application."""
+    from repro.analysis.adaptation import accuracy_curve
+
+    curve = benchmark(
+        accuracy_curve, quick_traces["dsmc"], [1, 2, 4, 8, 16, 32, 64, 100]
+    )
+    assert curve.iterations
+    assert curve.accuracy_percent[-1] > curve.accuracy_percent[0]

@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks run the experiment drivers in *quick* mode (shrunken
+workloads) so the whole suite regenerates every table and figure in a
+couple of minutes; the paper-scale numbers come from
+``repro-experiments all`` and the shape tests in
+``tests/experiments/test_paper_shapes.py``.
+
+Traces are memoized by ``repro.experiments.common.get_trace``, so the
+first benchmark touching an application pays its simulation cost once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import get_trace
+
+SEED = 0
+
+
+@pytest.fixture(scope="session")
+def quick_traces():
+    """Quick-mode traces for all five applications."""
+    return {
+        app: get_trace(app, seed=SEED, quick=True)
+        for app in ("appbt", "barnes", "dsmc", "moldyn", "unstructured")
+    }
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer.
+
+    Experiment regenerations are seconds-long; calibrated multi-round
+    timing would multiply the suite's runtime for no insight.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Cosmos vs the directed and naive baselines (the paper's Section 7).
+
+Evaluates six predictors on the cache-side message streams of two
+applications: unstructured (whose composite migratory/producer-consumer
+pattern defeats any single-pattern directed predictor) and dsmc (clean
+producer-consumer, where even simple predictors do well).
+
+    python examples/predictor_shootout.py
+"""
+
+from repro.core import CosmosConfig
+from repro.predictors import (
+    CosmosAdapter,
+    DSIPredictor,
+    LastMessagePredictor,
+    MigratoryPredictor,
+    MostCommonPredictor,
+)
+from repro.protocol import Role
+from repro.sim import simulate
+from repro.workloads import make_workload
+
+FACTORIES = {
+    "cosmos-d1": lambda: CosmosAdapter(CosmosConfig(depth=1)),
+    "cosmos-d3": lambda: CosmosAdapter(CosmosConfig(depth=3)),
+    "migratory": lambda: MigratoryPredictor(predict_reacquire=True),
+    "dsi": DSIPredictor,
+    "last-message": LastMessagePredictor,
+    "most-common": MostCommonPredictor,
+}
+
+
+def score(events, factory):
+    predictors = {}
+    hits = refs = preds = 0
+    for event in events:
+        if event.role is not Role.CACHE:
+            continue
+        predictor = predictors.setdefault(event.node, factory())
+        observation = predictor.observe(event.block, event.tuple)
+        refs += 1
+        hits += observation.hit
+        preds += observation.predicted is not None
+    return hits / refs, (hits / preds if preds else 0.0), preds / refs
+
+
+def main() -> None:
+    for app in ("unstructured", "dsmc"):
+        workload = make_workload(app)
+        events = simulate(workload, iterations=25, seed=3).events
+        print(f"== {app}: cache-side messages ==")
+        print(f"{'predictor':14s} {'accuracy':>9s} {'precision':>10s} "
+              f"{'coverage':>9s}")
+        for name, factory in FACTORIES.items():
+            accuracy, precision, coverage = score(events, factory)
+            print(
+                f"{name:14s} {accuracy:9.1%} {precision:10.1%} "
+                f"{coverage:9.1%}"
+            )
+        print()
+    print(
+        "Directed predictors are precise but narrow; Cosmos discovers\n"
+        "application-specific patterns it was never told about."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Trace-driven workflow: simulate once, analyze many times.
+
+The paper's methodology is trace-driven: the expensive step (running the
+application on the simulated machine) happens once, and every predictor
+study replays the saved trace. This example does the full round trip
+through the library API — the `repro-trace` CLI wraps the same calls —
+and finishes with an ASCII rendering of the adaptation curve and a
+Graphviz export of the cache-side signature graph.
+
+    python examples/trace_workflow.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import CosmosConfig, evaluate_trace, make_workload, simulate
+from repro import load_trace, save_trace
+from repro.analysis import (
+    accuracy_curve,
+    ascii_chart,
+    extract_signatures,
+    measure_arcs,
+    signature_graph_dot,
+    summarize_traffic,
+)
+from repro.protocol import Role
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="repro-"))
+    trace_path = workdir / "unstructured.jsonl"
+
+    # 1. Simulate once, persist the trace.
+    collector = simulate(make_workload("unstructured"), iterations=25, seed=9)
+    count = save_trace(collector.events, trace_path)
+    print(f"simulated unstructured: {count} messages -> {trace_path}\n")
+
+    # 2. Reload and characterize the traffic.
+    events = load_trace(trace_path)
+    print(summarize_traffic(events).format())
+    print()
+
+    # 3. Sweep predictor configurations over the same trace.
+    print("Cosmos configurations over the saved trace:")
+    for config in (
+        CosmosConfig(depth=1),
+        CosmosConfig(depth=3),
+        CosmosConfig(depth=1, filter_max_count=1),
+        CosmosConfig(depth=1, macroblock_bytes=256),
+    ):
+        result = evaluate_trace(events, config, track_arcs=False)
+        print(f"  {config.describe():55s} overall "
+              f"{result.overall_accuracy:6.1%}")
+    print()
+
+    # 4. Adaptation curve, rendered in the terminal.
+    checkpoints = [1, 2, 4, 8, 12, 16, 20, 25]
+    curve = accuracy_curve(events, checkpoints, CosmosConfig(depth=2))
+    print("cumulative depth-2 accuracy over iterations:")
+    print(
+        ascii_chart(
+            list(curve.iterations),
+            {"accuracy %": list(curve.accuracy_percent)},
+            width=50,
+            height=10,
+            x_label="iteration",
+        )
+    )
+    print()
+
+    # 5. Export the cache-side signature graph for Graphviz.
+    arcs = measure_arcs(events, depth=1, min_ref_percent=2.0)
+    signature = extract_signatures(arcs)[Role.CACHE]
+    dot_path = workdir / "unstructured_cache.dot"
+    dot_path.write_text(
+        signature_graph_dot(arcs, Role.CACHE, signature=signature,
+                            title="unstructured (cache)") + "\n"
+    )
+    print(f"signature graph written to {dot_path}")
+    print("render it with: dot -Tpng -o signature.png", dot_path)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""repro: reproduction of "Using Prediction to Accelerate Coherence Protocols".
+
+Mukherjee & Hill, ISCA 1998.  The package provides:
+
+* :mod:`repro.core` -- the Cosmos two-level coherence-message predictor;
+* :mod:`repro.protocol` -- a Stache-style full-map write-invalidate
+  directory protocol (the coherence substrate);
+* :mod:`repro.sim` -- a discrete-event 16-node machine simulator;
+* :mod:`repro.workloads` -- models of the paper's five benchmarks;
+* :mod:`repro.predictors` -- baseline and directed predictors;
+* :mod:`repro.accel` -- prediction-to-action integration and the
+  Section 4.4 speedup model;
+* :mod:`repro.analysis` -- accuracy, signature, adaptation, and
+  memory-overhead analyses;
+* :mod:`repro.experiments` -- drivers regenerating every table and
+  figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import CosmosConfig, evaluate_trace, make_workload, simulate
+
+    trace = simulate(make_workload("appbt"), iterations=30, seed=1)
+    result = evaluate_trace(trace.events, CosmosConfig(depth=2))
+    print(f"overall accuracy: {result.overall_accuracy:.1%}")
+"""
+
+from ._version import __version__
+from .core import (
+    CosmosConfig,
+    CosmosPredictor,
+    EvaluationResult,
+    MemoryOverhead,
+    PredictorBank,
+    evaluate_trace,
+)
+from .errors import (
+    ConfigError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+    TraceError,
+    WorkloadError,
+)
+from .protocol import Message, MessageType, Role, StacheOptions
+from .sim import Machine, PAPER_PARAMS, SystemParams, simulate
+from .trace import TraceCollector, TraceEvent, load_trace, save_trace
+from .workloads import Workload, all_workloads, make_workload
+
+__all__ = [
+    "ConfigError",
+    "CosmosConfig",
+    "CosmosPredictor",
+    "EvaluationResult",
+    "Machine",
+    "MemoryOverhead",
+    "Message",
+    "MessageType",
+    "PAPER_PARAMS",
+    "PredictorBank",
+    "ProtocolError",
+    "ReproError",
+    "Role",
+    "SimulationError",
+    "StacheOptions",
+    "SystemParams",
+    "TraceCollector",
+    "TraceError",
+    "TraceEvent",
+    "Workload",
+    "WorkloadError",
+    "__version__",
+    "all_workloads",
+    "evaluate_trace",
+    "load_trace",
+    "make_workload",
+    "save_trace",
+    "simulate",
+]

@@ -1,0 +1,152 @@
+"""Mapping predictions to protocol actions (paper Section 4.1, Table 2).
+
+A prediction is only useful if the protocol can act on it.  The paper's
+examples, encoded here:
+
+* a directory predicting an ``upgrade_request`` from the processor it is
+  about to serve a read can answer the read with an *exclusive* copy
+  (read-modify-write optimization, as in SGI Origin);
+* a cache predicting an incoming ``inval_rw_request`` can replace the
+  block early (dynamic self-invalidation);
+* a directory predicting a ``get_ro_request`` from a consumer can forward
+  the data early (producer-initiated communication);
+* a cache predicting a ``get_ro_response`` knows its processor is about
+  to read-miss and can prefetch.
+
+Each action is tagged with its recovery class from Section 4.3: whether a
+misprediction needs no recovery (moves between legal states), transparent
+discard of an unexposed future state, or a full rollback.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.tuples import MessageTuple
+from ..protocol.messages import MessageType, Role
+
+
+class RecoveryClass(enum.Enum):
+    """Section 4.3's three misprediction-recovery categories."""
+
+    #: Action moves the protocol between two legal states; a misprediction
+    #: costs performance only (e.g., an extra miss), never correctness.
+    NONE_NEEDED = "none-needed"
+    #: Future state is buffered and discarded on misprediction, committed
+    #: on success; never exposed to the processor early.
+    DISCARD_FUTURE = "discard-future"
+    #: Processor and protocol both speculate; both roll back to a
+    #: checkpoint on misprediction.
+    CHECKPOINT_ROLLBACK = "checkpoint-rollback"
+
+
+class ProtocolAction(enum.Enum):
+    """Concrete accelerating actions a module can take."""
+
+    REPLY_EXCLUSIVE = "reply-exclusive"
+    SELF_INVALIDATE = "self-invalidate"
+    FORWARD_DATA_EARLY = "forward-data-early"
+    PREFETCH_BLOCK = "prefetch-block"
+    WRITEBACK_EARLY = "writeback-early"
+
+
+@dataclass(frozen=True)
+class ActionRule:
+    """One prediction -> action row (the paper's Table 2 flavour)."""
+
+    role: Role
+    predicted_type: MessageType
+    action: ProtocolAction
+    recovery: RecoveryClass
+    description: str
+
+
+#: The prediction-to-action catalogue.
+ACTION_RULES: Tuple[ActionRule, ...] = (
+    ActionRule(
+        role=Role.DIRECTORY,
+        predicted_type=MessageType.UPGRADE_REQUEST,
+        action=ProtocolAction.REPLY_EXCLUSIVE,
+        recovery=RecoveryClass.NONE_NEEDED,
+        description=(
+            "read-modify-write predicted: answer the pending read with an "
+            "exclusive copy instead of a shared one"
+        ),
+    ),
+    ActionRule(
+        role=Role.CACHE,
+        predicted_type=MessageType.INVAL_RW_REQUEST,
+        action=ProtocolAction.SELF_INVALIDATE,
+        recovery=RecoveryClass.NONE_NEEDED,
+        description=(
+            "another node's miss predicted: replace the exclusive block to "
+            "the directory before the invalidation arrives (dynamic "
+            "self-invalidation)"
+        ),
+    ),
+    ActionRule(
+        role=Role.DIRECTORY,
+        predicted_type=MessageType.GET_RO_REQUEST,
+        action=ProtocolAction.FORWARD_DATA_EARLY,
+        recovery=RecoveryClass.DISCARD_FUTURE,
+        description=(
+            "consumer read predicted: forward the block to the consumer "
+            "before its request arrives (producer-initiated communication)"
+        ),
+    ),
+    ActionRule(
+        role=Role.CACHE,
+        predicted_type=MessageType.GET_RO_RESPONSE,
+        action=ProtocolAction.PREFETCH_BLOCK,
+        recovery=RecoveryClass.DISCARD_FUTURE,
+        description=(
+            "local read miss predicted: issue the miss early and overlap "
+            "its latency with current work"
+        ),
+    ),
+    ActionRule(
+        role=Role.CACHE,
+        predicted_type=MessageType.DOWNGRADE_REQUEST,
+        action=ProtocolAction.WRITEBACK_EARLY,
+        recovery=RecoveryClass.NONE_NEEDED,
+        description=(
+            "demotion predicted: write the dirty block back early so the "
+            "downgrade completes without a data transfer"
+        ),
+    ),
+)
+
+
+def actions_for(
+    role: Role, prediction: Optional[MessageTuple]
+) -> List[ActionRule]:
+    """The action rules triggered by ``prediction`` at a module of ``role``."""
+    if prediction is None:
+        return []
+    _, mtype = prediction
+    return [
+        rule
+        for rule in ACTION_RULES
+        if rule.role == role and rule.predicted_type == mtype
+    ]
+
+
+def format_table2() -> str:
+    """Render the prediction/action catalogue as text."""
+    lines = [
+        "%-10s %-20s %-20s %-20s" % ("Module", "Prediction", "Action", "Recovery")
+    ]
+    lines.append("-" * 78)
+    for rule in ACTION_RULES:
+        lines.append(
+            "%-10s %-20s %-20s %-20s"
+            % (
+                rule.role,
+                rule.predicted_type,
+                rule.action.value,
+                rule.recovery.value,
+            )
+        )
+    return "\n".join(lines)

@@ -1,0 +1,67 @@
+"""Analyses over coherence-message traces and evaluation results."""
+
+from .accuracy import AccuracyRow, depth_sweep, filter_sweep
+from .adaptation import (
+    AdaptationCurve,
+    Transition,
+    TransitionSnapshot,
+    accuracy_curve,
+    transition_progress,
+)
+from .arcs import Arc, arcs_from_result, measure_arcs
+from .bounds import OptimalityBound, measure_bounds, optimal_table_accuracy
+from .dot import signature_graph_dot
+from .overhead import (
+    MacroblockPoint,
+    OverheadRow,
+    PreallocationReport,
+    macroblock_sweep,
+    overhead_sweep,
+    pht_size_histogram,
+    preallocation_report,
+)
+from .plotting import ascii_chart, sparkline
+from .report import render_matrix, render_table
+from .signatures import Signature, dominant_signature, extract_signatures
+from .traffic import (
+    FanoutStats,
+    TrafficSummary,
+    measure_fanout,
+    summarize_traffic,
+)
+
+__all__ = [
+    "AccuracyRow",
+    "AdaptationCurve",
+    "Arc",
+    "FanoutStats",
+    "TrafficSummary",
+    "measure_fanout",
+    "summarize_traffic",
+    "MacroblockPoint",
+    "OptimalityBound",
+    "OverheadRow",
+    "measure_bounds",
+    "optimal_table_accuracy",
+    "PreallocationReport",
+    "macroblock_sweep",
+    "pht_size_histogram",
+    "preallocation_report",
+    "Signature",
+    "Transition",
+    "TransitionSnapshot",
+    "accuracy_curve",
+    "arcs_from_result",
+    "ascii_chart",
+    "signature_graph_dot",
+    "sparkline",
+    "depth_sweep",
+    "dominant_signature",
+    "extract_signatures",
+    "filter_sweep",
+    "measure_arcs",
+    "overhead_sweep",
+    "render_matrix",
+    "render_table",
+    "transition_progress",
+]

@@ -1,0 +1,102 @@
+"""Time-to-adapt analysis (paper Table 8 and the Section 6.2 discussion).
+
+Cosmos predictors learn the message stream as it arrives, so cumulative
+accuracy climbs toward a steady state over iterations.  Table 8 tracks
+three dsmc transitions after 4, 80, and 320 iterations, reporting each
+transition's cumulative hit rate and its share of all references so far.
+The same machinery yields per-application "iterations to steady state"
+estimates (the paper quotes ~20 for unstructured/barnes, ~30 for
+appbt/moldyn, ~300 for dsmc).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.config import CosmosConfig
+from ..core.evaluation import IterationCheckpoint, Tally, evaluate_trace
+from ..protocol.messages import MessageType, Role
+from ..trace.events import TraceEvent
+
+#: A transition of interest: (role, previous type, current type).
+Transition = Tuple[Role, MessageType, MessageType]
+
+
+@dataclass(frozen=True)
+class TransitionSnapshot:
+    """One Table 8 cell: a transition's cumulative stats at a checkpoint."""
+
+    iteration: int
+    hits_percent: float
+    refs_percent: float
+    refs: int
+
+
+def transition_progress(
+    events: Sequence[TraceEvent],
+    transitions: Iterable[Transition],
+    checkpoints: Iterable[int],
+    config: Optional[CosmosConfig] = None,
+) -> Dict[Transition, List[TransitionSnapshot]]:
+    """Cumulative per-transition accuracy at each checkpoint iteration."""
+    config = config if config is not None else CosmosConfig(depth=1)
+    result = evaluate_trace(
+        events, config, checkpoint_iterations=checkpoints, track_arcs=True
+    )
+    progress: Dict[Transition, List[TransitionSnapshot]] = {
+        transition: [] for transition in transitions
+    }
+    for checkpoint in result.checkpoints:
+        total_refs = sum(tally.refs for tally in checkpoint.arcs.values())
+        for transition in progress:
+            tally = checkpoint.arcs.get(transition, Tally())
+            progress[transition].append(
+                TransitionSnapshot(
+                    iteration=checkpoint.iteration,
+                    hits_percent=100.0 * tally.accuracy,
+                    refs_percent=(
+                        100.0 * tally.refs / total_refs if total_refs else 0.0
+                    ),
+                    refs=tally.refs,
+                )
+            )
+    return progress
+
+
+@dataclass(frozen=True)
+class AdaptationCurve:
+    """Cumulative overall accuracy per checkpoint iteration."""
+
+    iterations: Tuple[int, ...]
+    accuracy_percent: Tuple[float, ...]
+
+    def steady_state_iteration(self, tolerance: float = 2.0) -> Optional[int]:
+        """First checkpoint within ``tolerance`` points of the final value.
+
+        ``None`` when the curve never settles (or has no checkpoints).
+        """
+        if not self.iterations:
+            return None
+        final = self.accuracy_percent[-1]
+        for iteration, accuracy in zip(self.iterations, self.accuracy_percent):
+            if abs(accuracy - final) <= tolerance:
+                return iteration
+        return None
+
+
+def accuracy_curve(
+    events: Sequence[TraceEvent],
+    checkpoints: Iterable[int],
+    config: Optional[CosmosConfig] = None,
+) -> AdaptationCurve:
+    """Cumulative overall accuracy after each checkpoint iteration."""
+    config = config if config is not None else CosmosConfig(depth=1)
+    result = evaluate_trace(
+        events, config, checkpoint_iterations=checkpoints, track_arcs=False
+    )
+    iterations = tuple(cp.iteration for cp in result.checkpoints)
+    accuracy = tuple(
+        100.0 * cp.overall.accuracy for cp in result.checkpoints
+    )
+    return AdaptationCurve(iterations=iterations, accuracy_percent=accuracy)

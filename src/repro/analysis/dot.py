@@ -1,0 +1,65 @@
+"""Graphviz (DOT) export of signature graphs.
+
+The paper's Figures 6 and 7 are state graphs: nodes are incoming message
+types, arcs are observed transitions labelled ``X/Y`` (hit% / reference%),
+with the dominant signature drawn dashed.  This module serializes our
+measured arcs in that style; render with ``dot -Tpng``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Set, Tuple
+
+from ..protocol.messages import MessageType, Role
+from .arcs import Arc
+from .signatures import Signature
+
+
+def _node_id(mtype: MessageType) -> str:
+    return str(mtype)
+
+
+def signature_graph_dot(
+    arcs: Sequence[Arc],
+    role: Role,
+    signature: Optional[Signature] = None,
+    title: str = "",
+) -> str:
+    """Serialize one role's transition graph as DOT.
+
+    Arcs on the dominant ``signature`` cycle are drawn dashed and bold,
+    mirroring the dotted dominant signatures of the paper's figures.
+    """
+    cycle_edges: Set[Tuple[MessageType, MessageType]] = set()
+    if signature is not None and signature.cycle:
+        cycle = signature.cycle
+        for index, src in enumerate(cycle):
+            cycle_edges.add((src, cycle[(index + 1) % len(cycle)]))
+
+    lines = ["digraph signature {"]
+    lines.append("  rankdir=LR;")
+    lines.append('  node [shape=box, fontname="Helvetica"];')
+    if title:
+        lines.append(f'  label="{title}";')
+        lines.append("  labelloc=t;")
+    nodes: Set[MessageType] = set()
+    for arc in arcs:
+        if arc.role != role:
+            continue
+        nodes.add(arc.src)
+        nodes.add(arc.dst)
+    for node in sorted(nodes):
+        lines.append(f'  "{_node_id(node)}";')
+    for arc in arcs:
+        if arc.role != role:
+            continue
+        style = (
+            ' style=dashed penwidth=2' if (arc.src, arc.dst) in cycle_edges
+            else ""
+        )
+        lines.append(
+            f'  "{_node_id(arc.src)}" -> "{_node_id(arc.dst)}" '
+            f'[label="{arc.label}"{style}];'
+        )
+    lines.append("}")
+    return "\n".join(lines)

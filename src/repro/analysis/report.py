@@ -1,0 +1,64 @@
+"""Plain-text table rendering shared by the experiment drivers.
+
+Small and dependency-free on purpose: every experiment emits the same
+kind of aligned ASCII table the paper prints, suitable for terminals and
+EXPERIMENTS.md code blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def format_cell(cell: Cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.1f}"
+    return str(cell)
+
+
+def render_table(
+    headers: Sequence[Cell],
+    rows: Iterable[Sequence[Cell]],
+    title: str = "",
+) -> str:
+    """Render an aligned text table with a rule under the header."""
+    text_rows: List[List[str]] = [[format_cell(c) for c in headers]]
+    for row in rows:
+        text_rows.append([format_cell(c) for c in row])
+    n_cols = max(len(row) for row in text_rows)
+    widths = [0] * n_cols
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def fmt(row: List[str]) -> str:
+        return "  ".join(
+            cell.rjust(widths[index]) if index else cell.ljust(widths[index])
+            for index, cell in enumerate(row)
+        ).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(text_rows[0]))
+    lines.append("-" * (sum(widths) + 2 * (n_cols - 1)))
+    lines.extend(fmt(row) for row in text_rows[1:])
+    return "\n".join(lines)
+
+
+def render_matrix(
+    row_labels: Sequence[Cell],
+    col_labels: Sequence[Cell],
+    values: Sequence[Sequence[Cell]],
+    corner: str = "",
+    title: str = "",
+) -> str:
+    """Render a labelled matrix (row label column + value grid)."""
+    headers: List[Cell] = [corner] + list(col_labels)
+    rows = [
+        [label] + list(row_values)
+        for label, row_values in zip(row_labels, values)
+    ]
+    return render_table(headers, rows, title=title)

@@ -1,0 +1,161 @@
+"""Trace traffic characterization.
+
+Summaries in the style the sharing-pattern literature uses (Gupta &
+Weber's invalidation patterns; Bennett et al.'s classification):
+
+* message-type histograms per role,
+* invalidation fan-out: how many sharers each write invalidates (the
+  consumer fan-out of producer-consumer data shows up directly here --
+  moldyn's mean should sit near its 4.9 consumers),
+* per-block reference distribution (how skewed the traffic is),
+* messages per iteration.
+
+These double as workload-model validation: the paper quotes several of
+these quantities for the real applications.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..protocol.messages import MessageType, Role
+from ..trace.events import TraceEvent
+from .report import render_table
+
+#: Invalidation request types (directory -> cache fan-out).
+_INVAL_TYPES = (MessageType.INVAL_RO_REQUEST, MessageType.INVAL_RW_REQUEST)
+
+
+@dataclass(frozen=True)
+class FanoutStats:
+    """Distribution of invalidations per invalidating transaction."""
+
+    histogram: Dict[int, int]
+
+    @property
+    def events(self) -> int:
+        return sum(self.histogram.values())
+
+    @property
+    def mean(self) -> float:
+        if not self.histogram:
+            return 0.0
+        total = sum(size * count for size, count in self.histogram.items())
+        return total / self.events
+
+    @property
+    def max(self) -> int:
+        return max(self.histogram) if self.histogram else 0
+
+    def fraction_single(self) -> float:
+        """Share of invalidating writes touching exactly one copy.
+
+        The sharing-pattern studies the paper cites found most writes
+        invalidate a single cache -- the signature of migratory and
+        single-consumer data.
+        """
+        if not self.events:
+            return 0.0
+        return self.histogram.get(1, 0) / self.events
+
+
+@dataclass(frozen=True)
+class TrafficSummary:
+    """Full traffic characterization of one trace."""
+
+    messages: int
+    iterations: int
+    type_counts: Dict[MessageType, int]
+    role_counts: Dict[Role, int]
+    fanout: FanoutStats
+    block_references: Dict[int, int]  # refs-per-block histogram buckets
+
+    @property
+    def messages_per_iteration(self) -> float:
+        return self.messages / self.iterations if self.iterations else 0.0
+
+    def format(self) -> str:
+        lines = [
+            f"{self.messages} messages over {self.iterations} iterations "
+            f"({self.messages_per_iteration:.0f}/iteration)"
+        ]
+        lines.append(
+            "by role: "
+            + ", ".join(
+                f"{role}={count}" for role, count in self.role_counts.items()
+            )
+        )
+        headers = ["message type", "count", "share"]
+        body = []
+        for mtype, count in sorted(
+            self.type_counts.items(), key=lambda item: -item[1]
+        ):
+            body.append([str(mtype), count, f"{count / self.messages:.1%}"])
+        lines.append(render_table(headers, body))
+        lines.append(
+            f"invalidation fan-out: mean {self.fanout.mean:.2f}, "
+            f"max {self.fanout.max}, single-copy "
+            f"{self.fanout.fraction_single():.0%} "
+            f"({self.fanout.events} invalidating transactions)"
+        )
+        ref_headers = ["refs per block", "blocks"]
+        ref_body = [
+            [bucket, count]
+            for bucket, count in sorted(self.block_references.items())
+        ]
+        lines.append(render_table(ref_headers, ref_body))
+        return "\n".join(lines)
+
+
+def _reference_bucket(references: int) -> int:
+    """Bucket block reference counts into powers of two."""
+    bucket = 1
+    while bucket < references:
+        bucket *= 2
+    return bucket
+
+
+def measure_fanout(events: Sequence[TraceEvent]) -> FanoutStats:
+    """Histogram of invalidations per invalidating transaction.
+
+    Invalidation requests for one block form bursts (one per directory
+    transaction); consecutive invalidation requests for the same block
+    with no other intervening message for that block belong to one burst.
+    """
+    histogram: Counter = Counter()
+    open_bursts: Dict[int, int] = {}
+    for event in events:
+        if event.role is Role.CACHE and event.mtype in _INVAL_TYPES:
+            open_bursts[event.block] = open_bursts.get(event.block, 0) + 1
+        elif event.block in open_bursts and event.role is Role.CACHE:
+            histogram[open_bursts.pop(event.block)] += 1
+    for size in open_bursts.values():
+        histogram[size] += 1
+    return FanoutStats(histogram=dict(histogram))
+
+
+def summarize_traffic(events: Sequence[TraceEvent]) -> TrafficSummary:
+    """Compute the full traffic characterization of a trace."""
+    type_counts: Counter = Counter()
+    role_counts: Counter = Counter()
+    per_block: Counter = Counter()
+    iterations = 0
+    for event in events:
+        type_counts[event.mtype] += 1
+        role_counts[event.role] += 1
+        per_block[event.block] += 1
+        if event.iteration > iterations:
+            iterations = event.iteration
+    reference_buckets: Counter = Counter()
+    for references in per_block.values():
+        reference_buckets[_reference_bucket(references)] += 1
+    return TrafficSummary(
+        messages=len(events),
+        iterations=iterations,
+        type_counts=dict(type_counts),
+        role_counts=dict(role_counts),
+        fanout=measure_fanout(events),
+        block_references=dict(reference_buckets),
+    )

@@ -1,0 +1,159 @@
+"""The ``repro-trace`` command line: simulate, evaluate, inspect traces.
+
+Subcommands::
+
+    repro-trace simulate appbt -o appbt.jsonl --iterations 40 --seed 1
+    repro-trace evaluate appbt.jsonl --depth 2 --filter 1
+    repro-trace info appbt.jsonl
+    repro-trace dot appbt.jsonl --role cache -o appbt_cache.dot
+
+``simulate`` writes a JSON-lines coherence-message trace; the other
+subcommands consume one.  This decouples the expensive simulation from
+cheap repeated analyses, exactly like the paper's trace-driven
+methodology.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.arcs import measure_arcs
+from .analysis.dot import signature_graph_dot
+from .analysis.signatures import extract_signatures
+from .analysis.traffic import summarize_traffic
+from .core.config import CosmosConfig
+from .core.evaluation import evaluate_trace
+from .errors import ReproError
+from .protocol.messages import Role
+from .protocol.stache import StacheOptions
+from .sim.machine import simulate
+from .trace.io import load_trace, save_trace
+from .workloads.registry import BENCHMARK_NAMES, make_workload
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    workload = make_workload(args.app)
+    options = StacheOptions(
+        half_migratory=not args.no_half_migratory,
+        forwarding=args.forwarding,
+    )
+    collector = simulate(
+        workload,
+        iterations=args.iterations,
+        seed=args.seed,
+        options=options,
+    )
+    count = save_trace(collector.events, args.output)
+    print(f"wrote {count} events to {args.output}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    events = load_trace(args.trace)
+    config = CosmosConfig(
+        depth=args.depth,
+        filter_max_count=args.filter,
+        macroblock_bytes=args.macroblock,
+    )
+    result = evaluate_trace(events, config, track_arcs=False)
+    print(f"{config.describe()} over {len(events)} events:")
+    print(f"  cache     {result.cache_accuracy:7.1%}")
+    print(f"  directory {result.directory_accuracy:7.1%}")
+    print(f"  overall   {result.overall_accuracy:7.1%}")
+    if result.overhead is not None:
+        print(
+            f"  memory    ratio {result.overhead.ratio:.1f}, "
+            f"{result.overhead.overhead_percent:.1f}% of a "
+            f"{config.block_bytes}-byte block"
+        )
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    events = load_trace(args.trace)
+    print(summarize_traffic(events).format())
+    return 0
+
+
+def _cmd_dot(args: argparse.Namespace) -> int:
+    events = load_trace(args.trace)
+    role = Role.CACHE if args.role == "cache" else Role.DIRECTORY
+    arcs = measure_arcs(events, depth=1, min_ref_percent=args.min_ref)
+    signature = extract_signatures(arcs)[role]
+    dot = signature_graph_dot(
+        arcs, role, signature=signature, title=f"{args.trace} ({args.role})"
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(dot + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(dot)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Simulate and analyze coherence-message traces.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="run a workload, save its trace")
+    sim.add_argument("app", choices=BENCHMARK_NAMES)
+    sim.add_argument("-o", "--output", required=True)
+    sim.add_argument("--iterations", type=int, default=None)
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument(
+        "--forwarding",
+        action="store_true",
+        help="use Origin-style three-hop forwarding",
+    )
+    sim.add_argument(
+        "--no-half-migratory",
+        action="store_true",
+        help="downgrade (DASH-style) instead of invalidating owners",
+    )
+    sim.set_defaults(func=_cmd_simulate)
+
+    ev = sub.add_parser("evaluate", help="score Cosmos on a saved trace")
+    ev.add_argument("trace")
+    ev.add_argument("--depth", type=int, default=1)
+    ev.add_argument("--filter", type=int, default=0,
+                    help="noise-filter saturating-counter maximum")
+    ev.add_argument("--macroblock", type=int, default=None,
+                    help="group blocks into macroblocks of this many bytes")
+    ev.set_defaults(func=_cmd_evaluate)
+
+    info = sub.add_parser("info", help="traffic characterization of a trace")
+    info.add_argument("trace")
+    info.set_defaults(func=_cmd_info)
+
+    dot = sub.add_parser("dot", help="export a signature graph as Graphviz")
+    dot.add_argument("trace")
+    dot.add_argument("--role", choices=("cache", "directory"),
+                     default="cache")
+    dot.add_argument("--min-ref", type=float, default=2.0,
+                     help="drop arcs below this reference share (%%)")
+    dot.add_argument("-o", "--output", default=None)
+    dot.set_defaults(func=_cmd_dot)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

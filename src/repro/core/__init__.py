@@ -1,0 +1,37 @@
+"""The Cosmos coherence-message predictor (the paper's contribution)."""
+
+from .bank import PredictorBank
+from .config import CosmosConfig
+from .evaluation import (
+    ArcStats,
+    EvaluationResult,
+    IterationCheckpoint,
+    Tally,
+    evaluate_trace,
+)
+from .memory import MemoryOverhead, measure_overhead
+from .mhr import MessageHistoryRegister
+from .pht import PatternHistoryTable, PHTEntry
+from .predictor import CosmosPredictor, Observation
+from .tuples import MessageTuple, format_tuple, pack, unpack
+
+__all__ = [
+    "ArcStats",
+    "CosmosConfig",
+    "CosmosPredictor",
+    "EvaluationResult",
+    "IterationCheckpoint",
+    "MemoryOverhead",
+    "MessageHistoryRegister",
+    "MessageTuple",
+    "Observation",
+    "PHTEntry",
+    "PatternHistoryTable",
+    "PredictorBank",
+    "Tally",
+    "evaluate_trace",
+    "format_tuple",
+    "measure_overhead",
+    "pack",
+    "unpack",
+]

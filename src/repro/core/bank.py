@@ -1,0 +1,65 @@
+"""A machine-wide bank of Cosmos predictors.
+
+The paper allocates one Cosmos predictor beside every cache module and
+every directory module.  :class:`PredictorBank` manages that collection
+and routes trace events to the right predictor.  ``share_roles=True`` is
+an ablation that merges each node's two predictors into one (cheaper, but
+cache- and directory-side patterns then alias in one table).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from ..protocol.messages import Role
+from ..trace.events import TraceEvent
+from .config import CosmosConfig
+from .predictor import CosmosPredictor, Observation
+
+
+class PredictorBank:
+    """One predictor per (node, role) -- or per node when roles are shared."""
+
+    def __init__(
+        self,
+        config: CosmosConfig = CosmosConfig(),
+        share_roles: bool = False,
+    ) -> None:
+        self.config = config
+        self.share_roles = share_roles
+        self._predictors: Dict[Tuple[int, Role], CosmosPredictor] = {}
+
+    def _key(self, node: int, role: Role) -> Tuple[int, Role]:
+        if self.share_roles:
+            return (node, Role.CACHE)  # canonical key for the merged bank
+        return (node, role)
+
+    def predictor_for(self, node: int, role: Role) -> CosmosPredictor:
+        """The predictor attached to the given module (created on demand)."""
+        key = self._key(node, role)
+        predictor = self._predictors.get(key)
+        if predictor is None:
+            predictor = CosmosPredictor(self.config)
+            self._predictors[key] = predictor
+        return predictor
+
+    def observe(self, event: TraceEvent) -> Observation:
+        """Route one trace event to its module's predictor."""
+        predictor = self.predictor_for(event.node, event.role)
+        return predictor.observe(event.block, event.tuple)
+
+    def __iter__(self) -> Iterator[Tuple[Tuple[int, Role], CosmosPredictor]]:
+        return iter(self._predictors.items())
+
+    def __len__(self) -> int:
+        return len(self._predictors)
+
+    @property
+    def mhr_entries(self) -> int:
+        """Machine-wide MHR entry count (Table 7 denominator)."""
+        return sum(p.mhr_entries for p in self._predictors.values())
+
+    @property
+    def pht_entries(self) -> int:
+        """Machine-wide PHT entry count (Table 7 numerator)."""
+        return sum(p.pht_entries for p in self._predictors.values())

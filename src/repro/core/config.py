@@ -1,0 +1,90 @@
+"""Configuration of a Cosmos predictor."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CosmosConfig:
+    """Parameters of one Cosmos predictor.
+
+    Attributes:
+        depth: number of ``<sender, type>`` tuples held in each Message
+            History Register (the paper sweeps 1-4; Table 5).
+        filter_max_count: saturating-counter ceiling of the noise filter
+            (paper Section 3.6 / Table 6); ``0`` disables filtering, i.e.
+            a misprediction immediately replaces the stored prediction.
+        tuple_bytes: storage size of one ``<sender, type>`` tuple; the
+            paper assumes 2 bytes (12 bits of processor id + 4 bits of
+            message type) in Table 7's overhead formula.
+        block_bytes: cache-block size used by the overhead formula
+            (Table 7 normalizes to 128-byte blocks).
+        macroblock_bytes: group predictions for all cache blocks within
+            an aligned region of this many bytes into one MHR/PHT pair
+            (Section 7 suggests Johnson & Hwu-style macroblocks to cut
+            Cosmos' memory).  ``None`` (default) keeps per-block tables.
+        mht_capacity: bound the Message History Table to this many MHR
+            entries per predictor, evicted LRU together with their PHTs
+            (a hardware predictor cannot grow without bound; the paper's
+            tables are effectively unbounded because Stache directory
+            state is persistent).  ``None`` (default) is unbounded.
+        confidence_threshold: emit a prediction only when its filter
+            counter has reached this value, trading coverage for the
+            precision that speculative actions need (Section 4's
+            misprediction costs).  Requires ``filter_max_count >=
+            confidence_threshold``; 0 (default) predicts always.
+    """
+
+    depth: int = 1
+    filter_max_count: int = 0
+    tuple_bytes: int = 2
+    block_bytes: int = 128
+    macroblock_bytes: "int | None" = None
+    mht_capacity: "int | None" = None
+    confidence_threshold: int = 0
+
+    def __post_init__(self) -> None:
+        if self.depth < 1:
+            raise ConfigError(f"MHR depth must be >= 1, got {self.depth}")
+        if self.filter_max_count < 0:
+            raise ConfigError(
+                f"filter_max_count must be >= 0, got {self.filter_max_count}"
+            )
+        if self.tuple_bytes < 1:
+            raise ConfigError("tuple_bytes must be positive")
+        if self.block_bytes < 1:
+            raise ConfigError("block_bytes must be positive")
+        if self.macroblock_bytes is not None:
+            if self.macroblock_bytes < 1:
+                raise ConfigError("macroblock_bytes must be positive")
+            if self.macroblock_bytes & (self.macroblock_bytes - 1):
+                raise ConfigError("macroblock_bytes must be a power of two")
+        if self.mht_capacity is not None and self.mht_capacity < 1:
+            raise ConfigError("mht_capacity must be positive")
+        if self.confidence_threshold < 0:
+            raise ConfigError("confidence_threshold must be >= 0")
+        if self.confidence_threshold > self.filter_max_count:
+            raise ConfigError(
+                "confidence_threshold cannot exceed filter_max_count: the "
+                "counter saturates there and would never reach a higher bar"
+            )
+
+    @property
+    def has_filter(self) -> bool:
+        return self.filter_max_count > 0
+
+    def describe(self) -> str:
+        filt = (
+            f"saturating counter (max {self.filter_max_count})"
+            if self.has_filter
+            else "none"
+        )
+        macro = (
+            f", macroblock={self.macroblock_bytes}B"
+            if self.macroblock_bytes is not None
+            else ""
+        )
+        return f"Cosmos(depth={self.depth}, filter={filt}{macro})"

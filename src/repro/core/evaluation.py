@@ -1,0 +1,234 @@
+"""Trace-driven predictor evaluation.
+
+Replays a coherence-message trace through a bank of predictors (one per
+cache / directory module, as in the paper) and accumulates:
+
+* hit/reference counts split by role -- the C / D / O columns of Table 5;
+* per-arc statistics (previous message type -> current message type) for
+  the signature graphs of Figures 6 and 7;
+* cumulative per-iteration checkpoints for the adaptation analysis
+  (Table 8 and the "time to adapt" discussion);
+* the memory-overhead quantities of Table 7 (for Cosmos banks).
+
+The evaluator works with any predictor implementing the
+:class:`repro.predictors.base.MessagePredictor` interface; by default it
+builds Cosmos predictors from a :class:`CosmosConfig`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..protocol.messages import MessageType, Role
+from ..trace.events import TraceEvent
+from .config import CosmosConfig
+from .memory import MemoryOverhead
+from .predictor import CosmosPredictor
+from .tuples import MessageTuple
+
+#: Arc key: (role, previous message type, current message type).
+ArcKey = Tuple[Role, MessageType, MessageType]
+
+
+@dataclass
+class Tally:
+    """Hit / reference counts."""
+
+    hits: int = 0
+    refs: int = 0
+
+    def add(self, hit: bool) -> None:
+        self.refs += 1
+        if hit:
+            self.hits += 1
+
+    @property
+    def accuracy(self) -> float:
+        return self.hits / self.refs if self.refs else 0.0
+
+    def merged(self, other: "Tally") -> "Tally":
+        return Tally(hits=self.hits + other.hits, refs=self.refs + other.refs)
+
+
+@dataclass
+class ArcStats:
+    """Per-transition statistics backing Figures 6/7 and Table 8."""
+
+    tallies: Dict[ArcKey, Tally] = field(default_factory=dict)
+
+    def add(self, key: ArcKey, hit: bool) -> None:
+        tally = self.tallies.get(key)
+        if tally is None:
+            tally = Tally()
+            self.tallies[key] = tally
+        tally.add(hit)
+
+    def total_refs(self, role: Optional[Role] = None) -> int:
+        return sum(
+            tally.refs
+            for key, tally in self.tallies.items()
+            if role is None or key[0] == role
+        )
+
+    def reference_share(self, key: ArcKey) -> float:
+        """This arc's refs as a fraction of all refs at the same role."""
+        total = self.total_refs(key[0])
+        tally = self.tallies.get(key)
+        if tally is None or total == 0:
+            return 0.0
+        return tally.refs / total
+
+
+@dataclass
+class IterationCheckpoint:
+    """Cumulative statistics captured at the end of one iteration."""
+
+    iteration: int
+    overall: Tally
+    by_role: Dict[Role, Tally]
+    arcs: Dict[ArcKey, Tally]
+
+
+@dataclass
+class EvaluationResult:
+    """Everything measured in one trace replay."""
+
+    config: Optional[CosmosConfig]
+    overall: Tally
+    by_role: Dict[Role, Tally]
+    arcs: ArcStats
+    checkpoints: List[IterationCheckpoint]
+    overhead: Optional[MemoryOverhead]
+
+    @property
+    def cache_accuracy(self) -> float:
+        return self.by_role[Role.CACHE].accuracy
+
+    @property
+    def directory_accuracy(self) -> float:
+        return self.by_role[Role.DIRECTORY].accuracy
+
+    @property
+    def overall_accuracy(self) -> float:
+        return self.overall.accuracy
+
+
+#: Builds a fresh predictor for one (node, role) module.
+PredictorFactory = Callable[[], "object"]
+
+
+def evaluate_trace(
+    events: Iterable[TraceEvent],
+    config: Optional[CosmosConfig] = None,
+    predictor_factory: Optional[PredictorFactory] = None,
+    checkpoint_iterations: Iterable[int] = (),
+    track_arcs: bool = True,
+) -> EvaluationResult:
+    """Replay ``events`` through per-module predictors and score them.
+
+    Args:
+        events: the trace, in reception order.
+        config: Cosmos configuration (ignored when ``predictor_factory``
+            is given).
+        predictor_factory: builds the predictor for each module; defaults
+            to ``CosmosPredictor(config)``.
+        checkpoint_iterations: iteration numbers after which cumulative
+            statistics are snapshotted (events must arrive in
+            non-decreasing iteration order for checkpoints to be exact).
+        track_arcs: record per-arc statistics (small extra cost).
+
+    Returns:
+        An :class:`EvaluationResult`.
+    """
+    if predictor_factory is None:
+        cosmos_config = config if config is not None else CosmosConfig()
+
+        def predictor_factory() -> CosmosPredictor:
+            return CosmosPredictor(cosmos_config)
+
+    predictors: Dict[Tuple[int, Role], object] = {}
+    overall = Tally()
+    by_role: Dict[Role, Tally] = {Role.CACHE: Tally(), Role.DIRECTORY: Tally()}
+    arcs = ArcStats()
+    last_type: Dict[Tuple[int, Role, int], MessageType] = {}
+
+    remaining_checkpoints = sorted(set(checkpoint_iterations))
+    checkpoints: List[IterationCheckpoint] = []
+    current_iteration: Optional[int] = None
+
+    def snapshot(iteration: int) -> IterationCheckpoint:
+        return IterationCheckpoint(
+            iteration=iteration,
+            overall=Tally(overall.hits, overall.refs),
+            by_role={
+                role: Tally(tally.hits, tally.refs)
+                for role, tally in by_role.items()
+            },
+            arcs={
+                key: Tally(tally.hits, tally.refs)
+                for key, tally in arcs.tallies.items()
+            },
+        )
+
+    def flush_checkpoints(next_iteration: Optional[int]) -> None:
+        """Emit any checkpoints fully covered before ``next_iteration``."""
+        nonlocal remaining_checkpoints
+        while remaining_checkpoints and (
+            next_iteration is None
+            or remaining_checkpoints[0] < next_iteration
+        ):
+            checkpoints.append(snapshot(remaining_checkpoints.pop(0)))
+
+    for event in events:
+        if current_iteration is not None and event.iteration > current_iteration:
+            flush_checkpoints(event.iteration)
+        current_iteration = event.iteration
+
+        key = (event.node, event.role)
+        predictor = predictors.get(key)
+        if predictor is None:
+            predictor = predictor_factory()
+            predictors[key] = predictor
+        observation = predictor.observe(event.block, event.tuple)
+        hit = observation.hit
+        overall.add(hit)
+        by_role[event.role].add(hit)
+        if track_arcs:
+            arc_block = (event.node, event.role, event.block)
+            previous = last_type.get(arc_block)
+            if previous is not None:
+                arcs.add((event.role, previous, event.mtype), hit)
+            last_type[arc_block] = event.mtype
+
+    flush_checkpoints(None)
+
+    overhead = _measure_bank_overhead(predictors)
+    return EvaluationResult(
+        config=config,
+        overall=overall,
+        by_role=by_role,
+        arcs=arcs,
+        checkpoints=checkpoints,
+        overhead=overhead,
+    )
+
+
+def _measure_bank_overhead(
+    predictors: Dict[Tuple[int, Role], object]
+) -> Optional[MemoryOverhead]:
+    """Table 7 accounting, when every predictor is a Cosmos predictor."""
+    cosmos = [
+        p for p in predictors.values() if isinstance(p, CosmosPredictor)
+    ]
+    if not cosmos or len(cosmos) != len(predictors):
+        return None
+    config = cosmos[0].config
+    return MemoryOverhead(
+        mhr_entries=sum(p.mhr_entries for p in cosmos),
+        pht_entries=sum(p.pht_entries for p in cosmos),
+        depth=config.depth,
+        tuple_bytes=config.tuple_bytes,
+        block_bytes=config.block_bytes,
+    )

@@ -1,0 +1,68 @@
+"""Memory-overhead accounting for Cosmos predictors (paper Table 7).
+
+The paper's formula, from the Table 7 caption:
+
+    Ratio = total PHT entries / total MHR entries
+    Ovhd  = tuple_size * (depth + Ratio * (depth + 1)) * 100 / block_size  [%]
+
+with a 2-byte tuple (12 bits processor + 4 bits type) and a 128-byte
+block.  An MHR entry costs ``depth`` tuples; a PHT entry costs one pattern
+(``depth`` tuples) plus one prediction tuple, i.e. ``depth + 1`` tuples.
+MHR entries count blocks referenced at least once; PHTs are only
+allocated once a block's reference count exceeds the MHR depth, which is
+why lightly-touched applications (dsmc) can have ratios below one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .bank import PredictorBank
+from .config import CosmosConfig
+
+
+@dataclass(frozen=True)
+class MemoryOverhead:
+    """Table 7 quantities for one predictor configuration."""
+
+    mhr_entries: int
+    pht_entries: int
+    depth: int
+    tuple_bytes: int
+    block_bytes: int
+
+    @property
+    def ratio(self) -> float:
+        """PHT entries per MHR entry."""
+        if self.mhr_entries == 0:
+            return 0.0
+        return self.pht_entries / self.mhr_entries
+
+    @property
+    def overhead_percent(self) -> float:
+        """Average predictor memory per block, as a % of the block size."""
+        tuples_per_block = self.depth + self.ratio * (self.depth + 1)
+        return self.tuple_bytes * tuples_per_block * 100.0 / self.block_bytes
+
+    @property
+    def bytes_per_block(self) -> float:
+        """Average predictor bytes per referenced block."""
+        return self.overhead_percent * self.block_bytes / 100.0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ratio={self.ratio:.1f} ovhd={self.overhead_percent:.1f}% "
+            f"({self.mhr_entries} MHRs, {self.pht_entries} PHT entries)"
+        )
+
+
+def measure_overhead(bank: PredictorBank) -> MemoryOverhead:
+    """Aggregate Table 7 quantities over a whole predictor bank."""
+    config: CosmosConfig = bank.config
+    return MemoryOverhead(
+        mhr_entries=bank.mhr_entries,
+        pht_entries=bank.pht_entries,
+        depth=config.depth,
+        tuple_bytes=config.tuple_bytes,
+        block_bytes=config.block_bytes,
+    )

@@ -1,0 +1,59 @@
+"""Message History Register: the first level of Cosmos.
+
+One MHR per cache block holds the last ``depth`` ``<sender, type>``
+tuples received at the node for that block, oldest first.  New tuples
+are shifted in from the right, exactly as the paper's update step
+describes ("left shift the <sender,type> tuple into the MHR").
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from .tuples import MessageTuple
+
+
+class MessageHistoryRegister:
+    """Fixed-depth shift register of message tuples."""
+
+    __slots__ = ("_depth", "_history")
+
+    def __init__(self, depth: int) -> None:
+        self._depth = depth
+        self._history: Tuple[MessageTuple, ...] = ()
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    @property
+    def full(self) -> bool:
+        """Whether ``depth`` messages have been observed yet."""
+        return len(self._history) == self._depth
+
+    def shift(self, tup: MessageTuple) -> None:
+        """Shift ``tup`` in as the most recent message."""
+        if len(self._history) < self._depth:
+            self._history = self._history + (tup,)
+        else:
+            self._history = self._history[1:] + (tup,)
+
+    def pattern(self) -> Optional[Tuple[MessageTuple, ...]]:
+        """The history pattern used to index the PHT.
+
+        ``None`` until the register has filled: Cosmos cannot index a
+        depth-``d`` PHT with fewer than ``d`` observed messages.
+        """
+        if not self.full:
+            return None
+        return self._history
+
+    def snapshot(self) -> Tuple[MessageTuple, ...]:
+        """Current (possibly partial) contents, oldest first."""
+        return self._history
+
+    def __len__(self) -> int:
+        return len(self._history)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MHR(depth={self._depth}, history={self._history!r})"

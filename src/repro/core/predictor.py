@@ -1,0 +1,172 @@
+"""The Cosmos coherence-message predictor.
+
+One :class:`CosmosPredictor` sits beside one cache or directory module.
+Prediction (paper Section 3.3): index the Message History Table with the
+block address to find that block's MHR; use the MHR contents to index the
+block's Pattern History Table; return the stored prediction, if any.
+Update (Section 3.4): write the observed tuple as the new prediction for
+the current pattern (subject to the noise filter), then shift the tuple
+into the MHR.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..protocol.messages import MessageType
+from .config import CosmosConfig
+from .mhr import MessageHistoryRegister
+from .pht import PatternHistoryTable
+from .tuples import MessageTuple
+
+
+@dataclass(frozen=True)
+class Observation:
+    """Outcome of one predict-then-observe step."""
+
+    block: int
+    predicted: Optional[MessageTuple]
+    actual: MessageTuple
+
+    @property
+    def hit(self) -> bool:
+        """A hit requires the full tuple -- sender *and* type -- to match."""
+        return self.predicted == self.actual
+
+    @property
+    def type_hit(self) -> bool:
+        """Whether at least the message type matched (diagnostic only)."""
+        return self.predicted is not None and self.predicted[1] == self.actual[1]
+
+
+class CosmosPredictor:
+    """Two-level adaptive predictor for one cache or directory module."""
+
+    def __init__(self, config: CosmosConfig = CosmosConfig()) -> None:
+        self.config = config
+        self._mht: "OrderedDict[int, MessageHistoryRegister]" = OrderedDict()
+        self._phts: Dict[int, PatternHistoryTable] = {}
+        self._macro = config.macroblock_bytes
+        self._capacity = config.mht_capacity
+        self._confidence = config.confidence_threshold
+        # Statistics
+        self.predictions = 0
+        self.hits = 0
+        self.no_prediction = 0
+        self.capacity_evictions = 0
+
+    def _key(self, block: int) -> int:
+        """Table index for ``block``: the block itself, or its macroblock."""
+        if self._macro is None:
+            return block
+        return block // self._macro
+
+    # ------------------------------------------------------------------
+    # the two paper operations
+    # ------------------------------------------------------------------
+
+    def predict(self, block: int) -> Optional[MessageTuple]:
+        """Predict the next ``<sender, type>`` for ``block`` (or ``None``)."""
+        block = self._key(block)
+        mhr = self._mht.get(block)
+        if mhr is None:
+            return None
+        pattern = mhr.pattern()
+        if pattern is None:
+            return None
+        pht = self._phts.get(block)
+        if pht is None:
+            return None
+        if self._confidence == 0:
+            return pht.predict(pattern)
+        found = pht.predict_with_confidence(pattern)
+        if found is None:
+            return None
+        prediction, counter = found
+        return prediction if counter >= self._confidence else None
+
+    def update(self, block: int, actual: MessageTuple) -> None:
+        """Train on the reception of ``actual`` for ``block``."""
+        block = self._key(block)
+        mhr = self._mht.get(block)
+        if mhr is None:
+            mhr = MessageHistoryRegister(self.config.depth)
+            self._mht[block] = mhr
+            if self._capacity is not None and len(self._mht) > self._capacity:
+                # Hardware-bounded table: evict the least recently used
+                # block's history (and its patterns) wholesale.
+                victim, _ = self._mht.popitem(last=False)
+                self._phts.pop(victim, None)
+                self.capacity_evictions += 1
+        elif self._capacity is not None:
+            self._mht.move_to_end(block)
+        pattern = mhr.pattern()
+        if pattern is not None:
+            pht = self._phts.get(block)
+            if pht is None:
+                # PHTs are allocated lazily: a block whose reference count
+                # never exceeds the MHR depth never gets one (Table 7).
+                pht = PatternHistoryTable(self.config.filter_max_count)
+                self._phts[block] = pht
+            pht.train(pattern, actual)
+        mhr.shift(actual)
+
+    def forget(self, block: int) -> None:
+        """Discard all history for ``block``.
+
+        Models Section 3.7's caveat: an implementation that merges the
+        first-level table with cache-block state loses the block's
+        history when the block is replaced.  The replacement study
+        (``repro.experiments.replacement``) calls this on every eviction
+        to measure what that merging costs.
+        """
+        key = self._key(block)
+        self._mht.pop(key, None)
+        self._phts.pop(key, None)
+
+    def observe(self, block: int, actual: MessageTuple) -> Observation:
+        """Predict, score against ``actual``, then train.  One message."""
+        predicted = self.predict(block)
+        if predicted is None:
+            self.no_prediction += 1
+        else:
+            self.predictions += 1
+            if predicted == actual:
+                self.hits += 1
+        self.update(block, actual)
+        return Observation(block=block, predicted=predicted, actual=actual)
+
+    # ------------------------------------------------------------------
+    # introspection (memory accounting, analysis)
+    # ------------------------------------------------------------------
+
+    @property
+    def mhr_entries(self) -> int:
+        """Blocks referenced at least once (Table 7's MHR entry count)."""
+        return len(self._mht)
+
+    @property
+    def pht_entries(self) -> int:
+        """Total pattern entries across all blocks (Table 7's numerator)."""
+        return sum(len(pht) for pht in self._phts.values())
+
+    def pht_of(self, block: int) -> Optional[PatternHistoryTable]:
+        return self._phts.get(self._key(block))
+
+    def mhr_of(self, block: int) -> Optional[MessageHistoryRegister]:
+        return self._mht.get(self._key(block))
+
+    def pht_sizes(self) -> Tuple[int, ...]:
+        """Per-block PHT entry counts (for preallocation analysis)."""
+        return tuple(len(pht) for pht in self._phts.values())
+
+    def blocks(self) -> Tuple[int, ...]:
+        return tuple(self._mht)
+
+    @property
+    def accuracy(self) -> float:
+        """Hits over *all* references (no-predictions count as misses)."""
+        total = self.predictions + self.no_prediction
+        return self.hits / total if total else 0.0

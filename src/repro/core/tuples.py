@@ -1,0 +1,47 @@
+"""The ``<sender, message-type>`` tuple Cosmos histories are made of.
+
+We represent a tuple as a plain ``(sender, MessageType)`` pair for speed
+(the evaluation loop touches millions of them) and provide an explicit
+codec to/from the compact 2-byte encoding the paper's Table 7 assumes
+(12 bits of processor number, 4 bits of message type).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..errors import ConfigError
+from ..protocol.messages import MessageType
+
+#: A coherence-message identity as Cosmos sees it.
+MessageTuple = Tuple[int, MessageType]
+
+#: Bit widths of the packed encoding (Table 7 footnote).
+SENDER_BITS = 12
+TYPE_BITS = 4
+
+_MAX_SENDER = (1 << SENDER_BITS) - 1
+_TYPE_MASK = (1 << TYPE_BITS) - 1
+
+
+def pack(tup: MessageTuple) -> int:
+    """Pack a tuple into its 16-bit hardware encoding."""
+    sender, mtype = tup
+    if not 0 <= sender <= _MAX_SENDER:
+        raise ConfigError(
+            f"sender {sender} does not fit in {SENDER_BITS} bits"
+        )
+    return (sender << TYPE_BITS) | int(mtype)
+
+
+def unpack(word: int) -> MessageTuple:
+    """Unpack a 16-bit encoding back into a tuple."""
+    if word < 0 or word >= (1 << (SENDER_BITS + TYPE_BITS)):
+        raise ConfigError(f"word {word} is not a 16-bit tuple encoding")
+    return (word >> TYPE_BITS, MessageType(word & _TYPE_MASK))
+
+
+def format_tuple(tup: MessageTuple) -> str:
+    """Human-readable ``<P<n>, type>`` rendering, as the paper prints them."""
+    sender, mtype = tup
+    return f"<P{sender}, {mtype}>"

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised by this package derive from :class:`ReproError` so
+callers can catch everything from one place.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ProtocolError(ReproError):
+    """A coherence-protocol invariant was violated.
+
+    Raised when a controller receives a message that is illegal in its
+    current state (e.g., an ``inval_rw_request`` arriving at a cache that
+    does not hold the block exclusive).  These indicate bugs in the
+    protocol FSMs or in a custom controller, never expected runtime
+    conditions.
+    """
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class TraceError(ReproError):
+    """A trace file or trace event stream is malformed."""
+
+
+class WorkloadError(ReproError):
+    """A workload was asked to do something inconsistent with its layout."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""

@@ -1,0 +1,72 @@
+"""Experiment: how close is Cosmos to the best possible table predictor?
+
+For each application and MHR depth, compares Cosmos' measured accuracy
+to the offline ceiling of :mod:`repro.analysis.bounds`.  The gap is
+Cosmos' training loss (cold starts and re-learning); the remainder above
+the ceiling is noise no depth-``d`` predictor can remove.  Applications
+whose patterns change (barnes) leave a bigger gap than applications with
+frozen patterns (unstructured's mesh).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from ..analysis.bounds import OptimalityBound, measure_bounds
+from ..analysis.report import render_table
+from ..workloads.registry import BENCHMARK_NAMES
+from .common import get_trace
+
+
+@dataclass(frozen=True)
+class BoundsResult:
+    """Ceiling-vs-Cosmos comparison per application."""
+
+    bounds: Dict[str, List[OptimalityBound]]
+
+    def format(self) -> str:
+        headers = [
+            "Application",
+            "depth",
+            "ceiling",
+            "cosmos",
+            "gap (pts)",
+            "efficiency",
+        ]
+        body = []
+        for app, app_bounds in self.bounds.items():
+            for bound in app_bounds:
+                body.append(
+                    [
+                        app,
+                        bound.depth,
+                        f"{bound.bound_accuracy:.1%}",
+                        f"{bound.cosmos_accuracy:.1%}",
+                        f"{100 * bound.gap:.1f}",
+                        f"{bound.efficiency:.1%}",
+                    ]
+                )
+        return render_table(
+            headers,
+            body,
+            title=(
+                "Offline optimality bound: the best any fixed-depth table "
+                "predictor could do vs what Cosmos achieves online"
+            ),
+        )
+
+
+def run_bounds(
+    apps: Iterable[str] = BENCHMARK_NAMES,
+    depths: Iterable[int] = (1, 2, 3),
+    seed: int = 0,
+    quick: bool = False,
+) -> BoundsResult:
+    """Measure the ceiling and Cosmos' standing for every application."""
+    depths = tuple(depths)
+    bounds: Dict[str, List[OptimalityBound]] = {}
+    for app in apps:
+        events = get_trace(app, seed=seed, quick=quick)
+        bounds[app] = measure_bounds(events, depths=depths)
+    return BoundsResult(bounds=bounds)

@@ -1,0 +1,78 @@
+"""Shared plumbing for the experiment drivers.
+
+Simulating a workload is the expensive step; every experiment on the same
+application replays the same trace.  :func:`get_trace` memoizes traces per
+(workload, iterations, seed, scale) within the process so a full
+experiment suite simulates each application once.
+
+``scale`` shrinks both the data-structure sizes and the iteration count
+proportionally, letting benchmarks exercise the full code path in a
+fraction of the time of a paper-scale run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..trace.events import TraceEvent
+from ..sim.machine import simulate
+from ..workloads.base import Workload
+from ..workloads.registry import make_workload
+
+#: Paper-scale iteration counts per application (dsmc needs 320+ for
+#: Table 8's last checkpoint).
+DEFAULT_ITERATIONS: Dict[str, int] = {
+    "appbt": 60,
+    "barnes": 40,
+    "dsmc": 400,
+    "moldyn": 60,
+    "unstructured": 40,
+}
+
+#: Constructor overrides that shrink each workload for quick runs.
+_SCALE_KWARGS: Dict[str, Dict[str, int]] = {
+    "appbt": {"face_blocks": 2, "false_share_blocks": 1},
+    "barnes": {"n_objects": 48},
+    "dsmc": {"buffers_per_proc": 1, "rare_blocks_per_proc": 6, "contended_buffers": 2},
+    "moldyn": {"force_blocks": 16, "coord_blocks": 16},
+    "unstructured": {"mesh_blocks": 24},
+}
+
+_TRACE_CACHE: Dict[Tuple[str, int, int, bool], List[TraceEvent]] = {}
+
+
+def workload_for(name: str, quick: bool = False) -> Workload:
+    """Build a paper-scale (or shrunken) workload instance."""
+    kwargs = _SCALE_KWARGS[name] if quick else {}
+    return make_workload(name, **kwargs)
+
+
+def iterations_for(name: str, quick: bool = False) -> int:
+    iterations = DEFAULT_ITERATIONS[name]
+    return max(4, iterations // 4) if quick else iterations
+
+
+def get_trace(
+    name: str,
+    iterations: Optional[int] = None,
+    seed: int = 0,
+    quick: bool = False,
+) -> List[TraceEvent]:
+    """Simulate (or fetch from cache) one application's message trace."""
+    if iterations is None:
+        iterations = iterations_for(name, quick)
+    key = (name, iterations, seed, quick)
+    trace = _TRACE_CACHE.get(key)
+    if trace is None:
+        collector = simulate(
+            workload_for(name, quick), iterations=iterations, seed=seed
+        )
+        trace = collector.events
+        _TRACE_CACHE[key] = trace
+    return trace
+
+
+def clear_trace_cache() -> None:
+    """Drop all memoized traces (tests use this to bound memory)."""
+    _TRACE_CACHE.clear()

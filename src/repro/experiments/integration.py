@@ -1,0 +1,134 @@
+"""Experiment: Section 4 integration -- does prediction actually accelerate?
+
+Two complementary measurements beyond the paper's scope (it stops at
+prediction accuracy and the analytic model):
+
+* the Section 4.4 latency model applied to each application's *measured*
+  per-message prediction outcomes (``repro.accel.speculative``);
+* a genuine inline integration: the read-modify-write optimization driven
+  by a Cosmos predictor inside each directory, measured as real message
+  and simulated-time savings (``repro.accel.integration``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable
+
+from ..accel.integration import AccelerationComparison, compare_acceleration
+from ..accel.speculative import SpeculationReport, replay_with_speculation
+from ..analysis.report import render_table
+from ..core.config import CosmosConfig
+from .common import get_trace, iterations_for, workload_for
+
+
+#: The inline action modes compared by the experiment.
+ACTION_MODES = {
+    "grant": dict(grant_exclusive=True, push_data=False),
+    "push": dict(grant_exclusive=False, push_data=True),
+    "both": dict(grant_exclusive=True, push_data=True),
+}
+
+
+@dataclass(frozen=True)
+class IntegrationResult:
+    """Model-based and inline acceleration results per application."""
+
+    model_reports: Dict[str, SpeculationReport]
+    inline_comparisons: Dict[str, AccelerationComparison]
+
+    def format(self) -> str:
+        headers = [
+            "Application",
+            "accuracy",
+            "model speedup",
+            "replay speedup",
+        ]
+        body = []
+        for app, report in self.model_reports.items():
+            body.append(
+                [
+                    app,
+                    f"{report.measured_accuracy:.1%}",
+                    f"{report.model_speedup:.2f}x",
+                    f"{report.measured_speedup:.2f}x",
+                ]
+            )
+        text = render_table(
+            headers,
+            body,
+            title=(
+                "Section 4.4 model applied to measured outcomes "
+                f"(f={next(iter(self.model_reports.values())).f}, "
+                f"r={next(iter(self.model_reports.values())).r})"
+            )
+            if self.model_reports
+            else "",
+        )
+        if self.inline_comparisons:
+            headers2 = [
+                "Application/mode",
+                "msgs (plain)",
+                "msgs (predictive)",
+                "reduction",
+                "grants",
+                "pushes",
+                "stall cut",
+                "time speedup",
+            ]
+            body2 = []
+            for label, cmp in self.inline_comparisons.items():
+                body2.append(
+                    [
+                        label,
+                        cmp.baseline_messages,
+                        cmp.accelerated_messages,
+                        f"{cmp.message_reduction:.1%}",
+                        cmp.exclusive_grants,
+                        cmp.pushes,
+                        f"{cmp.stall_reduction:+.1%}",
+                        f"{cmp.time_speedup:.3f}x",
+                    ]
+                )
+            text += "\n\n" + render_table(
+                headers2,
+                body2,
+                title=(
+                    "Inline integration (Table 2 actions): exclusive "
+                    "grants on predicted upgrades, data pushes to "
+                    "predicted consumers"
+                ),
+            )
+        return text
+
+
+def run_integration(
+    model_apps: Iterable[str] = ("appbt", "moldyn", "unstructured"),
+    inline_apps: Iterable[str] = ("appbt", "moldyn"),
+    f: float = 0.3,
+    r: float = 0.5,
+    depth: int = 2,
+    seed: int = 0,
+    quick: bool = False,
+) -> IntegrationResult:
+    """Measure model-based and inline acceleration."""
+    config = CosmosConfig(depth=depth)
+    model_reports: Dict[str, SpeculationReport] = {}
+    for app in model_apps:
+        events = get_trace(app, seed=seed, quick=quick)
+        model_reports[app] = replay_with_speculation(
+            events, config=config, f=f, r=r
+        )
+    inline_comparisons: Dict[str, AccelerationComparison] = {}
+    for app in inline_apps:
+        for mode, action_kwargs in ACTION_MODES.items():
+            inline_comparisons[f"{app}/{mode}"] = compare_acceleration(
+                lambda app=app: workload_for(app, quick),
+                iterations=iterations_for(app, quick),
+                seed=seed,
+                config=config,
+                **action_kwargs,
+            )
+    return IntegrationResult(
+        model_reports=model_reports, inline_comparisons=inline_comparisons
+    )

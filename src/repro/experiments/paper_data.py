@@ -1,0 +1,85 @@
+"""The paper's published numbers, for side-by-side comparison.
+
+Transcribed from Mukherjee & Hill (ISCA 1998).  Our reproduction runs on
+a synthetic substrate, so absolute values differ; experiments print these
+next to measured values and EXPERIMENTS.md audits the qualitative claims.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+#: Table 5 -- prediction rate (%) per application x MHR depth:
+#: (cache, directory, overall).
+PAPER_TABLE5: Dict[str, Dict[int, Tuple[int, int, int]]] = {
+    "appbt": {1: (91, 77, 84), 2: (90, 79, 85), 3: (89, 80, 85), 4: (89, 80, 85)},
+    "barnes": {1: (80, 42, 62), 2: (81, 56, 69), 3: (79, 57, 69), 4: (78, 56, 68)},
+    "dsmc": {1: (94, 73, 84), 2: (95, 77, 86), 3: (94, 92, 93), 4: (94, 92, 93)},
+    "moldyn": {1: (92, 79, 86), 2: (91, 80, 86), 3: (90, 79, 85), 4: (90, 77, 84)},
+    "unstructured": {
+        1: (85, 65, 74),
+        2: (90, 86, 88),
+        3: (90, 88, 89),
+        4: (96, 88, 92),
+    },
+}
+
+#: Table 6 -- overall prediction rate (%) per application x MHR depth x
+#: filter saturating-counter maximum (0 = no filter).
+PAPER_TABLE6: Dict[str, Dict[int, Dict[int, int]]] = {
+    "appbt": {1: {0: 84, 1: 85, 2: 85}, 2: {0: 85, 1: 85, 2: 86}},
+    "barnes": {1: {0: 62, 1: 66, 2: 66}, 2: {0: 69, 1: 71, 2: 71}},
+    "dsmc": {1: {0: 84, 1: 86, 2: 86}, 2: {0: 86, 1: 88, 2: 88}},
+    "moldyn": {1: {0: 86, 1: 86, 2: 86}, 2: {0: 86, 1: 86, 2: 86}},
+    "unstructured": {1: {0: 74, 1: 78, 2: 78}, 2: {0: 88, 1: 89, 2: 89}},
+}
+
+#: Table 7 -- memory overhead per application x MHR depth:
+#: (PHT/MHR ratio, overhead % of a 128-byte block).
+PAPER_TABLE7: Dict[str, Dict[int, Tuple[float, float]]] = {
+    "appbt": {1: (1.2, 5.4), 2: (1.4, 9.6), 3: (1.9, 16.4), 4: (2.6, 26.5)},
+    "barnes": {1: (3.8, 13.5), 2: (6.9, 35.4), 3: (9.3, 63.0), 4: (10.9, 91.8)},
+    "dsmc": {1: (0.8, 3.9), 2: (0.4, 5.1), 3: (0.3, 6.7), 4: (0.3, 8.9)},
+    "moldyn": {1: (0.8, 4.0), 2: (1.1, 8.3), 3: (1.6, 14.9), 4: (2.0, 21.6)},
+    "unstructured": {
+        1: (1.7, 6.8),
+        2: (2.1, 12.8),
+        3: (2.8, 21.9),
+        4: (3.4, 33.0),
+    },
+}
+
+#: Table 8 -- dsmc per-transition cumulative (hits %, refs %) after
+#: 4 / 80 / 320 iterations, depth-1 filterless Cosmos.  Keys are
+#: (previous message type name, current message type name) at the role
+#: the transition belongs to.
+PAPER_TABLE8: Dict[Tuple[str, str], Dict[int, Tuple[int, int]]] = {
+    ("get_ro_response", "upgrade_response"): {
+        4: (2, 20),
+        80: (34, 4),
+        320: (62, 2),
+    },
+    ("get_ro_request", "inval_rw_response"): {
+        4: (2, 25),
+        80: (18, 13),
+        320: (30, 12),
+    },
+    ("inval_rw_response", "upgrade_request"): {
+        4: (1, 19),
+        80: (18, 4),
+        320: (35, 1),
+    },
+}
+
+#: Section 6.2 -- approximate iterations to steady-state prediction rates.
+PAPER_TIME_TO_ADAPT: Dict[str, int] = {
+    "appbt": 30,
+    "barnes": 20,
+    "dsmc": 300,
+    "moldyn": 30,
+    "unstructured": 20,
+}
+
+#: Section 4.4 -- the quoted example point of the speedup model:
+#: p = 0.8, f = 0.3, r = 1.0 gives a 56% speedup.
+PAPER_FIGURE5_EXAMPLE = {"p": 0.8, "f": 0.3, "r": 1.0, "speedup_percent": 56}

@@ -1,0 +1,165 @@
+"""Experiment: machine-size scaling and seed robustness.
+
+Two beyond-paper sanity studies:
+
+* **Scaling** -- the paper fixes the machine at 16 nodes.  The workload
+  models are parameterized by processor count, so we can ask whether
+  Cosmos' accuracy is an artifact of that size.  More nodes mean more
+  distinct senders (a larger tuple alphabet) and wider sharing sets, so
+  directory-side accuracy should erode gently -- not collapse.
+* **Seeds** -- every simulation is seeded; the calibrated results must
+  not hinge on one lucky seed.  We report mean and spread of overall
+  accuracy across several seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from ..analysis.report import render_table
+from ..core.config import CosmosConfig
+from ..core.evaluation import evaluate_trace
+from ..sim.machine import simulate
+from ..sim.params import PAPER_PARAMS, SystemParams
+from ..workloads.registry import make_workload
+from .common import _SCALE_KWARGS, iterations_for
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """Accuracy at one machine size."""
+
+    n_nodes: int
+    cache: float
+    directory: float
+    overall: float
+    messages: int
+
+
+@dataclass(frozen=True)
+class ScalingResult:
+    """Accuracy across machine sizes per application."""
+
+    points: Dict[str, List[ScalingPoint]]
+    depth: int
+
+    def format(self) -> str:
+        headers = ["Application", "nodes", "C", "D", "O", "messages"]
+        body = []
+        for app, app_points in self.points.items():
+            for point in app_points:
+                body.append(
+                    [
+                        app,
+                        point.n_nodes,
+                        f"{point.cache:.0f}",
+                        f"{point.directory:.0f}",
+                        f"{point.overall:.0f}",
+                        point.messages,
+                    ]
+                )
+        return render_table(
+            headers,
+            body,
+            title=(
+                f"Machine-size scaling: Cosmos accuracy (%) at depth "
+                f"{self.depth}"
+            ),
+        )
+
+
+def run_scaling(
+    apps: Iterable[str] = ("moldyn", "unstructured"),
+    node_counts: Iterable[int] = (4, 8, 16, 32),
+    depth: int = 2,
+    seed: int = 0,
+    quick: bool = True,
+) -> ScalingResult:
+    """Sweep the machine size; workloads re-partition automatically."""
+    config = CosmosConfig(depth=depth)
+    points: Dict[str, List[ScalingPoint]] = {}
+    for app in apps:
+        points[app] = []
+        for n_nodes in node_counts:
+            kwargs = dict(_SCALE_KWARGS[app]) if quick else {}
+            workload = make_workload(app, n_procs=n_nodes, **kwargs)
+            params = SystemParams(n_nodes=n_nodes)
+            collector = simulate(
+                workload,
+                iterations=iterations_for(app, quick),
+                params=params,
+                seed=seed,
+            )
+            events = collector.events
+            result = evaluate_trace(events, config, track_arcs=False)
+            points[app].append(
+                ScalingPoint(
+                    n_nodes=n_nodes,
+                    cache=100.0 * result.cache_accuracy,
+                    directory=100.0 * result.directory_accuracy,
+                    overall=100.0 * result.overall_accuracy,
+                    messages=len(events),
+                )
+            )
+    return ScalingResult(points=points, depth=depth)
+
+
+@dataclass(frozen=True)
+class SeedStudyResult:
+    """Accuracy spread across seeds per application."""
+
+    accuracies: Dict[str, List[float]]
+    depth: int
+
+    def spread(self, app: str) -> float:
+        values = self.accuracies[app]
+        return max(values) - min(values)
+
+    def format(self) -> str:
+        headers = ["Application", "mean O", "min", "max", "spread", "seeds"]
+        body = []
+        for app, values in self.accuracies.items():
+            body.append(
+                [
+                    app,
+                    f"{sum(values) / len(values):.1f}",
+                    f"{min(values):.1f}",
+                    f"{max(values):.1f}",
+                    f"{self.spread(app):.1f}",
+                    len(values),
+                ]
+            )
+        return render_table(
+            headers,
+            body,
+            title=(
+                f"Seed robustness: overall accuracy (%) at depth "
+                f"{self.depth} across seeds"
+            ),
+        )
+
+
+def run_seed_study(
+    apps: Iterable[str] = ("appbt", "barnes", "moldyn"),
+    seeds: Iterable[int] = (0, 1, 2, 3, 4),
+    depth: int = 1,
+    quick: bool = True,
+) -> SeedStudyResult:
+    """Re-run each application under several seeds."""
+    config = CosmosConfig(depth=depth)
+    accuracies: Dict[str, List[float]] = {}
+    for app in apps:
+        accuracies[app] = []
+        for seed in seeds:
+            kwargs = dict(_SCALE_KWARGS[app]) if quick else {}
+            collector = simulate(
+                make_workload(app, **kwargs),
+                iterations=iterations_for(app, quick),
+                seed=seed,
+            )
+            result = evaluate_trace(
+                collector.events, config, track_arcs=False
+            )
+            accuracies[app].append(100.0 * result.overall_accuracy)
+    return SeedStudyResult(accuracies=accuracies, depth=depth)

@@ -1,0 +1,71 @@
+"""Experiment: Table 5 -- prediction rates per application and MHR depth."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..analysis.accuracy import AccuracyRow, depth_sweep
+from ..analysis.report import render_table
+from ..workloads.registry import BENCHMARK_NAMES
+from .common import get_trace
+from .paper_data import PAPER_TABLE5
+
+
+@dataclass(frozen=True)
+class Table5Result:
+    """Measured Table 5: app -> depth -> (cache, directory, overall) %."""
+
+    rows: Dict[str, List[AccuracyRow]]
+
+    def cell(self, app: str, depth: int) -> AccuracyRow:
+        for row in self.rows[app]:
+            if row.depth == depth:
+                return row
+        raise KeyError(f"no depth-{depth} row for {app}")
+
+    def format(self, with_paper: bool = True) -> str:
+        headers: List[str] = ["Depth of MHR"]
+        for app in self.rows:
+            headers.extend([f"{app}:C", f"{app}:D", f"{app}:O"])
+        depths = sorted({row.depth for rows in self.rows.values() for row in rows})
+        body: List[List[object]] = []
+        for depth in depths:
+            line: List[object] = [depth]
+            for app in self.rows:
+                cell = self.cell(app, depth)
+                line.extend(
+                    [f"{cell.cache:.0f}", f"{cell.directory:.0f}", f"{cell.overall:.0f}"]
+                )
+            body.append(line)
+        text = render_table(
+            headers,
+            body,
+            title="Table 5: Cosmos prediction rates (%), C=cache D=directory O=overall",
+        )
+        if with_paper:
+            paper_body: List[List[object]] = []
+            for depth in depths:
+                line = [depth]
+                for app in self.rows:
+                    c, d, o = PAPER_TABLE5[app][depth]
+                    line.extend([c, d, o])
+                paper_body.append(line)
+            text += "\n\n" + render_table(
+                headers, paper_body, title="Paper's Table 5 (for reference)"
+            )
+        return text
+
+
+def run_table5(
+    apps: Iterable[str] = BENCHMARK_NAMES,
+    depths: Iterable[int] = (1, 2, 3, 4),
+    seed: int = 0,
+    quick: bool = False,
+) -> Table5Result:
+    """Regenerate Table 5 from fresh (or cached) simulations."""
+    rows: Dict[str, List[AccuracyRow]] = {}
+    for app in apps:
+        events = get_trace(app, seed=seed, quick=quick)
+        rows[app] = depth_sweep(events, depths=depths)
+    return Table5Result(rows=rows)

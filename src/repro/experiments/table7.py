@@ -1,0 +1,74 @@
+"""Experiment: Table 7 -- memory overhead of Cosmos predictors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from ..analysis.overhead import OverheadRow, overhead_sweep
+from ..analysis.report import render_table
+from ..workloads.registry import BENCHMARK_NAMES
+from .common import get_trace
+from .paper_data import PAPER_TABLE7
+
+
+@dataclass(frozen=True)
+class Table7Result:
+    """Measured Table 7: app -> [OverheadRow per depth]."""
+
+    rows: Dict[str, List[OverheadRow]]
+
+    def cell(self, app: str, depth: int) -> OverheadRow:
+        for row in self.rows[app]:
+            if row.depth == depth:
+                return row
+        raise KeyError(f"no depth-{depth} row for {app}")
+
+    def format(self, with_paper: bool = True) -> str:
+        headers: List[object] = ["Depth of MHR"]
+        for app in self.rows:
+            headers.extend([f"{app}:Ratio", f"{app}:Ovhd"])
+        depths = sorted({row.depth for rows in self.rows.values() for row in rows})
+        body: List[List[object]] = []
+        for depth in depths:
+            line: List[object] = [depth]
+            for app in self.rows:
+                cell = self.cell(app, depth)
+                line.extend(
+                    [f"{cell.ratio:.1f}", f"{cell.overhead_percent:.1f}%"]
+                )
+            body.append(line)
+        text = render_table(
+            headers,
+            body,
+            title=(
+                "Table 7: memory overhead (Ratio = PHT entries / MHR "
+                "entries; Ovhd per 128-byte block)"
+            ),
+        )
+        if with_paper:
+            paper_body: List[List[object]] = []
+            for depth in depths:
+                line = [depth]
+                for app in self.rows:
+                    ratio, ovhd = PAPER_TABLE7[app][depth]
+                    line.extend([f"{ratio:.1f}", f"{ovhd:.1f}%"])
+                paper_body.append(line)
+            text += "\n\n" + render_table(
+                headers, paper_body, title="Paper's Table 7 (for reference)"
+            )
+        return text
+
+
+def run_table7(
+    apps: Iterable[str] = BENCHMARK_NAMES,
+    depths: Iterable[int] = (1, 2, 3, 4),
+    seed: int = 0,
+    quick: bool = False,
+) -> Table7Result:
+    """Regenerate Table 7 (PHT/MHR ratios and per-block overhead)."""
+    rows: Dict[str, List[OverheadRow]] = {}
+    for app in apps:
+        events = get_trace(app, seed=seed, quick=quick)
+        rows[app] = overhead_sweep(events, depths=depths)
+    return Table7Result(rows=rows)

@@ -1,0 +1,132 @@
+"""Experiment: Table 8 -- dsmc's slow-adapting transitions.
+
+Tracks three named dsmc transitions with a depth-1 filterless Cosmos at
+cumulative checkpoints of 4, 80, and 320 iterations, plus the overall
+time-to-adapt curves of Section 6.2 for every application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..analysis.adaptation import (
+    AdaptationCurve,
+    Transition,
+    TransitionSnapshot,
+    accuracy_curve,
+    transition_progress,
+)
+from ..analysis.report import render_table
+from ..core.config import CosmosConfig
+from ..protocol.messages import MessageType, Role
+from ..workloads.registry import BENCHMARK_NAMES
+from .common import DEFAULT_ITERATIONS, get_trace
+from .paper_data import PAPER_TABLE8, PAPER_TIME_TO_ADAPT
+
+#: The three transitions of the paper's Table 8.  The first lives at the
+#: cache (responses are cache-bound); the other two at the directory.
+TABLE8_TRANSITIONS: Tuple[Transition, ...] = (
+    (Role.CACHE, MessageType.GET_RO_RESPONSE, MessageType.UPGRADE_RESPONSE),
+    (Role.DIRECTORY, MessageType.GET_RO_REQUEST, MessageType.INVAL_RW_RESPONSE),
+    (Role.DIRECTORY, MessageType.INVAL_RW_RESPONSE, MessageType.UPGRADE_REQUEST),
+)
+
+#: The paper's cumulative checkpoints.
+TABLE8_CHECKPOINTS: Tuple[int, ...] = (4, 80, 320)
+
+
+@dataclass(frozen=True)
+class Table8Result:
+    """Measured Table 8 plus per-application adaptation curves."""
+
+    progress: Dict[Transition, List[TransitionSnapshot]]
+    curves: Dict[str, AdaptationCurve]
+
+    def format(self, with_paper: bool = True) -> str:
+        headers: List[object] = ["Transition"]
+        checkpoints = sorted(
+            {s.iteration for snaps in self.progress.values() for s in snaps}
+        )
+        for iteration in checkpoints:
+            headers.extend([f"{iteration}it:hits", f"{iteration}it:refs"])
+        body: List[List[object]] = []
+        for transition, snaps in self.progress.items():
+            _role, src, dst = transition
+            line: List[object] = [f"<{src}, {dst}>"]
+            by_iter = {s.iteration: s for s in snaps}
+            for iteration in checkpoints:
+                snap = by_iter.get(iteration)
+                if snap is None:
+                    line.extend(["-", "-"])
+                else:
+                    line.extend(
+                        [f"{snap.hits_percent:.0f}%", f"{snap.refs_percent:.0f}%"]
+                    )
+            body.append(line)
+        text = render_table(
+            headers,
+            body,
+            title=(
+                "Table 8: dsmc per-transition cumulative accuracy "
+                "(depth-1, no filter)"
+            ),
+        )
+        if with_paper:
+            paper_body: List[List[object]] = []
+            for (src_name, dst_name), cells in PAPER_TABLE8.items():
+                line: List[object] = [f"<{src_name}, {dst_name}>"]
+                for iteration in TABLE8_CHECKPOINTS:
+                    hits, refs = cells[iteration]
+                    line.extend([f"{hits}%", f"{refs}%"])
+                paper_body.append(line)
+            text += "\n\n" + render_table(
+                headers, paper_body, title="Paper's Table 8 (for reference)"
+            )
+        if self.curves:
+            curve_headers = ["Application", "steady-state iteration", "paper (~)"]
+            curve_body = []
+            for app, curve in self.curves.items():
+                curve_body.append(
+                    [
+                        app,
+                        str(curve.steady_state_iteration(tolerance=2.0)),
+                        str(PAPER_TIME_TO_ADAPT.get(app, "-")),
+                    ]
+                )
+            text += "\n\n" + render_table(
+                curve_headers,
+                curve_body,
+                title="Time to adapt (Section 6.2): iterations to reach "
+                "within 2 points of final accuracy",
+            )
+        return text
+
+
+def run_table8(
+    checkpoints: Iterable[int] = TABLE8_CHECKPOINTS,
+    curve_apps: Iterable[str] = BENCHMARK_NAMES,
+    seed: int = 0,
+    quick: bool = False,
+) -> Table8Result:
+    """Regenerate Table 8 and the time-to-adapt summary."""
+    checkpoints = tuple(checkpoints)
+    iterations = max(max(checkpoints), DEFAULT_ITERATIONS["dsmc"])
+    if quick:
+        checkpoints = tuple(c for c in checkpoints if c <= 100) or (4,)
+        iterations = max(max(checkpoints), 100)
+    dsmc_events = get_trace("dsmc", iterations=iterations, seed=seed, quick=quick)
+    progress = transition_progress(
+        dsmc_events,
+        TABLE8_TRANSITIONS,
+        checkpoints,
+        config=CosmosConfig(depth=1),
+    )
+    curves: Dict[str, AdaptationCurve] = {}
+    for app in curve_apps:
+        events = get_trace(app, seed=seed, quick=quick)
+        last = max(event.iteration for event in events) if events else 1
+        marks = sorted({1, 2, 4, 8, 16, 24, 32, 48, 64, 96, 128, 192, 256, 320, last})
+        marks = [m for m in marks if m <= last]
+        curves[app] = accuracy_curve(events, marks, config=CosmosConfig(depth=1))
+    return Table8Result(progress=progress, curves=curves)

@@ -1,0 +1,70 @@
+"""Common interface for coherence-message predictors.
+
+Every predictor -- Cosmos, the directed baselines, and the simple
+last-message/most-common baselines -- implements :class:`MessagePredictor`:
+given a block, produce a ``<sender, type>`` prediction (or none), and
+train on each observed message.  The shared :meth:`observe` drives the
+predict-score-train step the evaluation harness uses.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from ..core.predictor import Observation
+from ..core.tuples import MessageTuple
+
+
+class MessagePredictor(abc.ABC):
+    """Abstract coherence-message predictor for one cache/directory module."""
+
+    #: Short name used in comparison tables.
+    name: str = "predictor"
+
+    def __init__(self) -> None:
+        self.predictions = 0
+        self.hits = 0
+        self.no_prediction = 0
+
+    @abc.abstractmethod
+    def predict(self, block: int) -> Optional[MessageTuple]:
+        """Predict the next incoming ``<sender, type>`` for ``block``."""
+
+    @abc.abstractmethod
+    def update(self, block: int, actual: MessageTuple) -> None:
+        """Train on the reception of ``actual`` for ``block``."""
+
+    def observe(self, block: int, actual: MessageTuple) -> Observation:
+        """Predict, score, then train -- one message reception."""
+        predicted = self.predict(block)
+        if predicted is None:
+            self.no_prediction += 1
+        else:
+            self.predictions += 1
+            if predicted == actual:
+                self.hits += 1
+        self.update(block, actual)
+        return Observation(block=block, predicted=predicted, actual=actual)
+
+    @property
+    def accuracy(self) -> float:
+        """Hits over all references; no-predictions count as misses."""
+        total = self.predictions + self.no_prediction
+        return self.hits / total if total else 0.0
+
+    @property
+    def precision(self) -> float:
+        """Hits over the references where a prediction was actually made.
+
+        Directed predictors are silent off their signature, so their
+        precision can be high while their accuracy (coverage-weighted) is
+        low -- the trade-off Section 7 of the paper discusses.
+        """
+        return self.hits / self.predictions if self.predictions else 0.0
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of references for which a prediction was offered."""
+        total = self.predictions + self.no_prediction
+        return self.predictions / total if total else 0.0

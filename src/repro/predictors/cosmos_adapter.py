@@ -1,0 +1,38 @@
+"""Adapter presenting Cosmos through the common predictor interface.
+
+:class:`repro.core.predictor.CosmosPredictor` already implements
+``predict`` / ``update`` / ``observe`` with identical semantics; this
+adapter only adds the baseline-comparison conveniences (``name``,
+``precision``, ``coverage``) so Cosmos can line up beside the baselines
+in comparison tables without the core depending on this package.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.config import CosmosConfig
+from ..core.predictor import CosmosPredictor
+from ..core.tuples import MessageTuple
+from .base import MessagePredictor
+
+
+class CosmosAdapter(MessagePredictor):
+    """Cosmos wrapped as a :class:`MessagePredictor`."""
+
+    def __init__(self, config: CosmosConfig = CosmosConfig()) -> None:
+        super().__init__()
+        self._cosmos = CosmosPredictor(config)
+        self.name = f"cosmos-d{config.depth}" + (
+            f"-f{config.filter_max_count}" if config.has_filter else ""
+        )
+
+    @property
+    def cosmos(self) -> CosmosPredictor:
+        return self._cosmos
+
+    def predict(self, block: int) -> Optional[MessageTuple]:
+        return self._cosmos.predict(block)
+
+    def update(self, block: int, actual: MessageTuple) -> None:
+        self._cosmos.update(block, actual)

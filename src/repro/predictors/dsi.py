@@ -1,0 +1,71 @@
+"""Directed dynamic self-invalidation predictor (Lebeck & Wood style).
+
+Dynamic self-invalidation (DSI) identifies blocks whose exclusive copy
+will be invalidated by another node's subsequent miss, and gives them up
+early.  As an incoming-message signature at a cache (the paper's
+Figure 8a), the trigger is::
+
+    get_rw_response  ->  (predict) inval_rw_request
+
+a write miss whose freshly acquired exclusive copy is expected to be
+taken away next.  Like all directed predictors it is silent off its
+signature.  A block only starts triggering after it has "proved" the
+pattern ``history_needed`` times, mirroring DSI's version-number
+confidence scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.tuples import MessageTuple
+from ..protocol.messages import MessageType
+from .base import MessagePredictor
+
+
+class _BlockState:
+    __slots__ = ("last_type", "home", "confirmations", "armed")
+
+    def __init__(self) -> None:
+        self.last_type: Optional[MessageType] = None
+        self.home = -1
+        self.confirmations = 0
+        self.armed = False
+
+
+class DSIPredictor(MessagePredictor):
+    """Cache-side directed predictor for the self-invalidation signature."""
+
+    name = "dsi"
+
+    def __init__(self, history_needed: int = 1) -> None:
+        super().__init__()
+        if history_needed < 0:
+            raise ValueError("history_needed must be non-negative")
+        self.history_needed = history_needed
+        self._blocks: Dict[int, _BlockState] = {}
+
+    def predict(self, block: int) -> Optional[MessageTuple]:
+        state = self._blocks.get(block)
+        if state is None or not state.armed:
+            return None
+        if state.last_type is MessageType.GET_RW_RESPONSE and (
+            state.confirmations >= self.history_needed
+        ):
+            return (state.home, MessageType.INVAL_RW_REQUEST)
+        return None
+
+    def update(self, block: int, actual: MessageTuple) -> None:
+        sender, mtype = actual
+        state = self._blocks.get(block)
+        if state is None:
+            state = _BlockState()
+            self._blocks[block] = state
+        if state.last_type is MessageType.GET_RW_RESPONSE:
+            if mtype is MessageType.INVAL_RW_REQUEST:
+                state.confirmations += 1
+            else:
+                state.confirmations = 0
+        state.last_type = mtype
+        state.home = sender
+        state.armed = True

@@ -1,0 +1,88 @@
+"""Tournament Cosmos: adaptive history depth per block.
+
+The paper observes that deeper MHRs help some applications
+(unstructured: 74% -> 92%) and hurt or stall others (appbt is best at
+depth 1-2), and that "higher prediction accuracies may require greater
+MHR depths, which may result in larger amounts of memory" (Section 3.7).
+A natural follow-on -- borrowed from tournament branch predictors -- is
+to run a shallow and a deep Cosmos side by side and let a per-block
+chooser counter pick whichever has been right more recently.  The result
+tracks the better component per block, at the cost of both tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..core.config import CosmosConfig
+from ..core.predictor import CosmosPredictor
+from ..core.tuples import MessageTuple
+from .base import MessagePredictor
+
+
+class HybridCosmos(MessagePredictor):
+    """Shallow + deep Cosmos with a 2-bit per-block chooser."""
+
+    name = "cosmos-hybrid"
+
+    #: Chooser saturates in [0, 3]; <= 1 favours the shallow component.
+    _CHOOSER_MAX = 3
+    _CHOOSER_INIT = 1
+
+    def __init__(
+        self,
+        shallow: CosmosConfig = CosmosConfig(depth=1),
+        deep: CosmosConfig = CosmosConfig(depth=3),
+    ) -> None:
+        super().__init__()
+        if shallow.depth >= deep.depth:
+            raise ValueError("shallow depth must be below deep depth")
+        self.shallow = CosmosPredictor(shallow)
+        self.deep = CosmosPredictor(deep)
+        self._chooser: Dict[int, int] = {}
+        self.name = f"cosmos-hybrid-d{shallow.depth}d{deep.depth}"
+        self.shallow_selected = 0
+        self.deep_selected = 0
+
+    def _use_deep(self, block: int) -> bool:
+        return self._chooser.get(block, self._CHOOSER_INIT) > 1
+
+    def predict(self, block: int) -> Optional[MessageTuple]:
+        shallow_pred = self.shallow.predict(block)
+        deep_pred = self.deep.predict(block)
+        if self._use_deep(block):
+            # The deep component warms up later; fall back to shallow
+            # until it has something to say.
+            chosen = deep_pred if deep_pred is not None else shallow_pred
+        else:
+            chosen = shallow_pred if shallow_pred is not None else deep_pred
+        return chosen
+
+    def update(self, block: int, actual: MessageTuple) -> None:
+        shallow_pred = self.shallow.predict(block)
+        deep_pred = self.deep.predict(block)
+        if self._use_deep(block) and deep_pred is not None:
+            self.deep_selected += 1
+        elif shallow_pred is not None:
+            self.shallow_selected += 1
+        # Train the chooser only when the components disagree in
+        # correctness (the tournament-predictor rule).
+        shallow_hit = shallow_pred == actual
+        deep_hit = deep_pred == actual
+        if shallow_hit != deep_hit:
+            count = self._chooser.get(block, self._CHOOSER_INIT)
+            if deep_hit and count < self._CHOOSER_MAX:
+                self._chooser[block] = count + 1
+            elif shallow_hit and count > 0:
+                self._chooser[block] = count - 1
+        self.shallow.update(block, actual)
+        self.deep.update(block, actual)
+
+    @property
+    def mhr_entries(self) -> int:
+        """Combined table population (both components pay for storage)."""
+        return self.shallow.mhr_entries + self.deep.mhr_entries
+
+    @property
+    def pht_entries(self) -> int:
+        return self.shallow.pht_entries + self.deep.pht_entries

@@ -1,0 +1,31 @@
+"""Last-message baseline: predict that history repeats itself.
+
+The degenerate depth-0 predictor: the next message for a block will be
+identical to the last message received for it.  It captures pure
+same-message streaks (e.g., back-to-back ``get_ro_request`` bursts from
+the same consumer) and nothing else, making it the natural floor for
+Cosmos comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.tuples import MessageTuple
+from .base import MessagePredictor
+
+
+class LastMessagePredictor(MessagePredictor):
+    """Predicts the previous tuple verbatim."""
+
+    name = "last-message"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last: Dict[int, MessageTuple] = {}
+
+    def predict(self, block: int) -> Optional[MessageTuple]:
+        return self._last.get(block)
+
+    def update(self, block: int, actual: MessageTuple) -> None:
+        self._last[block] = actual

@@ -1,0 +1,60 @@
+"""Directed migratory-sharing predictor (Cox & Fowler / Stenstrom et al. style).
+
+Migratory protocols watch for the read-then-upgrade pattern of a block
+migrating between processors.  Expressed as an incoming-message signature
+at a cache (the paper's Figure 8b), the trigger is::
+
+    get_ro_response  ->  upgrade_response  ->  (predict) inval_rw_request
+
+i.e. once this node has read and then upgraded a block, the next message
+for it will be the invalidation induced by the next processor in the
+migration chain.  The predictor is *directed*: it predicts only when its
+signature matches and stays silent otherwise, exactly the behaviour the
+paper contrasts Cosmos against (Section 7).
+
+The implementation also closes the loop: after an ``inval_rw_request``
+the node's next message for the block (when it rejoins the migration) is
+a ``get_ro_response`` from the same home directory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..core.tuples import MessageTuple
+from ..protocol.messages import MessageType
+from .base import MessagePredictor
+
+
+class MigratoryPredictor(MessagePredictor):
+    """Cache-side directed predictor for the migratory signature."""
+
+    name = "migratory"
+
+    def __init__(self, predict_reacquire: bool = False) -> None:
+        super().__init__()
+        #: block -> (last type, previous type, home node).
+        self._state: Dict[int, Tuple[MessageType, Optional[MessageType], int]] = {}
+        self.predict_reacquire = predict_reacquire
+
+    def predict(self, block: int) -> Optional[MessageTuple]:
+        state = self._state.get(block)
+        if state is None:
+            return None
+        last, previous, home = state
+        if (
+            last is MessageType.UPGRADE_RESPONSE
+            and previous is MessageType.GET_RO_RESPONSE
+        ):
+            return (home, MessageType.INVAL_RW_REQUEST)
+        if self.predict_reacquire and last is MessageType.INVAL_RW_REQUEST:
+            return (home, MessageType.GET_RO_RESPONSE)
+        return None
+
+    def update(self, block: int, actual: MessageTuple) -> None:
+        sender, mtype = actual
+        state = self._state.get(block)
+        previous = state[0] if state is not None else None
+        # At a Stache cache every message comes from the one home
+        # directory, so the latest sender identifies the home.
+        self._state[block] = (mtype, previous, sender)

@@ -1,0 +1,39 @@
+"""Most-common baseline: predict each block's modal message.
+
+A frequency table per block; the prediction is the tuple observed most
+often so far.  This is the strongest *history-free* per-block predictor:
+beating it demonstrates that Cosmos exploits sequence structure, not just
+skewed message-type distributions.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Optional
+
+from ..core.tuples import MessageTuple
+from .base import MessagePredictor
+
+
+class MostCommonPredictor(MessagePredictor):
+    """Predicts the modal ``<sender, type>`` tuple of each block."""
+
+    name = "most-common"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._counts: Dict[int, Counter] = {}
+        self._mode: Dict[int, MessageTuple] = {}
+
+    def predict(self, block: int) -> Optional[MessageTuple]:
+        return self._mode.get(block)
+
+    def update(self, block: int, actual: MessageTuple) -> None:
+        counts = self._counts.get(block)
+        if counts is None:
+            counts = Counter()
+            self._counts[block] = counts
+        counts[actual] += 1
+        mode = self._mode.get(block)
+        if mode is None or counts[actual] > counts[mode]:
+            self._mode[block] = actual

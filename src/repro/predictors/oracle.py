@@ -1,0 +1,45 @@
+"""Oracle predictor: perfect one-step lookahead.
+
+Primed with the complete per-block message stream its module will
+receive, the oracle always predicts the true next tuple.  Its accuracy is
+1.0 by construction (once primed), which makes it the ceiling in
+comparison tables and a fixture for harness tests: any evaluation
+plumbing error shows up as oracle accuracy below 100%.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, Optional
+
+from ..core.tuples import MessageTuple
+from .base import MessagePredictor
+
+
+class OraclePredictor(MessagePredictor):
+    """Replays the future it was primed with."""
+
+    name = "oracle"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._future: Dict[int, Deque[MessageTuple]] = {}
+
+    def prime(self, block: int, tuples: Iterable[MessageTuple]) -> None:
+        """Append the upcoming tuples for ``block``, in arrival order."""
+        queue = self._future.get(block)
+        if queue is None:
+            queue = deque()
+            self._future[block] = queue
+        queue.extend(tuples)
+
+    def predict(self, block: int) -> Optional[MessageTuple]:
+        queue = self._future.get(block)
+        if not queue:
+            return None
+        return queue[0]
+
+    def update(self, block: int, actual: MessageTuple) -> None:
+        queue = self._future.get(block)
+        if queue and queue[0] == actual:
+            queue.popleft()

@@ -1,0 +1,48 @@
+"""Static-signature predictor: replay a known message signature.
+
+Given a fixed cyclic signature (e.g. the producer-consumer cycle of
+Figure 2 or the directed-optimization triggers of Figure 8), the
+predictor locates the current position in the cycle from the last
+observed tuple and predicts the next element.  It is the idealized
+"pattern known a priori" predictor the paper contrasts with Cosmos:
+perfect on its own signature, useless on anything else.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..core.tuples import MessageTuple
+from .base import MessagePredictor
+
+
+class StaticSignaturePredictor(MessagePredictor):
+    """Predicts by following one fixed cyclic signature."""
+
+    name = "static-signature"
+
+    def __init__(self, signature: Sequence[MessageTuple]) -> None:
+        super().__init__()
+        if not signature:
+            raise ValueError("signature must not be empty")
+        self._signature = list(signature)
+        #: successor of each tuple in the cycle; ambiguous (repeated)
+        #: tuples keep their *first* successor.
+        self._next: Dict[MessageTuple, MessageTuple] = {}
+        count = len(self._signature)
+        for index, tup in enumerate(self._signature):
+            self._next.setdefault(tup, self._signature[(index + 1) % count])
+        self._last: Dict[int, MessageTuple] = {}
+
+    @property
+    def signature(self) -> Sequence[MessageTuple]:
+        return tuple(self._signature)
+
+    def predict(self, block: int) -> Optional[MessageTuple]:
+        last = self._last.get(block)
+        if last is None:
+            return None
+        return self._next.get(last)
+
+    def update(self, block: int, actual: MessageTuple) -> None:
+        self._last[block] = actual

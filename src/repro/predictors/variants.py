@@ -1,0 +1,141 @@
+"""Cosmos variants explored in the paper's footnotes and taxonomy.
+
+* :class:`TypeOnlyCosmos` -- footnote 2: "a more aggressive predictor
+  could ignore the senders"; histories and predictions carry only the
+  message type.  Cheaper tables, but the prediction no longer identifies
+  *which* processor to act toward (footnote 3 explains why actions often
+  need the processor number), so its full-tuple accuracy is only defined
+  when the sender can be inferred -- we report it as a type-accuracy
+  predictor whose tuple predictions reuse the block's last sender.
+* :class:`GlobalHistoryCosmos` -- the GAp point of Yeh & Patt's
+  taxonomy: one *global* history register per module (not per block)
+  indexing per-block pattern tables.  It answers "does per-block history
+  matter?" -- per-block MHRs are exactly what distinguishes Cosmos' PAp
+  lineage.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..core.config import CosmosConfig
+from ..core.mhr import MessageHistoryRegister
+from ..core.pht import PatternHistoryTable
+from ..core.tuples import MessageTuple
+from ..protocol.messages import MessageType
+from .base import MessagePredictor
+
+
+class TypeOnlyCosmos(MessagePredictor):
+    """Cosmos over message types only (senders ignored in the history).
+
+    The type-level tables are indexed and trained purely on message
+    types.  To emit a full ``<sender, type>`` tuple the predictor pairs
+    the predicted type with the block's most recent sender -- exact for
+    Stache caches (one home) and a heuristic at directories.
+    """
+
+    name = "cosmos-type-only"
+
+    def __init__(self, config: CosmosConfig = CosmosConfig()) -> None:
+        super().__init__()
+        self.config = config
+        self._mht: Dict[int, MessageHistoryRegister] = {}
+        self._phts: Dict[int, PatternHistoryTable] = {}
+        self._last_sender: Dict[int, int] = {}
+        self.type_hits = 0
+        self.type_predictions = 0
+
+    def _predict_type(self, block: int) -> Optional[MessageType]:
+        mhr = self._mht.get(block)
+        if mhr is None:
+            return None
+        pattern = mhr.pattern()
+        if pattern is None:
+            return None
+        pht = self._phts.get(block)
+        if pht is None:
+            return None
+        return pht.predict(pattern)  # type: ignore[return-value]
+
+    def predict(self, block: int) -> Optional[MessageTuple]:
+        mtype = self._predict_type(block)
+        if mtype is None:
+            return None
+        sender = self._last_sender.get(block)
+        if sender is None:
+            return None
+        return (sender, mtype)
+
+    def update(self, block: int, actual: MessageTuple) -> None:
+        sender, mtype = actual
+        predicted_type = self._predict_type(block)
+        if predicted_type is not None:
+            self.type_predictions += 1
+            if predicted_type == mtype:
+                self.type_hits += 1
+        mhr = self._mht.get(block)
+        if mhr is None:
+            mhr = MessageHistoryRegister(self.config.depth)
+            self._mht[block] = mhr
+        pattern = mhr.pattern()
+        if pattern is not None:
+            pht = self._phts.get(block)
+            if pht is None:
+                pht = PatternHistoryTable(self.config.filter_max_count)
+                self._phts[block] = pht
+            pht.train(pattern, mtype)  # type: ignore[arg-type]
+        mhr.shift(mtype)  # type: ignore[arg-type]
+        self._last_sender[block] = sender
+
+    @property
+    def type_accuracy(self) -> float:
+        """Type-only accuracy over references where a type was predicted."""
+        if self.type_predictions == 0:
+            return 0.0
+        return self.type_hits / self.type_predictions
+
+    @property
+    def pht_entries(self) -> int:
+        return sum(len(pht) for pht in self._phts.values())
+
+
+class GlobalHistoryCosmos(MessagePredictor):
+    """GAp-style variant: one shared history register per module.
+
+    All blocks at the module shift into one MHR; each block still owns a
+    PHT indexed by that global pattern.  Interleaved traffic from many
+    blocks scrambles the global history, which is exactly why the paper
+    builds on the per-address PAp organization instead.
+    """
+
+    name = "cosmos-global-history"
+
+    def __init__(self, config: CosmosConfig = CosmosConfig()) -> None:
+        super().__init__()
+        self.config = config
+        self._global = MessageHistoryRegister(config.depth)
+        self._phts: Dict[int, PatternHistoryTable] = {}
+
+    def predict(self, block: int) -> Optional[MessageTuple]:
+        pattern = self._global.pattern()
+        if pattern is None:
+            return None
+        pht = self._phts.get(block)
+        if pht is None:
+            return None
+        return pht.predict(pattern)
+
+    def update(self, block: int, actual: MessageTuple) -> None:
+        pattern = self._global.pattern()
+        if pattern is not None:
+            pht = self._phts.get(block)
+            if pht is None:
+                pht = PatternHistoryTable(self.config.filter_max_count)
+                self._phts[block] = pht
+            pht.train(pattern, actual)
+        self._global.shift(actual)
+
+    @property
+    def pht_entries(self) -> int:
+        return sum(len(pht) for pht in self._phts.values())

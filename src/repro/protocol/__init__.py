@@ -1,0 +1,40 @@
+"""Coherence-protocol substrate: message vocabulary, states, and FSMs."""
+
+from .cache_ctrl import CacheController
+from .directory_ctrl import DirectoryController
+from .messages import (
+    CACHE_BOUND,
+    DIRECTORY_BOUND,
+    MESSAGE_DESCRIPTIONS,
+    TABLE1_TYPES,
+    Message,
+    MessageType,
+    Role,
+    format_table1,
+    parse_message_type,
+    receiver_role,
+)
+from .origin import OriginDirectoryController
+from .stache import DEFAULT_OPTIONS, StacheOptions
+from .state import CacheState, DirEntry, DirState
+
+__all__ = [
+    "CACHE_BOUND",
+    "DIRECTORY_BOUND",
+    "MESSAGE_DESCRIPTIONS",
+    "CacheController",
+    "CacheState",
+    "DEFAULT_OPTIONS",
+    "DirEntry",
+    "DirState",
+    "DirectoryController",
+    "Message",
+    "MessageType",
+    "OriginDirectoryController",
+    "Role",
+    "StacheOptions",
+    "TABLE1_TYPES",
+    "format_table1",
+    "parse_message_type",
+    "receiver_role",
+]

@@ -1,0 +1,337 @@
+"""Cache-side coherence controller.
+
+One controller per node manages the node's cache of *remote* blocks
+(blocks whose home directory is another node).  Accesses to blocks homed
+at the node itself never reach this controller; Stache serves them through
+the local directory (see :class:`repro.protocol.directory_ctrl.DirectoryController`).
+
+The controller is a finite-state machine over the stable states
+``invalid -> shared -> exclusive`` with a single outstanding transaction
+per block tracked separately (the processor model issues one access at a
+time, so at most one transaction is ever in flight per controller).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..errors import ProtocolError
+from .messages import Message, MessageType
+from .stache import DEFAULT_OPTIONS, StacheOptions
+from .state import CacheState
+
+#: Callback invoked when an access completes.
+DoneCallback = Callable[[], None]
+
+#: Callback invoked when a block is replaced (victim block address).
+ReplacementCallback = Callable[[int], None]
+
+
+@dataclass
+class _Outstanding:
+    """A miss transaction in flight from this cache."""
+
+    home: int
+    is_write: bool
+    done_cb: DoneCallback
+
+
+class CacheController:
+    """Per-node cache FSM for remote blocks."""
+
+    def __init__(
+        self,
+        node_id: int,
+        send: Callable[[Message], None],
+        options: StacheOptions = DEFAULT_OPTIONS,
+    ) -> None:
+        self.node_id = node_id
+        self._send = send
+        self._options = options
+        self._states: Dict[int, CacheState] = {}
+        self._outstanding: Dict[int, _Outstanding] = {}
+        # Finite-capacity mode (off by default: Stache never replaces).
+        self._n_sets: Optional[int] = None
+        self._block_bytes = 64
+        self._resident: Dict[int, int] = {}
+        self._on_replacement: Optional[ReplacementCallback] = None
+        #: Accept unsolicited read-only data pushed by a predictive
+        #: directory (producer-initiated communication, paper Table 2).
+        self.allow_pushed_data = False
+        self.pushed_blocks_accepted = 0
+        # Statistics
+        self.hits = 0
+        self.misses = 0
+        self.replacements = 0
+        self.pinned_evictions_skipped = 0
+
+    def configure_finite(
+        self,
+        n_sets: int,
+        block_bytes: int,
+        on_replacement: Optional[ReplacementCallback] = None,
+    ) -> None:
+        """Give the cache a finite direct-mapped capacity.
+
+        Stache itself never replaces remote blocks (Section 5.1); this
+        mode models a hardware cache instead.  Clean (shared) victims are
+        dropped silently -- the directory keeps believing this node is a
+        sharer and may still send it an ``inval_ro_request``, which the
+        cache acknowledges from the invalid state.  Dirty (exclusive)
+        victims are pinned: the Table 1 vocabulary has no writeback
+        message, so they stay resident until coherence recalls them,
+        slightly overcommitting the nominal capacity.
+        """
+        if n_sets < 1:
+            raise ProtocolError("a finite cache needs at least one set")
+        self._n_sets = n_sets
+        self._block_bytes = block_bytes
+        self._on_replacement = on_replacement
+
+    def _set_of(self, block: int) -> int:
+        assert self._n_sets is not None
+        return (block // self._block_bytes) % self._n_sets
+
+    def _allocate_slot(self, block: int) -> None:
+        """Make room for ``block``, evicting a clean victim if needed."""
+        if self._n_sets is None:
+            return
+        index = self._set_of(block)
+        victim = self._resident.get(index)
+        if victim is None or victim == block:
+            self._resident[index] = block
+            return
+        if (
+            self.state_of(victim) is CacheState.SHARED
+            and victim not in self._outstanding
+        ):
+            self._states[victim] = CacheState.INVALID
+            self.replacements += 1
+            self._resident[index] = block
+            if self._on_replacement is not None:
+                self._on_replacement(victim)
+        else:
+            # Dirty or in-flight victim: pinned (see configure_finite).
+            self.pinned_evictions_skipped += 1
+
+    def state_of(self, block: int) -> CacheState:
+        """Current stable state of ``block`` in this cache."""
+        return self._states.get(block, CacheState.INVALID)
+
+    def has_outstanding(self, block: int) -> bool:
+        return block in self._outstanding
+
+    # ------------------------------------------------------------------
+    # processor side
+    # ------------------------------------------------------------------
+
+    def access(
+        self, block: int, home: int, is_write: bool, done_cb: DoneCallback
+    ) -> bool:
+        """Issue a processor load or store.
+
+        Returns ``True`` when the access hits in the cache (the caller is
+        responsible for invoking ``done_cb`` after its hit latency);
+        returns ``False`` when a coherence transaction was started, in
+        which case ``done_cb`` fires when the response arrives.
+        """
+        if home == self.node_id:
+            raise ProtocolError(
+                f"block 0x{block:x} is homed at node {home}; home accesses "
+                "must go through the local directory"
+            )
+        state = self.state_of(block)
+        if state is CacheState.EXCLUSIVE or (
+            state is CacheState.SHARED and not is_write
+        ):
+            self.hits += 1
+            return True
+
+        self.misses += 1
+        if block in self._outstanding:
+            raise ProtocolError(
+                f"node {self.node_id} issued an access to block 0x{block:x} "
+                "with a transaction already outstanding"
+            )
+        self._allocate_slot(block)
+        self._outstanding[block] = _Outstanding(
+            home=home, is_write=is_write, done_cb=done_cb
+        )
+        if is_write and state is CacheState.SHARED:
+            request = MessageType.UPGRADE_REQUEST
+        elif is_write:
+            request = MessageType.GET_RW_REQUEST
+        else:
+            request = MessageType.GET_RO_REQUEST
+        self._send(
+            Message(src=self.node_id, dst=home, mtype=request, block=block)
+        )
+        return False
+
+    # ------------------------------------------------------------------
+    # network side
+    # ------------------------------------------------------------------
+
+    def handle_message(self, msg: Message) -> None:
+        """Process a message delivered to this cache module."""
+        handler = self._HANDLERS.get(msg.mtype)
+        if handler is None:
+            raise ProtocolError(
+                f"cache at node {self.node_id} received non-cache-bound "
+                f"message {msg}"
+            )
+        handler(self, msg)
+
+    def _complete(self, block: int, new_state: CacheState) -> None:
+        txn = self._outstanding.pop(block, None)
+        if txn is None:
+            raise ProtocolError(
+                f"node {self.node_id} received a data response for block "
+                f"0x{block:x} with no outstanding transaction"
+            )
+        self._states[block] = new_state
+        txn.done_cb()
+
+    def _on_get_ro_response(self, msg: Message) -> None:
+        txn = self._outstanding.get(msg.block)
+        if txn is None and self.allow_pushed_data:
+            # Unsolicited push from a predictive directory: install the
+            # copy; the next local read will hit.
+            if self.state_of(msg.block) is CacheState.INVALID:
+                self._allocate_slot(msg.block)
+                self._states[msg.block] = CacheState.SHARED
+                self.pushed_blocks_accepted += 1
+            return
+        if txn is not None and txn.is_write and self.allow_pushed_data:
+            # A push raced our write miss; read-only data cannot satisfy
+            # a store, so drop it and keep waiting for the rw response.
+            return
+        self._complete(msg.block, CacheState.SHARED)
+
+    def _on_rw_response(self, msg: Message) -> None:
+        self._complete(msg.block, CacheState.EXCLUSIVE)
+
+    def _on_inval_ro_request(self, msg: Message) -> None:
+        state = self.state_of(msg.block)
+        if (
+            self._options.check_invariants
+            and state is not CacheState.SHARED
+            # A finite cache may have silently replaced the copy; the
+            # directory still expects (and gets) the acknowledgment.
+            and not (self._n_sets is not None and state is CacheState.INVALID)
+        ):
+            raise ProtocolError(
+                f"node {self.node_id} got inval_ro_request for block "
+                f"0x{msg.block:x} in state {state}"
+            )
+        self._states[msg.block] = CacheState.INVALID
+        self._send(
+            Message(
+                src=self.node_id,
+                dst=msg.src,
+                mtype=MessageType.INVAL_RO_RESPONSE,
+                block=msg.block,
+            )
+        )
+
+    def _on_inval_rw_request(self, msg: Message) -> None:
+        state = self.state_of(msg.block)
+        if self._options.check_invariants and state is not CacheState.EXCLUSIVE:
+            raise ProtocolError(
+                f"node {self.node_id} got inval_rw_request for block "
+                f"0x{msg.block:x} in state {state}"
+            )
+        self._states[msg.block] = CacheState.INVALID
+        self._send(
+            Message(
+                src=self.node_id,
+                dst=msg.src,
+                mtype=MessageType.INVAL_RW_RESPONSE,
+                block=msg.block,
+            )
+        )
+
+    def _on_fwd_get_ro_request(self, msg: Message) -> None:
+        # Origin forwarding: answer the requester directly, keep a shared
+        # copy, and close the transaction at the directory.
+        state = self.state_of(msg.block)
+        if self._options.check_invariants and state is not CacheState.EXCLUSIVE:
+            raise ProtocolError(
+                f"node {self.node_id} got fwd_get_ro_request for block "
+                f"0x{msg.block:x} in state {state}"
+            )
+        if msg.requester is None:
+            raise ProtocolError("forwarded request carries no requester")
+        self._states[msg.block] = CacheState.SHARED
+        self._send(
+            Message(
+                src=self.node_id,
+                dst=msg.requester,
+                mtype=MessageType.GET_RO_RESPONSE,
+                block=msg.block,
+            )
+        )
+        self._send(
+            Message(
+                src=self.node_id,
+                dst=msg.src,
+                mtype=MessageType.REVISION,
+                block=msg.block,
+            )
+        )
+
+    def _on_fwd_get_rw_request(self, msg: Message) -> None:
+        state = self.state_of(msg.block)
+        if self._options.check_invariants and state is not CacheState.EXCLUSIVE:
+            raise ProtocolError(
+                f"node {self.node_id} got fwd_get_rw_request for block "
+                f"0x{msg.block:x} in state {state}"
+            )
+        if msg.requester is None:
+            raise ProtocolError("forwarded request carries no requester")
+        self._states[msg.block] = CacheState.INVALID
+        self._send(
+            Message(
+                src=self.node_id,
+                dst=msg.requester,
+                mtype=MessageType.GET_RW_RESPONSE,
+                block=msg.block,
+            )
+        )
+        self._send(
+            Message(
+                src=self.node_id,
+                dst=msg.src,
+                mtype=MessageType.REVISION,
+                block=msg.block,
+            )
+        )
+
+    def _on_downgrade_request(self, msg: Message) -> None:
+        state = self.state_of(msg.block)
+        if self._options.check_invariants and state is not CacheState.EXCLUSIVE:
+            raise ProtocolError(
+                f"node {self.node_id} got downgrade_request for block "
+                f"0x{msg.block:x} in state {state}"
+            )
+        self._states[msg.block] = CacheState.SHARED
+        self._send(
+            Message(
+                src=self.node_id,
+                dst=msg.src,
+                mtype=MessageType.DOWNGRADE_RESPONSE,
+                block=msg.block,
+            )
+        )
+
+    _HANDLERS = {
+        MessageType.GET_RO_RESPONSE: _on_get_ro_response,
+        MessageType.GET_RW_RESPONSE: _on_rw_response,
+        MessageType.UPGRADE_RESPONSE: _on_rw_response,
+        MessageType.INVAL_RO_REQUEST: _on_inval_ro_request,
+        MessageType.INVAL_RW_REQUEST: _on_inval_rw_request,
+        MessageType.DOWNGRADE_REQUEST: _on_downgrade_request,
+        MessageType.FWD_GET_RO_REQUEST: _on_fwd_get_ro_request,
+        MessageType.FWD_GET_RW_REQUEST: _on_fwd_get_rw_request,
+    }

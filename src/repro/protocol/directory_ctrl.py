@@ -1,0 +1,334 @@
+"""Directory-side coherence controller.
+
+One controller per node serves the directory entries of all pages homed at
+that node.  It also plays Stache's "home pages double as local cache pages"
+role: loads and stores issued by the home node itself are served through
+:meth:`DirectoryController.local_access` with no request/response messages,
+though any invalidations they require of *remote* caches are real messages.
+
+Transactions on the same block are serialized: while one transaction is
+collecting invalidation acknowledgments, later requests for the block are
+queued.  This matches a blocking home directory and keeps every message in
+the paper's Table 1 vocabulary.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, Optional, Set
+
+from ..errors import ProtocolError
+from .messages import Message, MessageType
+from .stache import DEFAULT_OPTIONS, StacheOptions
+from .state import DirEntry, DirState
+
+DoneCallback = Callable[[], None]
+
+#: Request types a directory accepts.
+_REQUEST_TYPES = frozenset(
+    {
+        MessageType.GET_RO_REQUEST,
+        MessageType.GET_RW_REQUEST,
+        MessageType.UPGRADE_REQUEST,
+    }
+)
+
+#: Acknowledgment types that retire pending invalidations/downgrades.
+_ACK_TYPES = frozenset(
+    {
+        MessageType.INVAL_RO_RESPONSE,
+        MessageType.INVAL_RW_RESPONSE,
+        MessageType.DOWNGRADE_RESPONSE,
+    }
+)
+
+
+@dataclass
+class _Request:
+    """A directory request waiting to be processed (remote or home-local)."""
+
+    requester: int
+    is_write: bool
+    was_upgrade: bool
+    done_cb: Optional[DoneCallback]  # set only for home-local accesses
+
+    @property
+    def is_local(self) -> bool:
+        return self.done_cb is not None
+
+
+@dataclass
+class _Txn:
+    """An in-flight transaction collecting acknowledgments."""
+
+    request: _Request
+    pending_acks: Set[int]
+    final_owner: Optional[int]
+    final_sharers: Set[int]
+    reply_type: Optional[MessageType]
+
+
+class DirectoryController:
+    """Full-map directory FSM for blocks homed at one node."""
+
+    def __init__(
+        self,
+        node_id: int,
+        send: Callable[[Message], None],
+        options: StacheOptions = DEFAULT_OPTIONS,
+    ) -> None:
+        self.node_id = node_id
+        self._send = send
+        self._options = options
+        self._entries: Dict[int, DirEntry] = {}
+        self._active: Dict[int, _Txn] = {}
+        self._queues: Dict[int, Deque[_Request]] = {}
+        # Statistics
+        self.transactions = 0
+        self.local_hits = 0
+        self.invalidations_sent = 0
+
+    def entry_of(self, block: int) -> DirEntry:
+        """The directory entry for ``block`` (created on first use)."""
+        entry = self._entries.get(block)
+        if entry is None:
+            entry = DirEntry()
+            self._entries[block] = entry
+        return entry
+
+    def is_busy(self, block: int) -> bool:
+        return block in self._active
+
+    # ------------------------------------------------------------------
+    # home-node processor side
+    # ------------------------------------------------------------------
+
+    def local_hit(self, block: int, is_write: bool) -> bool:
+        """Would a home-node access to ``block`` complete without coherence?"""
+        if self.is_busy(block):
+            return False
+        entry = self.entry_of(block)
+        if entry.owner == self.node_id:
+            return True
+        return not is_write and self.node_id in entry.sharers
+
+    def local_access(
+        self, block: int, is_write: bool, done_cb: DoneCallback
+    ) -> bool:
+        """Issue a home-node load or store against a locally-homed block.
+
+        Returns ``True`` for an immediate hit (caller applies its hit
+        latency and invokes ``done_cb`` itself); ``False`` when coherence
+        work was required, in which case ``done_cb`` fires on completion.
+        """
+        if self.local_hit(block, is_write):
+            self.local_hits += 1
+            return True
+        request = _Request(
+            requester=self.node_id,
+            is_write=is_write,
+            was_upgrade=False,
+            done_cb=done_cb,
+        )
+        self._admit(block, request)
+        return False
+
+    # ------------------------------------------------------------------
+    # network side
+    # ------------------------------------------------------------------
+
+    def handle_message(self, msg: Message) -> None:
+        """Process a message delivered to this directory module."""
+        if msg.mtype in _REQUEST_TYPES:
+            request = _Request(
+                requester=msg.src,
+                is_write=msg.mtype is not MessageType.GET_RO_REQUEST,
+                was_upgrade=msg.mtype is MessageType.UPGRADE_REQUEST,
+                done_cb=None,
+            )
+            self._admit(msg.block, request)
+        elif msg.mtype in _ACK_TYPES:
+            self._on_ack(msg)
+        else:
+            raise ProtocolError(
+                f"directory at node {self.node_id} received non-directory "
+                f"message {msg}"
+            )
+
+    # ------------------------------------------------------------------
+    # transaction machinery
+    # ------------------------------------------------------------------
+
+    def _admit(self, block: int, request: _Request) -> None:
+        if self.is_busy(block):
+            self._queues.setdefault(block, deque()).append(request)
+            return
+        self._start(block, request)
+
+    def _start(self, block: int, request: _Request) -> None:
+        self.transactions += 1
+        entry = self.entry_of(block)
+        if self._options.check_invariants:
+            entry.check_invariants()
+
+        if request.is_write:
+            txn = self._start_write(block, entry, request)
+        else:
+            txn = self._start_read(block, entry, request)
+
+        if txn.pending_acks:
+            self._active[block] = txn
+        else:
+            self._finish(block, txn)
+
+    def _start_read(
+        self, block: int, entry: DirEntry, request: _Request
+    ) -> _Txn:
+        requester = request.requester
+        if self._options.check_invariants and entry.owner == requester:
+            raise ProtocolError(
+                f"read request for block 0x{block:x} from P{requester}, "
+                "which already owns it"
+            )
+        if requester in entry.sharers and not self._options.finite_caches:
+            if self._options.check_invariants:
+                raise ProtocolError(
+                    f"read request for block 0x{block:x} from P{requester}, "
+                    "which already holds a copy"
+                )
+        # With finite caches, a listed sharer may have silently replaced
+        # its copy; re-granting it is harmless.
+        pending: Set[int] = set()
+        if entry.owner is not None:
+            owner = entry.owner
+            if self._options.half_migratory:
+                # Ask the owner to give up its copy entirely.
+                final_sharers = {requester}
+                request_type = MessageType.INVAL_RW_REQUEST
+            else:
+                # DASH-style: demote the owner to shared.
+                final_sharers = {owner, requester}
+                request_type = MessageType.DOWNGRADE_REQUEST
+            if owner == self.node_id:
+                # Home's own copy: adjusted silently, no message.
+                pass
+            else:
+                self._send(
+                    Message(
+                        src=self.node_id,
+                        dst=owner,
+                        mtype=request_type,
+                        block=block,
+                    )
+                )
+                self.invalidations_sent += 1
+                pending.add(owner)
+        else:
+            final_sharers = set(entry.sharers)
+            final_sharers.add(requester)
+        reply = None if request.is_local else MessageType.GET_RO_RESPONSE
+        return _Txn(
+            request=request,
+            pending_acks=pending,
+            final_owner=None,
+            final_sharers=final_sharers,
+            reply_type=reply,
+        )
+
+    def _start_write(
+        self, block: int, entry: DirEntry, request: _Request
+    ) -> _Txn:
+        requester = request.requester
+        if self._options.check_invariants and entry.owner == requester:
+            raise ProtocolError(
+                f"write request for block 0x{block:x} from P{requester}, "
+                "which already owns it"
+            )
+        pending: Set[int] = set()
+        requester_was_sharer = requester in entry.sharers
+        for sharer in entry.sharers:
+            if sharer == requester:
+                continue
+            if sharer == self.node_id:
+                continue  # home's copy adjusted silently
+            self._send(
+                Message(
+                    src=self.node_id,
+                    dst=sharer,
+                    mtype=MessageType.INVAL_RO_REQUEST,
+                    block=block,
+                )
+            )
+            self.invalidations_sent += 1
+            pending.add(sharer)
+        if entry.owner is not None and entry.owner != self.node_id:
+            self._send(
+                Message(
+                    src=self.node_id,
+                    dst=entry.owner,
+                    mtype=MessageType.INVAL_RW_REQUEST,
+                    block=block,
+                )
+            )
+            self.invalidations_sent += 1
+            pending.add(entry.owner)
+        if request.is_local:
+            reply = None
+        elif request.was_upgrade and requester_was_sharer:
+            reply = MessageType.UPGRADE_RESPONSE
+        else:
+            # An upgrade whose requester lost its copy in the meantime is
+            # served as a full read-write miss.
+            reply = MessageType.GET_RW_RESPONSE
+        return _Txn(
+            request=request,
+            pending_acks=pending,
+            final_owner=requester,
+            final_sharers=set(),
+            reply_type=reply,
+        )
+
+    def _on_ack(self, msg: Message) -> None:
+        txn = self._active.get(msg.block)
+        if txn is None:
+            raise ProtocolError(
+                f"directory at node {self.node_id} received unexpected ack "
+                f"{msg}"
+            )
+        if msg.src not in txn.pending_acks:
+            raise ProtocolError(
+                f"directory at node {self.node_id} received duplicate or "
+                f"stray ack {msg}"
+            )
+        txn.pending_acks.discard(msg.src)
+        if not txn.pending_acks:
+            del self._active[msg.block]
+            self._finish(msg.block, txn)
+
+    def _finish(self, block: int, txn: _Txn) -> None:
+        entry = self.entry_of(block)
+        entry.owner = txn.final_owner
+        entry.sharers = txn.final_sharers
+        if self._options.check_invariants:
+            entry.check_invariants()
+        if txn.request.is_local:
+            assert txn.request.done_cb is not None
+            txn.request.done_cb()
+        elif txn.reply_type is not None:
+            self._send(
+                Message(
+                    src=self.node_id,
+                    dst=txn.request.requester,
+                    mtype=txn.reply_type,
+                    block=block,
+                )
+            )
+        # reply_type None on a remote request means another module (a
+        # forwarding owner) already answered the requester directly.
+        queue = self._queues.get(block)
+        if queue:
+            next_request = queue.popleft()
+            if not queue:
+                del self._queues[block]
+            self._start(block, next_request)

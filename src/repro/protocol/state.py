@@ -1,0 +1,73 @@
+"""Stable coherence states for caches and directory entries.
+
+Transient (in-flight) conditions are tracked by the controllers'
+transaction bookkeeping rather than encoded as extra enum states; the
+stable states below are the quiescent states the paper describes in
+Section 2.1.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Set
+
+from ..errors import ProtocolError
+
+
+class CacheState(enum.Enum):
+    """Quiescent state of a block in a (remote-data) cache."""
+
+    INVALID = "invalid"
+    SHARED = "shared"
+    EXCLUSIVE = "exclusive"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class DirState(enum.Enum):
+    """Quiescent state of a directory entry."""
+
+    IDLE = "idle"
+    SHARED = "shared"
+    EXCLUSIVE = "exclusive"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass
+class DirEntry:
+    """Full-map directory entry for one memory block.
+
+    The entry tracks every node holding a copy, including the home node
+    itself (Stache lets the home cache its own directory pages locally, so
+    home membership in ``sharers``/``owner`` models the home's local copy).
+    """
+
+    sharers: Set[int] = field(default_factory=set)
+    owner: Optional[int] = None
+
+    @property
+    def state(self) -> DirState:
+        """Derive the quiescent directory state from the pointer fields."""
+        if self.owner is not None:
+            return DirState.EXCLUSIVE
+        if self.sharers:
+            return DirState.SHARED
+        return DirState.IDLE
+
+    def check_invariants(self) -> None:
+        """Raise :class:`ProtocolError` if the entry is inconsistent."""
+        if self.owner is not None and self.sharers:
+            raise ProtocolError(
+                f"directory entry has owner P{self.owner} and sharers "
+                f"{sorted(self.sharers)} simultaneously"
+            )
+
+    def holders(self) -> Set[int]:
+        """All nodes currently holding a valid copy of the block."""
+        if self.owner is not None:
+            return {self.owner}
+        return set(self.sharers)

@@ -1,0 +1,23 @@
+"""Discrete-event machine simulator substrate."""
+
+from .engine import Engine
+from .machine import Machine, simulate
+from .memory_map import Allocator, MemoryMap
+from .network import Network
+from .node import Node
+from .params import PAPER_PARAMS, SystemParams
+from .stats import LatencySummary, summarize_latencies
+
+__all__ = [
+    "Allocator",
+    "Engine",
+    "LatencySummary",
+    "Machine",
+    "summarize_latencies",
+    "MemoryMap",
+    "Network",
+    "Node",
+    "PAPER_PARAMS",
+    "SystemParams",
+    "simulate",
+]

@@ -1,0 +1,234 @@
+"""The simulated 16-node shared-memory machine.
+
+:class:`Machine` ties together the event engine, the interconnect, the
+per-node cache and directory controllers, and a processor model that
+issues each workload's access streams.  Running a workload yields a
+coherence-message trace (one event per message *reception*, exactly what
+a Cosmos predictor would observe sitting beside each module).
+
+Processor model: within a phase, every processor walks its access list
+sequentially -- the next access issues after the previous one completes
+plus a small seeded think time.  The jitter in think times varies the
+interleaving of different processors' requests at the directories, which
+is the arrival-order variation Cosmos must adapt to (paper Section 3.5).
+A barrier separates phases and iterations; barrier traffic itself is not
+modeled (the paper excludes barrier variables from its traces).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..errors import SimulationError
+from ..protocol.messages import Message, Role
+from ..protocol.stache import DEFAULT_OPTIONS, StacheOptions
+from ..trace.collector import TraceCollector
+from ..workloads.access import Access, Phase
+from ..workloads.base import Workload
+from .engine import Engine
+from .memory_map import Allocator, MemoryMap
+from .network import Network
+from .node import Node
+from .params import PAPER_PARAMS, SystemParams
+
+#: Base think time between a processor's consecutive shared accesses (ns).
+_THINK_BASE_NS = 20
+#: Spread of the per-processor fixed speed offset (ns).  Real programs run
+#: the same loop every iteration, so a processor's relative pacing is
+#: stable; this offset makes arrival orders at the directories mostly
+#: repeatable across iterations.
+_PROC_OFFSET_NS = 150
+#: Small per-access jitter (ns): occasional order swaps between closely
+#: paced processors, the noise Cosmos must filter or adapt to.
+_THINK_JITTER_NS = 10
+#: Maximum initial stagger of processors at a phase start (ns).
+_PHASE_STAGGER_NS = 40
+#: Cache / local-memory hit latencies (ns).
+_CACHE_HIT_NS = 1
+
+
+class Machine:
+    """A directory-based shared-memory multiprocessor."""
+
+    def __init__(
+        self,
+        params: SystemParams = PAPER_PARAMS,
+        options: StacheOptions = DEFAULT_OPTIONS,
+        seed: int = 0,
+    ) -> None:
+        self.params = params
+        self.options = options
+        self.seed = seed
+        self.engine = Engine()
+        self.memory_map = MemoryMap(params)
+        self.collector = TraceCollector()
+        self.network = Network(self.engine, params, self._deliver)
+        self.nodes: List[Node] = [
+            Node(node_id, self.network.send, options)
+            for node_id in range(params.n_nodes)
+        ]
+        #: Replacement log in finite-cache mode: (time, node, block).
+        self.replacements: List[tuple] = []
+        if options.finite_caches:
+            n_sets = max(1, params.cache_bytes // params.cache_block_bytes)
+            for node in self.nodes:
+                node.cache.configure_finite(
+                    n_sets,
+                    params.cache_block_bytes,
+                    self._make_replacement_hook(node.node_id),
+                )
+        self._rng = random.Random(seed)
+        self._proc_offset = [
+            self._rng.randrange(0, _PROC_OFFSET_NS)
+            for _ in range(params.n_nodes)
+        ]
+        self._pending: List[List[Access]] = []
+        self._cursor: List[int] = []
+        self._issue_time: List[int] = [0] * params.n_nodes
+        self._was_miss: List[bool] = [False] * params.n_nodes
+        self.accesses_issued = 0
+        #: (latency_ns, was_coherence_miss) per completed shared access.
+        self.access_latencies: List[tuple] = []
+
+    def _make_replacement_hook(self, node_id: int):
+        def hook(block: int) -> None:
+            self.replacements.append((self.engine.now, node_id, block))
+
+        return hook
+
+    # ------------------------------------------------------------------
+    # message delivery
+    # ------------------------------------------------------------------
+
+    def _deliver(self, msg: Message) -> None:
+        self.collector.record(
+            time=self.engine.now,
+            node=msg.dst,
+            role=msg.role_at_receiver,
+            block=msg.block,
+            sender=msg.src,
+            mtype=msg.mtype,
+        )
+        self.nodes[msg.dst].receive(msg)
+
+    # ------------------------------------------------------------------
+    # processor model
+    # ------------------------------------------------------------------
+
+    def _run_phase(self, phase: Phase) -> None:
+        if len(phase) != self.params.n_nodes:
+            raise SimulationError(
+                f"phase has {len(phase)} processor streams for a "
+                f"{self.params.n_nodes}-node machine"
+            )
+        self._pending = [list(stream) for stream in phase]
+        self._cursor = [0] * self.params.n_nodes
+        for proc in range(self.params.n_nodes):
+            if self._pending[proc]:
+                stagger = self._proc_offset[proc] + self._rng.randrange(
+                    0, _PHASE_STAGGER_NS
+                )
+                self.engine.schedule(stagger, self._issue_next, proc)
+        self.engine.run()
+        for proc in range(self.params.n_nodes):
+            if self._cursor[proc] != len(self._pending[proc]):
+                raise SimulationError(
+                    f"processor {proc} finished a phase with accesses pending"
+                )
+
+    def _issue_next(self, proc: int) -> None:
+        stream = self._pending[proc]
+        index = self._cursor[proc]
+        if index >= len(stream):
+            return
+        access = stream[index]
+        self._cursor[proc] = index + 1
+        self.accesses_issued += 1
+        self._issue_time[proc] = self.engine.now
+        # Assume a miss before dispatching: a miss's done_cb may fire
+        # synchronously (e.g. an idle local directory entry).
+        self._was_miss[proc] = True
+        home = self.memory_map.home_of(access.block)
+        node = self.nodes[proc]
+        if home == proc:
+            hit = node.directory.local_access(
+                access.block, access.is_write, lambda: self._completed(proc)
+            )
+            if hit:
+                self._was_miss[proc] = False
+                self.engine.schedule(
+                    self.params.memory_access_ns, self._completed, proc
+                )
+        else:
+            hit = node.cache.access(
+                access.block,
+                home,
+                access.is_write,
+                lambda: self._completed(proc),
+            )
+            if hit:
+                self._was_miss[proc] = False
+                self.engine.schedule(_CACHE_HIT_NS, self._completed, proc)
+
+    def _completed(self, proc: int) -> None:
+        self.access_latencies.append(
+            (self.engine.now - self._issue_time[proc], self._was_miss[proc])
+        )
+        think = (
+            _THINK_BASE_NS
+            + self._proc_offset[proc]
+            + self._rng.randrange(0, _THINK_JITTER_NS)
+        )
+        self.engine.schedule(think, self._issue_next, proc)
+
+    # ------------------------------------------------------------------
+    # workload driving
+    # ------------------------------------------------------------------
+
+    def run_workload(
+        self,
+        workload: Workload,
+        iterations: Optional[int] = None,
+    ) -> TraceCollector:
+        """Run ``workload`` for ``iterations`` main iterations.
+
+        Returns the trace collector; its ``events`` property excludes the
+        start-up phase, matching the paper's methodology.  Iterations are
+        numbered from 1; start-up events carry iteration 0.
+        """
+        if workload.n_procs != self.params.n_nodes:
+            raise SimulationError(
+                f"workload is built for {workload.n_procs} processors but "
+                f"the machine has {self.params.n_nodes} nodes"
+            )
+        if iterations is None:
+            iterations = workload.default_iterations
+        if iterations < 1:
+            raise SimulationError("need at least one iteration")
+
+        layout_rng = random.Random(self.seed ^ 0x5EED)
+        workload.setup(Allocator(self.memory_map), layout_rng)
+
+        self.collector.iteration = 0
+        for phase in workload.startup(self._rng):
+            self._run_phase(phase)
+        self.collector.mark_startup_complete()
+
+        for index in range(1, iterations + 1):
+            self.collector.iteration = index
+            for phase in workload.iteration(index, self._rng):
+                self._run_phase(phase)
+        return self.collector
+
+
+def simulate(
+    workload: Workload,
+    iterations: Optional[int] = None,
+    params: SystemParams = PAPER_PARAMS,
+    options: StacheOptions = DEFAULT_OPTIONS,
+    seed: int = 0,
+) -> TraceCollector:
+    """One-call convenience: build a machine, run ``workload``, return the trace."""
+    machine = Machine(params=params, options=options, seed=seed)
+    return machine.run_workload(workload, iterations=iterations)

@@ -1,0 +1,42 @@
+"""Point-to-point interconnect model.
+
+Every message pays a constant end-to-end latency (source network
+interface + wire + destination network interface, per Table 3).  Constant
+latency plus the engine's stable tie-breaking yields FIFO delivery per
+source-destination channel, which the serialized directory protocol
+relies on.  Arrival-order variation between *different* senders -- the
+phenomenon Cosmos must adapt to (Section 3.5 of the paper) -- comes from
+processor-side timing jitter, not from network reordering.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..protocol.messages import Message
+from .engine import Engine
+from .params import SystemParams
+
+
+class Network:
+    """Constant-latency, per-channel-FIFO interconnect."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        params: SystemParams,
+        deliver: Callable[[Message], None],
+    ) -> None:
+        self._engine = engine
+        self._latency = params.one_way_message_ns
+        self._deliver = deliver
+        self.messages_sent = 0
+
+    @property
+    def latency_ns(self) -> int:
+        return self._latency
+
+    def send(self, msg: Message) -> None:
+        """Inject ``msg``; it is delivered ``latency_ns`` later."""
+        self.messages_sent += 1
+        self._engine.schedule(self._latency, self._deliver, msg)

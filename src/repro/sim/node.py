@@ -1,0 +1,36 @@
+"""A machine node: one processor, one cache module, one directory module."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..protocol.cache_ctrl import CacheController
+from ..protocol.directory_ctrl import DirectoryController
+from ..protocol.messages import Message, Role
+from ..protocol.origin import OriginDirectoryController
+from ..protocol.stache import StacheOptions
+
+
+class Node:
+    """One single-processor node of the simulated machine."""
+
+    def __init__(
+        self,
+        node_id: int,
+        send: Callable[[Message], None],
+        options: StacheOptions,
+    ) -> None:
+        self.node_id = node_id
+        self.cache = CacheController(node_id, send, options)
+        directory_cls = (
+            OriginDirectoryController if options.forwarding
+            else DirectoryController
+        )
+        self.directory = directory_cls(node_id, send, options)
+
+    def receive(self, msg: Message) -> None:
+        """Dispatch a delivered message to the cache or directory module."""
+        if msg.role_at_receiver is Role.DIRECTORY:
+            self.directory.handle_message(msg)
+        else:
+            self.cache.handle_message(msg)

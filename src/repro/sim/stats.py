@@ -1,0 +1,65 @@
+"""Access-latency statistics from machine runs.
+
+The machine records ``(latency_ns, was_coherence_miss)`` for every shared
+access it issues.  These summaries quantify what prediction actually buys
+at the memory-system level: the Section 4.4 model's ``f`` (fraction of a
+predicted message's delay still paid) has its empirical counterpart in
+the miss-latency reduction of a predictive machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+#: One sample: (latency in ns, True when the access missed).
+LatencySample = Tuple[int, bool]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Distribution summary of a set of access latencies."""
+
+    count: int
+    mean_ns: float
+    p50_ns: int
+    p95_ns: int
+    max_ns: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.count} mean={self.mean_ns:.0f}ns "
+            f"p50={self.p50_ns} p95={self.p95_ns} max={self.max_ns}"
+        )
+
+
+_EMPTY = LatencySummary(count=0, mean_ns=0.0, p50_ns=0, p95_ns=0, max_ns=0)
+
+
+def _percentile(sorted_values: Sequence[int], fraction: float) -> int:
+    index = min(
+        len(sorted_values) - 1, int(fraction * (len(sorted_values) - 1))
+    )
+    return sorted_values[index]
+
+
+def summarize_latencies(
+    samples: Iterable[LatencySample],
+    misses_only: bool = False,
+) -> LatencySummary:
+    """Summarize access latencies (optionally only coherence misses)."""
+    values: List[int] = [
+        latency
+        for latency, was_miss in samples
+        if was_miss or not misses_only
+    ]
+    if not values:
+        return _EMPTY
+    values.sort()
+    return LatencySummary(
+        count=len(values),
+        mean_ns=sum(values) / len(values),
+        p50_ns=_percentile(values, 0.50),
+        p95_ns=_percentile(values, 0.95),
+        max_ns=values[-1],
+    )

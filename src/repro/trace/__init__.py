@@ -1,0 +1,31 @@
+"""Coherence-message trace infrastructure."""
+
+from .collector import TraceCollector
+from .events import TraceEvent
+from .filters import (
+    blocks_touched,
+    by_block,
+    by_node,
+    by_role,
+    from_iteration,
+    iteration_span,
+    split_by_endpoint,
+    up_to_iteration,
+)
+from .io import iter_trace, load_trace, save_trace
+
+__all__ = [
+    "TraceCollector",
+    "TraceEvent",
+    "blocks_touched",
+    "by_block",
+    "by_node",
+    "by_role",
+    "from_iteration",
+    "iter_trace",
+    "iteration_span",
+    "load_trace",
+    "save_trace",
+    "split_by_endpoint",
+    "up_to_iteration",
+]

@@ -1,0 +1,74 @@
+"""Trace collection during simulation.
+
+A :class:`TraceCollector` is attached to a machine; every message reception
+is recorded as a :class:`TraceEvent`.  The machine advances
+``collector.iteration`` at application-iteration boundaries so downstream
+analyses can align events with iterations, and marks the end of the
+start-up phase so it can be dropped (the paper excludes start-up messages
+from its traces).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from ..protocol.messages import MessageType, Role
+from .events import TraceEvent
+
+
+class TraceCollector:
+    """Accumulates trace events in memory."""
+
+    def __init__(self) -> None:
+        self._events: List[TraceEvent] = []
+        self.iteration = 0
+        self._startup_boundary: Optional[int] = None
+
+    def record(
+        self,
+        time: int,
+        node: int,
+        role: Role,
+        block: int,
+        sender: int,
+        mtype: MessageType,
+    ) -> None:
+        """Record one message reception at the current iteration."""
+        self._events.append(
+            TraceEvent(
+                time=time,
+                iteration=self.iteration,
+                node=node,
+                role=role,
+                block=block,
+                sender=sender,
+                mtype=mtype,
+            )
+        )
+
+    def mark_startup_complete(self) -> None:
+        """Everything recorded so far belongs to the start-up phase."""
+        self._startup_boundary = len(self._events)
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """All recorded events, with the start-up phase removed."""
+        if self._startup_boundary is None:
+            return list(self._events)
+        return self._events[self._startup_boundary :]
+
+    @property
+    def all_events(self) -> List[TraceEvent]:
+        """All recorded events, including the start-up phase."""
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.iteration = 0
+        self._startup_boundary = None

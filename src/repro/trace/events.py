@@ -1,0 +1,41 @@
+"""Trace event records.
+
+The paper evaluates Cosmos on traces of *received* coherence messages: one
+record per message reception, identifying the receiving node, the module
+(cache or directory) that handled it, the block, and the ``<sender, type>``
+tuple Cosmos consumes.  The iteration number tags each event with the
+application iteration in flight, which the adaptation analysis (Table 8)
+needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..protocol.messages import MessageType, Role
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One coherence-message reception."""
+
+    time: int
+    iteration: int
+    node: int
+    role: Role
+    block: int
+    sender: int
+    mtype: MessageType
+
+    @property
+    def tuple(self) -> Tuple[int, MessageType]:
+        """The ``<sender, message-type>`` tuple Cosmos predicts."""
+        return (self.sender, self.mtype)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"t={self.time} it={self.iteration} "
+            f"P{self.node}/{self.role} block=0x{self.block:x} "
+            f"<P{self.sender}, {self.mtype}>"
+        )

@@ -1,0 +1,77 @@
+"""Trace-stream filters and selectors.
+
+Pure functions over iterables of :class:`TraceEvent`; they compose freely
+and never mutate their inputs.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..protocol.messages import MessageType, Role
+from .events import TraceEvent
+
+
+def by_role(
+    events: Iterable[TraceEvent], role: Role
+) -> Iterator[TraceEvent]:
+    """Only events received by modules of the given role."""
+    return (event for event in events if event.role == role)
+
+
+def by_node(events: Iterable[TraceEvent], node: int) -> Iterator[TraceEvent]:
+    """Only events received at the given node."""
+    return (event for event in events if event.node == node)
+
+
+def by_block(events: Iterable[TraceEvent], block: int) -> Iterator[TraceEvent]:
+    """Only events for the given block address."""
+    return (event for event in events if event.block == block)
+
+
+def up_to_iteration(
+    events: Iterable[TraceEvent], iteration: int
+) -> Iterator[TraceEvent]:
+    """Events from iterations ``<= iteration`` (cumulative prefix)."""
+    return (event for event in events if event.iteration <= iteration)
+
+
+def from_iteration(
+    events: Iterable[TraceEvent], iteration: int
+) -> Iterator[TraceEvent]:
+    """Events from iterations ``>= iteration`` (drop a warm-up prefix)."""
+    return (event for event in events if event.iteration >= iteration)
+
+
+def split_by_endpoint(
+    events: Iterable[TraceEvent],
+) -> Dict[Tuple[int, Role], List[TraceEvent]]:
+    """Group events by the (node, role) module that received them.
+
+    Cosmos allocates one predictor per cache and per directory; this is
+    the partition those predictors see.
+    """
+    groups: Dict[Tuple[int, Role], List[TraceEvent]] = defaultdict(list)
+    for event in events:
+        groups[(event.node, event.role)].append(event)
+    return dict(groups)
+
+
+def blocks_touched(events: Iterable[TraceEvent]) -> Set[int]:
+    """The set of distinct block addresses appearing in the trace."""
+    return {event.block for event in events}
+
+
+def iteration_span(events: Iterable[TraceEvent]) -> Tuple[int, int]:
+    """(first, last) iteration numbers present in the trace."""
+    first: Optional[int] = None
+    last: Optional[int] = None
+    for event in events:
+        if first is None or event.iteration < first:
+            first = event.iteration
+        if last is None or event.iteration > last:
+            last = event.iteration
+    if first is None or last is None:
+        raise ValueError("empty trace has no iteration span")
+    return first, last

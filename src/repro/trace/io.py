@@ -1,0 +1,71 @@
+"""Trace persistence: JSON-lines save/load.
+
+Traces can be large, so the format is one compact JSON array per line
+rather than one object per line; field order is fixed and documented in
+:data:`FIELDS`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator, List, Union
+
+from ..errors import TraceError
+from ..protocol.messages import MessageType, Role
+from .events import TraceEvent
+
+#: Field order of each JSON-lines record.
+FIELDS = ("time", "iteration", "node", "role", "block", "sender", "mtype")
+
+_ROLE_CODE = {Role.CACHE: "c", Role.DIRECTORY: "d"}
+_CODE_ROLE = {code: role for role, code in _ROLE_CODE.items()}
+
+
+def save_trace(events: Iterable[TraceEvent], path: Union[str, Path]) -> int:
+    """Write ``events`` to ``path`` in JSON-lines format; return the count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in events:
+            record = [
+                event.time,
+                event.iteration,
+                event.node,
+                _ROLE_CODE[event.role],
+                event.block,
+                event.sender,
+                int(event.mtype),
+            ]
+            handle.write(json.dumps(record, separators=(",", ":")))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def iter_trace(path: Union[str, Path]) -> Iterator[TraceEvent]:
+    """Stream trace events back from a file written by :func:`save_trace`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                time, iteration, node, role, block, sender, mtype = json.loads(
+                    line
+                )
+                yield TraceEvent(
+                    time=time,
+                    iteration=iteration,
+                    node=node,
+                    role=_CODE_ROLE[role],
+                    block=block,
+                    sender=sender,
+                    mtype=MessageType(mtype),
+                )
+            except (ValueError, KeyError, TypeError) as exc:
+                raise TraceError(f"{path}:{lineno}: malformed record") from exc
+
+
+def load_trace(path: Union[str, Path]) -> List[TraceEvent]:
+    """Load a whole trace file into memory."""
+    return list(iter_trace(path))

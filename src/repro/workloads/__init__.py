@@ -1,0 +1,37 @@
+"""Synthetic models of the paper's five scientific applications."""
+
+from .access import Access, Phase, read, read_modify_write, write
+from .appbt import AppBT
+from .barnes import Barnes
+from .base import Workload
+from .dsmc import DSMC
+from .moldyn import MolDyn
+from .registry import (
+    BENCHMARK_NAMES,
+    BENCHMARKS,
+    BenchmarkInfo,
+    all_workloads,
+    format_table4,
+    make_workload,
+)
+from .unstructured import Unstructured
+
+__all__ = [
+    "Access",
+    "AppBT",
+    "BENCHMARKS",
+    "BENCHMARK_NAMES",
+    "Barnes",
+    "BenchmarkInfo",
+    "DSMC",
+    "MolDyn",
+    "Phase",
+    "Unstructured",
+    "Workload",
+    "all_workloads",
+    "format_table4",
+    "make_workload",
+    "read",
+    "read_modify_write",
+    "write",
+]

@@ -1,0 +1,43 @@
+"""Memory-access primitives emitted by workload models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+@dataclass(frozen=True)
+class Access:
+    """One shared-memory access by a processor."""
+
+    block: int
+    is_write: bool
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{'st' if self.is_write else 'ld'} 0x{self.block:x}"
+
+
+def read(block: int) -> Access:
+    """A load of ``block``."""
+    return Access(block, is_write=False)
+
+
+def write(block: int) -> Access:
+    """A store to ``block``."""
+    return Access(block, is_write=True)
+
+
+def read_modify_write(block: int) -> List[Access]:
+    """The load-then-store pair of a read-modify-write update."""
+    return [read(block), write(block)]
+
+
+#: Per-processor access lists for one phase: ``phase[p]`` is processor
+#: ``p``'s ordered access sequence.  Processors run a phase concurrently;
+#: the machine barriers between phases.
+Phase = List[List[Access]]
+
+
+def empty_phase(n_procs: int) -> Phase:
+    """A phase in which no processor does anything."""
+    return [[] for _ in range(n_procs)]

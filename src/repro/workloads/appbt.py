@@ -1,0 +1,153 @@
+"""appbt: 3D stencil computational-fluid-dynamics model (NAS APPBT).
+
+The real application divides a cube into per-processor sub-blocks; sharing
+happens across sub-block faces between neighbouring processors.  The
+paper's Section 6.1 explains appbt's signature: for each boundary block
+the *producer reads, the producer writes, and the consumer reads*, a
+pattern that repeats every iteration -- plus false sharing in two data
+structures that muddies the directory-side ``upgrade_request ->
+inval_ro_response`` arc.
+
+The model arranges 16 processors in a 4x2x2 grid.  Every directed
+neighbour pair exchanges ``face_blocks`` boundary blocks each iteration
+using the read-modify-write producer-consumer primitive.  A configurable
+fraction of extra blocks is falsely shared between the two processors of
+a face, with writer order randomized per iteration.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from ..errors import WorkloadError
+from ..sim.memory_map import Allocator
+from .access import Phase, read
+from .base import Workload
+from .cold import ColdPool, ColdPoolSpec
+from .patterns import false_sharing, producer_consumer, shuffled
+
+
+def _grid_dims(n_procs: int) -> Tuple[int, int, int]:
+    """Factor ``n_procs`` into a 3D grid, as square as possible."""
+    best: Tuple[int, int, int] = (n_procs, 1, 1)
+    best_surface = None
+    for x in range(1, n_procs + 1):
+        if n_procs % x:
+            continue
+        rest = n_procs // x
+        for y in range(1, rest + 1):
+            if rest % y:
+                continue
+            z = rest // y
+            surface = x * y + y * z + x * z
+            if best_surface is None or surface < best_surface:
+                best_surface = surface
+                best = (x, y, z)
+    return best
+
+
+class AppBT(Workload):
+    """3D stencil with nearest-neighbour boundary exchange."""
+
+    name = "appbt"
+    description = (
+        "parallel 3D CFD stencil; sub-blocks exchange boundaries with "
+        "3D-grid neighbours (producer-consumer, one consumer)"
+    )
+    default_iterations = 60
+
+    def __init__(
+        self,
+        n_procs: int = 16,
+        face_blocks: int = 6,
+        false_share_blocks: int = 2,
+        readers_per_false_block: int = 2,
+        cold_blocks: int = 2200,
+    ) -> None:
+        super().__init__(n_procs)
+        if face_blocks < 1:
+            raise WorkloadError("need at least one block per face")
+        self.face_blocks = face_blocks
+        self.false_share_blocks = false_share_blocks
+        self.readers_per_false_block = readers_per_false_block
+        # Sub-block interiors: huge 3D arrays whose blocks are touched
+        # once or twice in the whole run (they dominate Table 7's MHR
+        # count but add almost no pattern entries).
+        self._cold = ColdPool(ColdPoolSpec(blocks=cold_blocks))
+        self._dims = _grid_dims(n_procs)
+        #: (producer, consumer) -> boundary block addresses.
+        self._faces: Dict[Tuple[int, int], List[int]] = {}
+        #: (writer_a, writer_b) -> falsely shared block addresses.
+        self._false_blocks: Dict[Tuple[int, int], List[int]] = {}
+
+    # layout ------------------------------------------------------------
+
+    def _proc_at(self, x: int, y: int, z: int) -> int:
+        dx, dy, dz = self._dims
+        return (z * dy + y) * dx + x
+
+    def _neighbour_pairs(self) -> List[Tuple[int, int]]:
+        dx, dy, dz = self._dims
+        pairs: List[Tuple[int, int]] = []
+        for z in range(dz):
+            for y in range(dy):
+                for x in range(dx):
+                    proc = self._proc_at(x, y, z)
+                    if x + 1 < dx:
+                        pairs.append((proc, self._proc_at(x + 1, y, z)))
+                    if y + 1 < dy:
+                        pairs.append((proc, self._proc_at(x, y + 1, z)))
+                    if z + 1 < dz:
+                        pairs.append((proc, self._proc_at(x, y, z + 1)))
+        return pairs
+
+    def setup(self, allocator: Allocator, rng: random.Random) -> None:
+        self._faces.clear()
+        self._false_blocks.clear()
+        for low, high in self._neighbour_pairs():
+            # Each undirected neighbour pair exchanges in both directions:
+            # low produces for high, and high produces for low.
+            self._faces[(low, high)] = allocator.alloc_blocks(self.face_blocks)
+            self._faces[(high, low)] = allocator.alloc_blocks(self.face_blocks)
+            if self.false_share_blocks:
+                self._false_blocks[(low, high)] = allocator.alloc_blocks(
+                    self.false_share_blocks
+                )
+        self._cold.setup(allocator, rng, self.n_procs, self.default_iterations)
+
+    # access streams ------------------------------------------------------
+
+    def startup(self, rng: random.Random) -> List[Phase]:
+        # Producers initialize their boundary blocks once.
+        phase = self._new_phase()
+        for (producer, _consumer), blocks in self._faces.items():
+            for block in blocks:
+                producer_consumer(phase, block, producer, [], producer_reads=False)
+        return [phase]
+
+    def iteration(self, index: int, rng: random.Random) -> List[Phase]:
+        # Phase 1: everyone consumes neighbours' boundaries (stencil read).
+        # Block order is fixed: the stencil walks the same arrays the same
+        # way every iteration.
+        consume = self._new_phase()
+        for (producer, consumer), blocks in self._faces.items():
+            for block in blocks:
+                consume[consumer].append(read(block))
+        # Phase 2: everyone updates its own boundaries (read-modify-write)
+        # and the falsely shared blocks oscillate between their writers.
+        produce = self._new_phase()
+        for (producer, _consumer), blocks in self._faces.items():
+            for block in blocks:
+                producer_consumer(produce, block, producer, [])
+        for (writer_a, writer_b), blocks in self._false_blocks.items():
+            readers = rng.sample(
+                range(self.n_procs),
+                min(self.readers_per_false_block, self.n_procs),
+            )
+            for block in blocks:
+                false_sharing(
+                    produce, block, (writer_a, writer_b), readers, rng
+                )
+        self._cold.extend_phase(produce, index)
+        return [consume, produce]

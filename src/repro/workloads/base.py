@@ -1,0 +1,63 @@
+"""Abstract workload model.
+
+A workload stands in for one of the paper's five scientific applications.
+It lays out its shared data structures over the simulated memory (homes
+assigned round-robin by the allocator) and, for every iteration, produces
+the per-processor shared-memory access sequences that the real application's
+sharing pattern would generate.
+
+Iterations are split into *phases*; processors run concurrently within a
+phase and the machine barriers between phases, mirroring the loop-level
+barriers of the real codes.  Only accesses to *shared* data need to be
+emitted -- private computation generates no coherence traffic and is
+modeled by think-time in the machine's processor model.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import List
+
+from ..sim.memory_map import Allocator
+from .access import Phase, empty_phase
+
+
+class Workload(abc.ABC):
+    """Base class for the five application models."""
+
+    #: Short name, matching the paper's benchmark table.
+    name: str = "workload"
+    #: One-line description (paper Table 4 flavour).
+    description: str = ""
+    #: Iteration count the paper-scale experiments run by default.
+    default_iterations: int = 40
+
+    def __init__(self, n_procs: int = 16) -> None:
+        if n_procs < 2:
+            raise ValueError("workloads need at least two processors")
+        self.n_procs = n_procs
+
+    @abc.abstractmethod
+    def setup(self, allocator: Allocator, rng: random.Random) -> None:
+        """Allocate blocks and fix the workload's sharing structure."""
+
+    def startup(self, rng: random.Random) -> List[Phase]:
+        """Access phases of the start-up (initialization) section.
+
+        The paper's traces exclude start-up messages; the machine records
+        them but marks them so analyses can drop them.  Default: nothing.
+        """
+        return []
+
+    @abc.abstractmethod
+    def iteration(self, index: int, rng: random.Random) -> List[Phase]:
+        """Access phases of main iteration ``index`` (1-based)."""
+
+    # Convenience -------------------------------------------------------
+
+    def _new_phase(self) -> Phase:
+        return empty_phase(self.n_procs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r} procs={self.n_procs}>"

@@ -1,0 +1,103 @@
+"""Cold data: large structures whose blocks see few coherence events.
+
+Real scientific applications allocate big arrays of which only a fraction
+is actively shared; most blocks suffer a cold miss (and perhaps one or
+two more coherence events) and then stay quiet.  Such blocks matter for
+Table 7: each consumes a Message History Register at the modules that saw
+it, but contributes few or no Pattern History Table entries (a PHT entry
+only appears once a block's reference count at a module exceeds the MHR
+depth).  dsmc's sub-1.0, depth-decreasing ratios come from exactly this
+population.
+
+:class:`ColdPool` schedules three touch shapes over the run:
+
+* single read -- one request/response pair, ever;
+* read-modify-write -- read then upgrade by the same node;
+* read-modify-write then a later read by a second node -- adds the
+  invalidation round trip.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..errors import WorkloadError
+from ..sim.memory_map import Allocator
+from .access import Access, Phase, read, write
+
+
+@dataclass(frozen=True)
+class ColdPoolSpec:
+    """Size and touch-shape mix of a cold pool."""
+
+    blocks: int = 0
+    #: Fractions of blocks receiving the richer touch shapes; the rest
+    #: get a single read.  Must sum to at most 1.
+    rmw_fraction: float = 0.2
+    rmw_then_read_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.blocks < 0:
+            raise WorkloadError("cold pool size cannot be negative")
+        if self.rmw_fraction < 0 or self.rmw_then_read_fraction < 0:
+            raise WorkloadError("touch fractions cannot be negative")
+        if self.rmw_fraction + self.rmw_then_read_fraction > 1.0:
+            raise WorkloadError("touch fractions exceed 1.0")
+
+
+class ColdPool:
+    """Schedules rare touches of a large block pool across a run."""
+
+    def __init__(self, spec: ColdPoolSpec) -> None:
+        self.spec = spec
+        #: iteration -> [(proc, accesses)].
+        self._schedule: Dict[int, List[Tuple[int, List[Access]]]] = {}
+
+    def setup(
+        self,
+        allocator: Allocator,
+        rng: random.Random,
+        n_procs: int,
+        horizon: int,
+    ) -> None:
+        """Allocate the pool and fix every block's touch schedule.
+
+        ``horizon`` bounds the iterations touches are scheduled in
+        (typically the workload's default iteration count; touches
+        scheduled past a shorter run simply never fire).
+        """
+        self._schedule = {}
+        if self.spec.blocks == 0:
+            return
+        blocks = allocator.alloc_blocks(self.spec.blocks)
+        memory_map = allocator.memory_map
+        horizon = max(2, horizon)
+        for block in blocks:
+            home = memory_map.home_of(block)
+            # Keep the toucher remote so the touch generates messages.
+            owner = (home + 1 + rng.randrange(n_procs - 1)) % n_procs
+            shape = rng.random()
+            first = rng.randint(1, horizon)
+            if shape < self.spec.rmw_then_read_fraction:
+                second = rng.randint(first, horizon)
+                other = (owner + 1 + rng.randrange(n_procs - 2)) % n_procs
+                if other == home:
+                    other = (other + 1) % n_procs
+                self._add(first, owner, [read(block), write(block)])
+                self._add(second, other, [read(block)])
+            elif shape < (
+                self.spec.rmw_then_read_fraction + self.spec.rmw_fraction
+            ):
+                self._add(first, owner, [read(block), write(block)])
+            else:
+                self._add(first, owner, [read(block)])
+
+    def _add(self, iteration: int, proc: int, accesses: List[Access]) -> None:
+        self._schedule.setdefault(iteration, []).append((proc, accesses))
+
+    def extend_phase(self, phase: Phase, iteration: int) -> None:
+        """Append this iteration's scheduled cold touches to ``phase``."""
+        for proc, accesses in self._schedule.get(iteration, []):
+            phase[proc].extend(accesses)

@@ -1,0 +1,182 @@
+"""dsmc: discrete-simulation Monte Carlo gas model (Maryland/Wisconsin).
+
+The real application simulates particles moving through a Cartesian grid
+of cells; at the end of each iteration particles migrate between cells
+through shared buffers.  Three properties the paper measures drive this
+model:
+
+* The dominant pattern is *write-only* producer-consumer (the producer
+  overwrites transfer buffers without reading them first), which is why
+  Stache's half-migratory optimization *helps* dsmc (Section 6.1) and why
+  dsmc reaches the highest overall accuracy at depth 3 (93%).
+* Some shared data structures are touched rarely -- many blocks receive
+  fewer references than the MHR depth, making Table 7's PHT/MHR ratios
+  fall below one and *decrease* with depth.
+* The flow field takes a long time to reach steady state, so specific
+  transitions need hundreds of iterations to become predictable
+  (Table 8): early on, which neighbour produces into a buffer is still
+  churning; it settles as the simulated flow converges.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Tuple
+
+from ..errors import WorkloadError
+from ..sim.memory_map import Allocator
+from .access import Phase, read, write
+from .base import Workload
+from .cold import ColdPool, ColdPoolSpec
+from .patterns import drifted, producer_consumer
+
+
+class _Buffer:
+    """One inter-cell particle transfer buffer."""
+
+    __slots__ = (
+        "blocks",
+        "steady_producer",
+        "consumer",
+        "append_mode",
+        "churn_candidates",
+    )
+
+    def __init__(
+        self,
+        blocks: List[int],
+        steady_producer: int,
+        consumer: int,
+        append_mode: bool,
+        churn_candidates: List[int],
+    ) -> None:
+        self.blocks = blocks
+        self.steady_producer = steady_producer
+        self.consumer = consumer
+        #: Appending buffers read the fill count before writing
+        #: (read-modify-write); overwriting buffers just write.
+        self.append_mode = append_mode
+        #: Neighbouring cells that may produce into the buffer while the
+        #: flow has not converged; only adjacent cells can feed a buffer.
+        self.churn_candidates = churn_candidates
+
+
+class DSMC(Workload):
+    """Particle simulation with converging flow field."""
+
+    name = "dsmc"
+    description = (
+        "Monte Carlo particle simulation; cells exchange particles via "
+        "write-only shared buffers that settle as the flow converges"
+    )
+    default_iterations = 400
+
+    def __init__(
+        self,
+        n_procs: int = 16,
+        buffers_per_proc: int = 3,
+        blocks_per_buffer: int = 2,
+        append_fraction: float = 0.25,
+        convergence_tau: float = 80.0,
+        rare_blocks_per_proc: int = 220,
+        contended_buffers: int = 4,
+        contenders: int = 3,
+    ) -> None:
+        super().__init__(n_procs)
+        if convergence_tau <= 0:
+            raise WorkloadError("convergence_tau must be positive")
+        self.buffers_per_proc = buffers_per_proc
+        self.blocks_per_buffer = blocks_per_buffer
+        self.append_fraction = append_fraction
+        self.convergence_tau = convergence_tau
+        self.rare_blocks_per_proc = rare_blocks_per_proc
+        self.contended_buffers = contended_buffers
+        self.contenders = contenders
+        self._buffers: List[_Buffer] = []
+        self._contended: List[Tuple[List[int], List[int]]] = []
+        # Cells far from the simulated flow: a very large population of
+        # blocks touched once or twice in the whole run.  These dominate
+        # dsmc's MHR count, which is why its Table 7 ratios sit below one
+        # and shrink as the MHR depth grows.
+        self._cold = ColdPool(
+            ColdPoolSpec(
+                blocks=rare_blocks_per_proc * n_procs,
+                rmw_fraction=0.3,
+                rmw_then_read_fraction=0.1,
+            )
+        )
+
+    def setup(self, allocator: Allocator, rng: random.Random) -> None:
+        self._buffers = []
+        self._contended = []
+        for consumer in range(self.n_procs):
+            for _ in range(self.buffers_per_proc):
+                producer = (consumer + rng.randint(1, self.n_procs - 1)) % (
+                    self.n_procs
+                )
+                churn = [
+                    proc
+                    for proc in (
+                        (producer + 1) % self.n_procs,
+                        (producer - 1) % self.n_procs,
+                    )
+                    if proc != consumer
+                ]
+                self._buffers.append(
+                    _Buffer(
+                        blocks=allocator.alloc_blocks(self.blocks_per_buffer),
+                        steady_producer=producer,
+                        consumer=consumer,
+                        append_mode=rng.random() < self.append_fraction,
+                        churn_candidates=churn or [producer],
+                    )
+                )
+        for _ in range(self.contended_buffers):
+            procs = rng.sample(range(self.n_procs), self.contenders)
+            blocks = allocator.alloc_blocks(self.blocks_per_buffer)
+            self._contended.append((blocks, procs))
+        self._cold.setup(allocator, rng, self.n_procs, self.default_iterations)
+
+    def _actual_producer(
+        self, buffer: _Buffer, iteration: int, rng: random.Random
+    ) -> int:
+        """The node producing into ``buffer`` this iteration.
+
+        Early in the run the flow field is still churning, so the producer
+        is frequently some other node; the probability of the steady-state
+        producer rises as ``1 - exp(-t / tau)``.
+        """
+        settled = 1.0 - math.exp(-iteration / self.convergence_tau)
+        if rng.random() < settled:
+            return buffer.steady_producer
+        return rng.choice(buffer.churn_candidates)
+
+    def iteration(self, index: int, rng: random.Random) -> List[Phase]:
+        # Phase 1: movement -- producers fill transfer buffers.
+        fill = self._new_phase()
+        for buf in self._buffers:
+            producer = self._actual_producer(buf, index, rng)
+            for block in buf.blocks:
+                if buf.append_mode:
+                    fill[producer].append(read(block))
+                fill[producer].append(write(block))
+        for blocks, procs in self._contended:
+            # Contenders race to append to a shared buffer; the order is
+            # mostly stable with timing-induced swaps.
+            for proc in drifted(procs, rng, swap_prob=0.25):
+                for block in blocks:
+                    fill[proc].append(read(block))
+                    fill[proc].append(write(block))
+        # Phase 2: collision -- consumers drain their buffers; rare
+        # structures are touched on schedule.
+        drain = self._new_phase()
+        for buf in self._buffers:
+            for block in buf.blocks:
+                drain[buf.consumer].append(read(block))
+        for blocks, procs in self._contended:
+            reader = procs[index % len(procs)]
+            for block in blocks:
+                drain[reader].append(read(block))
+        self._cold.extend_phase(drain, index)
+        return [fill, drain]

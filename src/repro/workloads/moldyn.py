@@ -1,0 +1,130 @@
+"""moldyn: molecular dynamics model (CHARMM-style non-bonded forces).
+
+Two dominant sharing patterns drive the paper's analysis (Section 6.1):
+
+* **Migratory** -- the shared force array is reduced inside critical
+  sections; each participating processor read-modify-writes a block in
+  turn, so the block migrates through them.
+* **Producer-consumer** -- the molecule-coordinates array is written by
+  its owner and read by an *average of 4.9 consumers*, so the directory
+  sees highly predictable back-to-back ``get_ro_request`` bursts.
+
+The *interaction list* is rebuilt every 20 iterations, which resamples
+which processors participate in each block's pattern -- a periodic
+disturbance Cosmos must re-learn.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..errors import WorkloadError
+from ..sim.memory_map import Allocator
+from .access import Phase, read
+from .base import Workload
+from .cold import ColdPool, ColdPoolSpec
+from .patterns import drifted, migratory, producer_consumer, sample_consumers
+
+
+class MolDyn(Workload):
+    """Force reduction (migratory) + coordinate broadcast (producer-consumer)."""
+
+    name = "moldyn"
+    description = (
+        "molecular dynamics; force array reduced in critical sections "
+        "(migratory), coordinates read by ~4.9 consumers per producer"
+    )
+    default_iterations = 60
+
+    def __init__(
+        self,
+        n_procs: int = 16,
+        force_blocks: int = 48,
+        coord_blocks: int = 48,
+        mean_consumers: float = 4.9,
+        participants_min: int = 2,
+        participants_max: int = 3,
+        rebuild_period: int = 20,
+        cold_blocks: int = 2400,
+    ) -> None:
+        super().__init__(n_procs)
+        if rebuild_period < 1:
+            raise WorkloadError("rebuild_period must be at least 1")
+        if participants_min < 2:
+            raise WorkloadError("migratory needs at least two participants")
+        self.force_blocks_count = force_blocks
+        self.coord_blocks_count = coord_blocks
+        self.mean_consumers = mean_consumers
+        self.participants_min = participants_min
+        self.participants_max = participants_max
+        self.rebuild_period = rebuild_period
+        # Private molecule state (positions/velocities outside the cutoff
+        # radius): cold blocks that pad the MHR population.
+        self._cold = ColdPool(ColdPoolSpec(blocks=cold_blocks))
+        self._force_blocks: List[int] = []
+        self._coord_blocks: List[int] = []
+        self._participants: List[List[int]] = []
+        self._coord_owner: List[int] = []
+        self._coord_consumers: List[List[int]] = []
+
+    def setup(self, allocator: Allocator, rng: random.Random) -> None:
+        self._force_blocks = allocator.alloc_blocks(self.force_blocks_count)
+        self._coord_blocks = allocator.alloc_blocks(self.coord_blocks_count)
+        self._coord_owner = [
+            index % self.n_procs for index in range(self.coord_blocks_count)
+        ]
+        self._cold.setup(allocator, rng, self.n_procs, self.default_iterations)
+        self._rebuild_interaction_list(rng)
+
+    def _rebuild_interaction_list(self, rng: random.Random) -> None:
+        """Resample which processors interact through each shared block."""
+        all_procs = list(range(self.n_procs))
+        self._participants = []
+        for _ in range(self.force_blocks_count):
+            count = rng.randint(self.participants_min, self.participants_max)
+            self._participants.append(rng.sample(all_procs, count))
+        self._coord_consumers = []
+        for index in range(self.coord_blocks_count):
+            owner = self._coord_owner[index]
+            self._coord_consumers.append(
+                sample_consumers(rng, all_procs, owner, self.mean_consumers)
+            )
+
+    def startup(self, rng: random.Random) -> List[Phase]:
+        phase = self._new_phase()
+        for index, block in enumerate(self._coord_blocks):
+            producer_consumer(
+                phase, block, self._coord_owner[index], [], producer_reads=False
+            )
+        return [phase]
+
+    def iteration(self, index: int, rng: random.Random) -> List[Phase]:
+        if index > 1 and (index - 1) % self.rebuild_period == 0:
+            self._rebuild_interaction_list(rng)
+        # Phase 1: integrate positions -- each owner updates its slice of
+        # the coordinates array (read-modify-write).  The loop order is
+        # the program's fixed array order.
+        update = self._new_phase()
+        for block_index in range(self.coord_blocks_count):
+            block = self._coord_blocks[block_index]
+            producer_consumer(
+                update, block, self._coord_owner[block_index], []
+            )
+        # Phase 2: force computation reads neighbours' coordinates
+        # (producer-consumer broadcast; a barrier separates it from the
+        # update loop, as in the real code).
+        bcast = self._new_phase()
+        for block_index in range(self.coord_blocks_count):
+            block = self._coord_blocks[block_index]
+            for consumer in self._coord_consumers[block_index]:
+                bcast[consumer].append(read(block))
+        # Phase 3: reduce forces in critical sections (migratory).  The
+        # lock-acquisition order is mostly stable, perturbed by timing.
+        forces = self._new_phase()
+        for block_index in range(self.force_blocks_count):
+            block = self._force_blocks[block_index]
+            order = drifted(self._participants[block_index], rng)
+            migratory(forces, block, order)
+        self._cold.extend_phase(forces, index)
+        return [update, bcast, forces]

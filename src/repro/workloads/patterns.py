@@ -1,0 +1,134 @@
+"""Sharing-pattern primitives shared by the workload models.
+
+Each function appends one data structure's accesses for one iteration to a
+phase (per-processor access lists).  The primitives correspond to the
+classic sharing patterns of Bennett et al. and Gupta & Weber that the
+paper's Section 6 uses to explain each application's message signatures:
+
+* producer-consumer (read-write producer, read-only consumers),
+* write-only producer-consumer (producer overwrites without reading),
+* migratory (a sequence of processors each read-modify-write in turn),
+* false sharing (two independent writers oscillate over one block).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from .access import Phase, read, write
+
+
+def producer_consumer(
+    phase: Phase,
+    block: int,
+    producer: int,
+    consumers: Sequence[int],
+    producer_reads: bool = True,
+) -> None:
+    """Producer updates ``block``; each consumer reads it.
+
+    With ``producer_reads`` the producer performs a read-modify-write (the
+    appbt/moldyn style that makes Stache's half-migratory optimization
+    hurt); without it the producer overwrites blindly (the dsmc style that
+    makes the optimization help).
+    """
+    if producer_reads:
+        phase[producer].append(read(block))
+    phase[producer].append(write(block))
+    for consumer in consumers:
+        if consumer == producer:
+            continue
+        phase[consumer].append(read(block))
+
+
+def migratory(
+    phase: Phase,
+    block: int,
+    participants: Sequence[int],
+) -> None:
+    """Each participant in turn read-modify-writes ``block``.
+
+    Callers pass participants already ordered (typically shuffled per
+    iteration) -- the block then migrates through them in that order.
+    """
+    for proc in participants:
+        phase[proc].append(read(block))
+        phase[proc].append(write(block))
+
+
+def false_sharing(
+    phase: Phase,
+    block: int,
+    writers: Sequence[int],
+    readers: Sequence[int],
+    rng: random.Random,
+) -> None:
+    """Independent writers hit the same block in random order.
+
+    Models two variables that happen to share a cache block: each writer
+    updates "its" variable (a read-modify-write of the whole block), and
+    readers read.  The random writer order produces the oscillating
+    signatures the paper blames for appbt's weak directory arc.
+    """
+    order = list(writers)
+    rng.shuffle(order)
+    for proc in order:
+        phase[proc].append(read(block))
+        phase[proc].append(write(block))
+    for proc in readers:
+        phase[proc].append(read(block))
+
+
+def shuffled(items: Sequence[int], rng: random.Random) -> List[int]:
+    """A shuffled copy of ``items`` (the inputs are never mutated)."""
+    result = list(items)
+    rng.shuffle(result)
+    return result
+
+
+def drifted(
+    items: Sequence[int], rng: random.Random, swap_prob: float = 0.15
+) -> List[int]:
+    """A copy of ``items`` with occasional adjacent swaps.
+
+    Real programs execute the same loops every iteration, so orderings
+    (e.g., lock-acquisition order in a reduction) are mostly stable and
+    only occasionally perturbed by timing races.  ``drifted`` models that:
+    each adjacent pair is swapped with probability ``swap_prob``, leaving
+    the order largely repeatable -- the noise regime in which history
+    depth and filters pay off (paper Sections 3.5-3.6).
+    """
+    result = list(items)
+    for index in range(len(result) - 1):
+        if rng.random() < swap_prob:
+            result[index], result[index + 1] = (
+                result[index + 1],
+                result[index],
+            )
+    return result
+
+
+def sample_consumers(
+    rng: random.Random,
+    candidates: Sequence[int],
+    exclude: int,
+    mean: float,
+) -> List[int]:
+    """Sample a consumer set of mean size ``mean`` from ``candidates``.
+
+    Used to hit the paper's measured fan-outs (moldyn averages 4.9
+    consumers per producer, unstructured 2.6).  The sample size follows a
+    clipped geometric-ish draw around the mean; the result never includes
+    ``exclude`` (the producer) and never exceeds the candidate pool.
+    """
+    pool = [proc for proc in candidates if proc != exclude]
+    if not pool:
+        return []
+    size = 0
+    # Sum of Bernoulli draws approximating the requested mean.
+    whole = int(mean)
+    frac = mean - whole
+    size = whole + (1 if rng.random() < frac else 0)
+    size = max(1, min(size, len(pool)))
+    return rng.sample(pool, size)

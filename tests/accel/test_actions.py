@@ -1,0 +1,37 @@
+"""Tests for the prediction-to-action catalogue."""
+
+from repro.accel.actions import (
+    ACTION_RULES,
+    ProtocolAction,
+    RecoveryClass,
+    actions_for,
+    format_table2,
+)
+from repro.protocol.messages import MessageType, Role
+
+
+class TestCatalogue:
+    def test_read_modify_write_rule(self):
+        rules = actions_for(Role.DIRECTORY, (3, MessageType.UPGRADE_REQUEST))
+        assert [r.action for r in rules] == [ProtocolAction.REPLY_EXCLUSIVE]
+        assert rules[0].recovery is RecoveryClass.NONE_NEEDED
+
+    def test_self_invalidation_rule(self):
+        rules = actions_for(Role.CACHE, (0, MessageType.INVAL_RW_REQUEST))
+        assert [r.action for r in rules] == [ProtocolAction.SELF_INVALIDATE]
+
+    def test_role_mismatch_gives_nothing(self):
+        assert actions_for(Role.CACHE, (3, MessageType.UPGRADE_REQUEST)) == []
+
+    def test_none_prediction_gives_nothing(self):
+        assert actions_for(Role.DIRECTORY, None) == []
+
+    def test_every_rule_documented(self):
+        for rule in ACTION_RULES:
+            assert rule.description
+            assert rule.recovery in RecoveryClass
+
+    def test_table2_rendering(self):
+        text = format_table2()
+        assert "reply-exclusive" in text
+        assert "self-invalidate" in text

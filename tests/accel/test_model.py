@@ -1,0 +1,69 @@
+"""Tests for the Section 4.4 speedup model."""
+
+import pytest
+
+from repro.accel.model import (
+    figure5_series,
+    relative_time,
+    speedup,
+    speedup_percent,
+)
+from repro.errors import ConfigError
+
+
+class TestModel:
+    def test_paper_quoted_point(self):
+        # "speedup can be as high as 56% with a mis-prediction penalty of
+        # 100% (r=1) and a prediction success benefit of 30% (f=0.3)"
+        assert speedup_percent(0.8, 0.3, 1.0) == pytest.approx(56.25, abs=0.3)
+
+    def test_no_prediction_baseline(self):
+        # p=0 with no penalty: nothing changes.
+        assert speedup(0.0, 0.0, 0.0) == pytest.approx(1.0)
+
+    def test_perfect_full_overlap(self):
+        # p=1, f=0.1: only a tenth of every message's delay remains.
+        assert speedup(1.0, 0.1, 1.0) == pytest.approx(10.0)
+
+    def test_relative_time_formula(self):
+        assert relative_time(0.8, 0.3, 1.0) == pytest.approx(
+            0.8 * 0.3 + 0.2 * 2.0
+        )
+
+    def test_prediction_can_hurt(self):
+        # Bad accuracy and high penalty slow the program down.
+        assert speedup(0.2, 1.0, 1.0) < 1.0
+
+    def test_degenerate_zero_time(self):
+        with pytest.raises(ConfigError):
+            speedup(1.0, 0.0, 0.0)
+
+    @pytest.mark.parametrize(
+        "p,f,r",
+        [(-0.1, 0, 0), (1.1, 0, 0), (0.5, -1, 0), (0.5, 0, -1)],
+    )
+    def test_invalid_parameters(self, p, f, r):
+        with pytest.raises(ConfigError):
+            speedup(p, f, r)
+
+    def test_monotonic_in_f(self):
+        values = [speedup(0.8, f / 10, 0.5) for f in range(11)]
+        assert values == sorted(values, reverse=True)
+
+    def test_monotonic_in_r(self):
+        values = [speedup(0.8, 0.3, r / 10) for r in range(11)]
+        assert values == sorted(values, reverse=True)
+
+
+class TestFigure5Series:
+    def test_family_shape(self):
+        series = figure5_series()
+        assert len(series) == 5
+        for curve in series:
+            assert curve.p == 0.8
+            assert len(curve.f_values) == len(curve.speedups) == 21
+
+    def test_lower_penalty_curve_dominates(self):
+        low, *_rest, high = figure5_series(r_values=(0.0, 1.0))
+        for a, b in zip(low.speedups, high.speedups):
+            assert a >= b

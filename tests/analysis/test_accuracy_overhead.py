@@ -1,0 +1,65 @@
+"""Tests for accuracy and overhead analyses."""
+
+import pytest
+
+from repro.analysis.accuracy import AccuracyRow, depth_sweep, filter_sweep
+from repro.analysis.overhead import overhead_sweep
+
+
+class TestDepthSweep:
+    def test_rows_per_depth(self, producer_consumer_trace):
+        rows = depth_sweep(producer_consumer_trace, depths=(1, 2, 3))
+        assert [row.depth for row in rows] == [1, 2, 3]
+
+    def test_percentages_in_range(self, producer_consumer_trace):
+        for row in depth_sweep(producer_consumer_trace):
+            for value in (row.cache, row.directory, row.overall):
+                assert 0.0 <= value <= 100.0
+
+    def test_clean_pattern_highly_predictable(self, producer_consumer_trace):
+        row = depth_sweep(producer_consumer_trace, depths=(1,))[0]
+        assert row.overall > 85.0
+        assert row.cache > row.directory - 5  # cache at least comparable
+
+    def test_overall_between_cache_and_directory(
+        self, producer_consumer_trace
+    ):
+        row = depth_sweep(producer_consumer_trace, depths=(1,))[0]
+        low, high = sorted([row.cache, row.directory])
+        assert low - 0.01 <= row.overall <= high + 0.01
+
+
+class TestFilterSweep:
+    def test_table_shape(self, two_consumer_trace):
+        table = filter_sweep(
+            two_consumer_trace, depths=(1, 2), filter_counts=(0, 1, 2)
+        )
+        assert set(table) == {1, 2}
+        assert set(table[1]) == {0, 1, 2}
+
+    def test_filter_never_catastrophic(self, two_consumer_trace):
+        table = filter_sweep(two_consumer_trace, depths=(1,))
+        base = table[1][0]
+        for count in (1, 2):
+            assert table[1][count] > base - 15.0
+
+
+class TestOverheadSweep:
+    def test_rows_and_monotonic_mhr(self, producer_consumer_trace):
+        rows = overhead_sweep(producer_consumer_trace, depths=(1, 2, 3))
+        assert [row.depth for row in rows] == [1, 2, 3]
+        # The MHR population is depth-independent (same blocks touched).
+        assert len({row.mhr_entries for row in rows}) == 1
+
+    def test_overhead_grows_with_depth_for_hot_blocks(
+        self, producer_consumer_trace
+    ):
+        rows = overhead_sweep(producer_consumer_trace, depths=(1, 4))
+        # A hot repetitive block keeps at least as many patterns at
+        # higher depth, and each costs more bytes.
+        assert rows[1].overhead_percent >= rows[0].overhead_percent
+
+    def test_paper_formula_applied(self, producer_consumer_trace):
+        row = overhead_sweep(producer_consumer_trace, depths=(1,))[0]
+        expected = 2 * (1 + row.ratio * 2) * 100 / 128
+        assert row.overhead_percent == pytest.approx(expected)

@@ -1,0 +1,103 @@
+"""Tests for adaptation analysis and table rendering."""
+
+import pytest
+
+from repro.analysis.adaptation import (
+    AdaptationCurve,
+    accuracy_curve,
+    transition_progress,
+)
+from repro.analysis.report import render_matrix, render_table
+from repro.core.config import CosmosConfig
+from repro.protocol.messages import MessageType, Role
+
+
+class TestAccuracyCurve:
+    def test_curve_rises_as_predictor_warms(self, producer_consumer_trace):
+        curve = accuracy_curve(
+            producer_consumer_trace, checkpoints=[1, 5, 30]
+        )
+        assert curve.iterations == (1, 5, 30)
+        assert curve.accuracy_percent[0] <= curve.accuracy_percent[-1]
+
+    def test_steady_state_detection(self):
+        curve = AdaptationCurve(
+            iterations=(1, 5, 10, 20),
+            accuracy_percent=(20.0, 70.0, 89.0, 90.0),
+        )
+        assert curve.steady_state_iteration(tolerance=2.0) == 10
+        assert curve.steady_state_iteration(tolerance=25.0) == 5
+
+    def test_steady_state_empty_curve(self):
+        curve = AdaptationCurve(iterations=(), accuracy_percent=())
+        assert curve.steady_state_iteration() is None
+
+    def test_clean_workload_adapts_fast(self, producer_consumer_trace):
+        # Cumulative accuracy keeps early cold misses in the denominator,
+        # so "steady" arrives a little after the predictor itself locks
+        # on; a clean pattern still settles in well under the run length.
+        curve = accuracy_curve(
+            producer_consumer_trace, checkpoints=[2, 4, 8, 16, 30]
+        )
+        assert curve.steady_state_iteration(tolerance=5.0) <= 16
+
+
+class TestTransitionProgress:
+    def test_tracks_requested_transitions(self, producer_consumer_trace):
+        transition = (
+            Role.CACHE,
+            MessageType.GET_RO_RESPONSE,
+            MessageType.UPGRADE_RESPONSE,
+        )
+        progress = transition_progress(
+            producer_consumer_trace,
+            [transition],
+            checkpoints=[2, 30],
+            config=CosmosConfig(depth=1),
+        )
+        snapshots = progress[transition]
+        assert [s.iteration for s in snapshots] == [2, 30]
+        # Cumulative references grow; accuracy improves with training.
+        assert snapshots[1].refs > snapshots[0].refs
+        assert snapshots[1].hits_percent >= snapshots[0].hits_percent
+
+    def test_absent_transition_reports_zero(self, producer_consumer_trace):
+        transition = (
+            Role.CACHE,
+            MessageType.DOWNGRADE_REQUEST,
+            MessageType.DOWNGRADE_REQUEST,
+        )
+        progress = transition_progress(
+            producer_consumer_trace, [transition], checkpoints=[30]
+        )
+        snapshot = progress[transition][0]
+        assert snapshot.refs == 0
+        assert snapshot.hits_percent == 0.0
+
+
+class TestReport:
+    def test_render_table_alignment(self):
+        text = render_table(
+            ["name", "value"], [["alpha", 1], ["b", 22.5]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert set(lines[2]) == {"-"}
+        assert "22.5" in lines[4]
+
+    def test_render_table_right_aligns_values(self):
+        text = render_table(["k", "v"], [["a", 1], ["b", 100]])
+        lines = text.splitlines()
+        assert lines[-1].endswith("100")
+        assert lines[-2].endswith("  1")
+
+    def test_render_matrix(self):
+        text = render_matrix(
+            ["r1", "r2"],
+            ["c1", "c2"],
+            [[1, 2], [3, 4]],
+            corner="X",
+        )
+        assert "X" in text
+        assert "r2" in text and "c2" in text

@@ -1,0 +1,80 @@
+"""Tests for arc statistics and signature extraction."""
+
+import pytest
+
+from repro.analysis.arcs import Arc, measure_arcs
+from repro.analysis.signatures import dominant_signature, extract_signatures
+from repro.protocol.messages import MessageType, Role
+
+
+class TestMeasureArcs:
+    def test_producer_consumer_arcs(self, producer_consumer_trace):
+        arcs = measure_arcs(producer_consumer_trace, min_ref_percent=0.0)
+        pairs = {(arc.role, arc.src, arc.dst) for arc in arcs}
+        # The paper's Figure 2 producer signature at the cache.
+        assert (
+            Role.CACHE,
+            MessageType.GET_RO_RESPONSE,
+            MessageType.UPGRADE_RESPONSE,
+        ) in pairs
+        assert (
+            Role.CACHE,
+            MessageType.UPGRADE_RESPONSE,
+            MessageType.INVAL_RW_REQUEST,
+        ) in pairs
+
+    def test_ref_percent_sums_to_100_per_role(self, producer_consumer_trace):
+        arcs = measure_arcs(producer_consumer_trace, min_ref_percent=0.0)
+        for role in (Role.CACHE, Role.DIRECTORY):
+            total = sum(a.ref_percent for a in arcs if a.role == role)
+            assert total == pytest.approx(100.0, abs=0.1)
+
+    def test_min_ref_percent_filters(self, producer_consumer_trace):
+        all_arcs = measure_arcs(producer_consumer_trace, min_ref_percent=0.0)
+        major = measure_arcs(producer_consumer_trace, min_ref_percent=10.0)
+        assert len(major) <= len(all_arcs)
+        assert all(a.ref_percent >= 10.0 for a in major)
+
+    def test_sorted_by_share(self, producer_consumer_trace):
+        arcs = measure_arcs(producer_consumer_trace, min_ref_percent=0.0)
+        shares = [a.ref_percent for a in arcs]
+        assert shares == sorted(shares, reverse=True)
+
+    def test_label_format(self):
+        arc = Arc(
+            role=Role.CACHE,
+            src=MessageType.GET_RO_RESPONSE,
+            dst=MessageType.UPGRADE_RESPONSE,
+            hit_percent=94.4,
+            ref_percent=9.3,
+            refs=100,
+        )
+        assert arc.label == "94/9"
+
+    def test_steady_arcs_highly_accurate(self, producer_consumer_trace):
+        arcs = measure_arcs(producer_consumer_trace, min_ref_percent=5.0)
+        assert arcs
+        for arc in arcs:
+            assert arc.hit_percent > 75.0
+
+
+class TestSignatures:
+    def test_producer_signature_cycle(self, producer_consumer_trace):
+        arcs = measure_arcs(producer_consumer_trace, min_ref_percent=0.0)
+        signature = dominant_signature(arcs, Role.CACHE)
+        assert signature is not None
+        cycle = set(signature.cycle)
+        # The Figure 2 producer cycle passes through these messages.
+        assert MessageType.GET_RO_RESPONSE in cycle or (
+            MessageType.INVAL_RW_REQUEST in cycle
+        )
+        assert len(signature.cycle) >= 2
+
+    def test_extract_both_roles(self, producer_consumer_trace):
+        arcs = measure_arcs(producer_consumer_trace, min_ref_percent=0.0)
+        signatures = extract_signatures(arcs)
+        assert signatures[Role.CACHE] is not None
+        assert signatures[Role.DIRECTORY] is not None
+
+    def test_empty_arcs_give_none(self):
+        assert dominant_signature([], Role.CACHE) is None

@@ -1,0 +1,115 @@
+"""Tests for ASCII charts and DOT export."""
+
+import pytest
+
+from repro.analysis.arcs import Arc, measure_arcs
+from repro.analysis.dot import signature_graph_dot
+from repro.analysis.plotting import ascii_chart, sparkline
+from repro.analysis.signatures import Signature, extract_signatures
+from repro.protocol.messages import MessageType, Role
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        chart = ascii_chart(
+            [0, 1, 2, 3],
+            {"up": [0, 1, 2, 3], "down": [3, 2, 1, 0]},
+            width=20,
+            height=6,
+        )
+        lines = chart.splitlines()
+        assert any("o" in line for line in lines)
+        assert any("x" in line for line in lines)
+        assert "o = up" in chart and "x = down" in chart
+        assert "0" in chart and "3" in chart
+
+    def test_constant_series(self):
+        chart = ascii_chart([0, 1], {"flat": [5, 5]}, width=8, height=4)
+        assert "flat" in chart
+
+    def test_empty_x_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart([], {"s": []})
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1], {})
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], {"s": [1]})
+
+    def test_axis_labels(self):
+        chart = ascii_chart(
+            [0, 1], {"s": [0, 1]}, width=8, height=4,
+            x_label="f", y_label="speedup",
+        )
+        assert "speedup" in chart
+        assert chart.splitlines()[-2].strip() == "f"
+
+
+class TestSparkline:
+    def test_length_preserved(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_shape(self):
+        line = sparkline([0, 1, 2, 3, 4, 5])
+        assert line[0] == " " and line[-1] == "^"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant(self):
+        assert len(sparkline([7, 7, 7])) == 3
+
+
+class TestDotExport:
+    def _arc(self, src, dst, role=Role.CACHE, hit=90.0, ref=10.0):
+        return Arc(role=role, src=src, dst=dst, hit_percent=hit,
+                   ref_percent=ref, refs=100)
+
+    def test_nodes_and_edges_present(self):
+        arcs = [
+            self._arc(MessageType.GET_RO_RESPONSE,
+                      MessageType.UPGRADE_RESPONSE),
+            self._arc(MessageType.UPGRADE_RESPONSE,
+                      MessageType.INVAL_RW_REQUEST),
+        ]
+        dot = signature_graph_dot(arcs, Role.CACHE, title="appbt cache")
+        assert dot.startswith("digraph")
+        assert '"get_ro_response" -> "upgrade_response"' in dot
+        assert 'label="90/10"' in dot
+        assert "appbt cache" in dot
+
+    def test_other_role_arcs_excluded(self):
+        arcs = [
+            self._arc(MessageType.GET_RO_REQUEST,
+                      MessageType.UPGRADE_REQUEST, role=Role.DIRECTORY),
+        ]
+        dot = signature_graph_dot(arcs, Role.CACHE)
+        assert "->" not in dot
+
+    def test_signature_cycle_is_dashed(self):
+        arcs = [
+            self._arc(MessageType.GET_RO_RESPONSE,
+                      MessageType.UPGRADE_RESPONSE),
+            self._arc(MessageType.UPGRADE_RESPONSE,
+                      MessageType.GET_RO_RESPONSE),
+        ]
+        signature = Signature(
+            role=Role.CACHE,
+            cycle=(MessageType.GET_RO_RESPONSE,
+                   MessageType.UPGRADE_RESPONSE),
+            weight=50.0,
+        )
+        dot = signature_graph_dot(arcs, Role.CACHE, signature=signature)
+        assert dot.count("style=dashed") == 2
+
+    def test_end_to_end_from_trace(self, producer_consumer_trace):
+        arcs = measure_arcs(producer_consumer_trace, min_ref_percent=0.0)
+        signatures = extract_signatures(arcs)
+        dot = signature_graph_dot(
+            arcs, Role.CACHE, signature=signatures[Role.CACHE]
+        )
+        assert "digraph" in dot
+        assert "style=dashed" in dot

@@ -1,0 +1,109 @@
+"""Tests for the traffic characterization analysis."""
+
+import pytest
+
+from repro.analysis.traffic import (
+    FanoutStats,
+    measure_fanout,
+    summarize_traffic,
+)
+from repro.protocol.messages import MessageType, Role
+from repro.sim.machine import simulate
+from repro.trace.events import TraceEvent
+from repro.workloads.registry import make_workload
+
+
+def event(time, block, role, mtype, node=1, sender=0, iteration=1):
+    return TraceEvent(time, iteration, node, role, block, sender, mtype)
+
+
+class TestFanout:
+    def test_single_invalidation_burst(self):
+        events = [
+            event(1, 0x40, Role.CACHE, MessageType.INVAL_RO_REQUEST, node=2),
+            event(2, 0x40, Role.CACHE, MessageType.INVAL_RO_REQUEST, node=3),
+            event(3, 0x40, Role.CACHE, MessageType.GET_RW_RESPONSE, node=4),
+        ]
+        stats = measure_fanout(events)
+        assert stats.histogram == {2: 1}
+        assert stats.mean == 2.0
+
+    def test_bursts_separated_by_responses(self):
+        events = [
+            event(1, 0x40, Role.CACHE, MessageType.INVAL_RO_REQUEST),
+            event(2, 0x40, Role.CACHE, MessageType.GET_RW_RESPONSE),
+            event(3, 0x40, Role.CACHE, MessageType.INVAL_RW_REQUEST),
+            event(4, 0x40, Role.CACHE, MessageType.GET_RO_RESPONSE),
+        ]
+        stats = measure_fanout(events)
+        assert stats.histogram == {1: 2}
+        assert stats.fraction_single() == 1.0
+
+    def test_blocks_do_not_interfere(self):
+        events = [
+            event(1, 0x40, Role.CACHE, MessageType.INVAL_RO_REQUEST),
+            event(2, 0x80, Role.CACHE, MessageType.INVAL_RO_REQUEST),
+            event(3, 0x40, Role.CACHE, MessageType.INVAL_RO_REQUEST),
+            event(4, 0x40, Role.CACHE, MessageType.GET_RW_RESPONSE),
+            event(5, 0x80, Role.CACHE, MessageType.GET_RW_RESPONSE),
+        ]
+        stats = measure_fanout(events)
+        assert stats.histogram == {2: 1, 1: 1}
+
+    def test_open_burst_at_end_counted(self):
+        events = [
+            event(1, 0x40, Role.CACHE, MessageType.INVAL_RO_REQUEST),
+        ]
+        assert measure_fanout(events).histogram == {1: 1}
+
+    def test_empty(self):
+        stats = measure_fanout([])
+        assert stats.mean == 0.0
+        assert stats.max == 0
+        assert stats.fraction_single() == 0.0
+
+
+class TestSummary:
+    @pytest.fixture(scope="class")
+    def summary(self):
+        trace = simulate(
+            make_workload("moldyn", force_blocks=8, coord_blocks=8,
+                          cold_blocks=0),
+            iterations=8,
+            seed=1,
+        )
+        return summarize_traffic(trace.events)
+
+    def test_counts_consistent(self, summary):
+        assert summary.messages == sum(summary.type_counts.values())
+        assert summary.messages == sum(summary.role_counts.values())
+
+    def test_iterations_detected(self, summary):
+        assert summary.iterations == 8
+        assert summary.messages_per_iteration > 0
+
+    def test_reference_buckets_are_powers_of_two(self, summary):
+        for bucket in summary.block_references:
+            assert bucket & (bucket - 1) == 0
+
+    def test_format_mentions_fanout(self, summary):
+        assert "fan-out" in summary.format()
+
+    def test_moldyn_fanout_reaches_consumer_scale(self):
+        # ~4.9 consumers per coordinates block -> invalidation bursts of
+        # that size must occur.
+        trace = simulate(
+            make_workload("moldyn", cold_blocks=0), iterations=10, seed=1
+        )
+        stats = measure_fanout(trace.events)
+        assert stats.max >= 4
+        assert stats.mean > 1.0
+
+    def test_appbt_writes_mostly_single_copy(self):
+        trace = simulate(
+            make_workload("appbt", cold_blocks=0), iterations=10, seed=1
+        )
+        stats = measure_fanout(trace.events)
+        # One consumer per boundary block: single-copy invalidations
+        # dominate.
+        assert stats.fraction_single() > 0.7

@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import CosmosConfig
+from repro.experiments.figure2 import ProducerConsumerMicro
+from repro.sim.machine import simulate
+
+
+@pytest.fixture(scope="session")
+def producer_consumer_trace():
+    """A small, fully deterministic producer-consumer trace."""
+    collector = simulate(ProducerConsumerMicro(), iterations=30, seed=7)
+    return collector.events
+
+
+@pytest.fixture(scope="session")
+def two_consumer_trace():
+    """Producer-consumer with two consumers (out-of-order arrivals)."""
+    collector = simulate(
+        ProducerConsumerMicro(n_consumers=2), iterations=30, seed=7
+    )
+    return collector.events
+
+
+@pytest.fixture
+def depth1_config():
+    return CosmosConfig(depth=1)
+
+
+@pytest.fixture
+def depth2_config():
+    return CosmosConfig(depth=2)

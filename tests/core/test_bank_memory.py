@@ -1,0 +1,99 @@
+"""Tests for the predictor bank and memory accounting."""
+
+import pytest
+
+from repro.core.bank import PredictorBank
+from repro.core.config import CosmosConfig
+from repro.core.memory import MemoryOverhead, measure_overhead
+from repro.protocol.messages import MessageType, Role
+from repro.trace.events import TraceEvent
+
+TUP = (1, MessageType.GET_RO_REQUEST)
+
+
+def event(node=0, role=Role.DIRECTORY, block=0, sender=1,
+          mtype=MessageType.GET_RO_REQUEST, time=0, iteration=1):
+    return TraceEvent(time, iteration, node, role, block, sender, mtype)
+
+
+class TestBank:
+    def test_one_predictor_per_module(self):
+        bank = PredictorBank()
+        bank.observe(event(node=0, role=Role.DIRECTORY))
+        bank.observe(event(node=0, role=Role.CACHE,
+                           mtype=MessageType.GET_RO_RESPONSE))
+        bank.observe(event(node=1, role=Role.CACHE,
+                           mtype=MessageType.GET_RO_RESPONSE))
+        assert len(bank) == 3
+
+    def test_share_roles_merges_modules(self):
+        bank = PredictorBank(share_roles=True)
+        bank.observe(event(node=0, role=Role.DIRECTORY))
+        bank.observe(event(node=0, role=Role.CACHE,
+                           mtype=MessageType.GET_RO_RESPONSE))
+        assert len(bank) == 1
+
+    def test_same_module_reused(self):
+        bank = PredictorBank()
+        p1 = bank.predictor_for(3, Role.CACHE)
+        p2 = bank.predictor_for(3, Role.CACHE)
+        assert p1 is p2
+
+    def test_machine_wide_counters(self):
+        bank = PredictorBank(CosmosConfig(depth=1))
+        for _ in range(3):
+            bank.observe(event(node=0, block=0))
+            bank.observe(event(node=1, block=0))
+        assert bank.mhr_entries == 2  # one block at two modules
+        assert bank.pht_entries == 2
+
+    def test_config_propagates(self):
+        bank = PredictorBank(CosmosConfig(depth=3))
+        predictor = bank.predictor_for(0, Role.CACHE)
+        assert predictor.config.depth == 3
+
+
+class TestMemoryOverhead:
+    def test_paper_formula(self):
+        # Ovhd = tuple * (depth + ratio * (depth + 1)) * 100 / block
+        overhead = MemoryOverhead(
+            mhr_entries=100,
+            pht_entries=120,
+            depth=1,
+            tuple_bytes=2,
+            block_bytes=128,
+        )
+        assert overhead.ratio == pytest.approx(1.2)
+        assert overhead.overhead_percent == pytest.approx(
+            2 * (1 + 1.2 * 2) * 100 / 128
+        )
+
+    def test_barnes_depth3_paper_point(self):
+        # Paper: ratio 9.3 at depth 3 gives 63.0% overhead.
+        overhead = MemoryOverhead(
+            mhr_entries=1000,
+            pht_entries=9300,
+            depth=3,
+            tuple_bytes=2,
+            block_bytes=128,
+        )
+        assert overhead.overhead_percent == pytest.approx(63.0, abs=0.5)
+
+    def test_zero_mhr_entries(self):
+        overhead = MemoryOverhead(0, 0, 1, 2, 128)
+        assert overhead.ratio == 0.0
+
+    def test_bytes_per_block(self):
+        overhead = MemoryOverhead(10, 10, 1, 2, 128)
+        assert overhead.bytes_per_block == pytest.approx(
+            overhead.overhead_percent * 1.28
+        )
+
+    def test_measure_overhead_from_bank(self):
+        bank = PredictorBank(CosmosConfig(depth=1))
+        for _ in range(3):
+            bank.observe(event(node=0, block=0))
+        overhead = measure_overhead(bank)
+        assert overhead.mhr_entries == 1
+        assert overhead.pht_entries == 1
+        assert overhead.depth == 1

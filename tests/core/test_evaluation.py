@@ -1,0 +1,161 @@
+"""Tests for the trace-driven evaluation harness."""
+
+import pytest
+
+from repro.core.config import CosmosConfig
+from repro.core.evaluation import Tally, evaluate_trace
+from repro.predictors.oracle import OraclePredictor
+from repro.protocol.messages import MessageType, Role
+from repro.trace.events import TraceEvent
+
+
+def event(time, iteration, node, role, block, sender, mtype):
+    return TraceEvent(time, iteration, node, role, block, sender, mtype)
+
+
+def periodic_trace(repeats=10):
+    """A perfectly periodic two-module trace."""
+    events = []
+    time = 0
+    for iteration in range(1, repeats + 1):
+        for node, role, sender, mtype in [
+            (0, Role.DIRECTORY, 1, MessageType.GET_RO_REQUEST),
+            (1, Role.CACHE, 0, MessageType.GET_RO_RESPONSE),
+            (0, Role.DIRECTORY, 1, MessageType.UPGRADE_REQUEST),
+            (1, Role.CACHE, 0, MessageType.UPGRADE_RESPONSE),
+        ]:
+            time += 10
+            events.append(event(time, iteration, node, role, 0x40, sender, mtype))
+    return events
+
+
+class TestTally:
+    def test_accuracy(self):
+        tally = Tally(hits=3, refs=4)
+        assert tally.accuracy == 0.75
+
+    def test_empty_accuracy(self):
+        assert Tally().accuracy == 0.0
+
+    def test_add_and_merge(self):
+        tally = Tally()
+        tally.add(True)
+        tally.add(False)
+        merged = tally.merged(Tally(hits=1, refs=1))
+        assert merged.hits == 2
+        assert merged.refs == 3
+
+
+class TestEvaluateTrace:
+    def test_periodic_trace_converges(self):
+        result = evaluate_trace(periodic_trace(20), CosmosConfig(depth=1))
+        # 2 cold misses per module out of 40 references each.
+        assert result.overall_accuracy > 0.85
+        assert result.cache_accuracy > 0.85
+        assert result.directory_accuracy > 0.85
+
+    def test_roles_partition_references(self):
+        result = evaluate_trace(periodic_trace(5))
+        total = (
+            result.by_role[Role.CACHE].refs
+            + result.by_role[Role.DIRECTORY].refs
+        )
+        assert total == result.overall.refs == 20
+
+    def test_arcs_recorded(self):
+        result = evaluate_trace(periodic_trace(5))
+        keys = set(result.arcs.tallies)
+        assert (
+            Role.DIRECTORY,
+            MessageType.GET_RO_REQUEST,
+            MessageType.UPGRADE_REQUEST,
+        ) in keys
+        assert (
+            Role.CACHE,
+            MessageType.GET_RO_RESPONSE,
+            MessageType.UPGRADE_RESPONSE,
+        ) in keys
+
+    def test_arc_reference_share(self):
+        result = evaluate_trace(periodic_trace(10))
+        key = (
+            Role.DIRECTORY,
+            MessageType.GET_RO_REQUEST,
+            MessageType.UPGRADE_REQUEST,
+        )
+        # Arcs at the directory: 10 of each of 2 kinds minus the first.
+        assert result.arcs.reference_share(key) == pytest.approx(
+            10 / 19, abs=0.01
+        )
+
+    def test_track_arcs_off(self):
+        result = evaluate_trace(periodic_trace(5), track_arcs=False)
+        assert not result.arcs.tallies
+
+    def test_checkpoints_cumulative(self):
+        result = evaluate_trace(
+            periodic_trace(10), checkpoint_iterations=[2, 5, 10]
+        )
+        assert [cp.iteration for cp in result.checkpoints] == [2, 5, 10]
+        refs = [cp.overall.refs for cp in result.checkpoints]
+        assert refs == [8, 20, 40]
+        # Accuracy improves as the predictor warms up.
+        accs = [cp.overall.accuracy for cp in result.checkpoints]
+        assert accs[0] <= accs[-1]
+
+    def test_checkpoint_beyond_trace_end(self):
+        result = evaluate_trace(
+            periodic_trace(3), checkpoint_iterations=[2, 99]
+        )
+        assert [cp.iteration for cp in result.checkpoints] == [2, 99]
+        assert result.checkpoints[-1].overall.refs == 12
+
+    def test_overhead_reported_for_cosmos(self):
+        result = evaluate_trace(periodic_trace(3), CosmosConfig(depth=1))
+        assert result.overhead is not None
+        assert result.overhead.mhr_entries == 2
+
+    def test_custom_predictor_factory(self):
+        events = periodic_trace(3)
+        oracles = []
+
+        def factory():
+            oracle = OraclePredictor()
+            oracles.append(oracle)
+            return oracle
+
+        # Prime each oracle lazily is impossible here, so instead verify
+        # the factory path runs and reports no overhead (not Cosmos).
+        result = evaluate_trace(events, predictor_factory=factory)
+        assert result.overhead is None
+        assert len(oracles) == 2  # one per module
+
+    def test_oracle_predicts_perfectly(self):
+        events = periodic_trace(4)
+        by_module = {}
+        for e in events:
+            by_module.setdefault((e.node, e.role), []).append(e)
+        modules = iter(sorted(by_module))
+
+        def factory():
+            key = next(modules)
+            oracle = OraclePredictor()
+            for e in by_module[key]:
+                oracle.prime(e.block, [e.tuple])
+            return oracle
+
+        # evaluate_trace creates predictors in first-appearance order,
+        # which for this trace matches sorted order (dir 0, cache 1).
+        result = evaluate_trace(events, predictor_factory=factory)
+        assert result.overall_accuracy == 1.0
+
+    def test_empty_trace(self):
+        result = evaluate_trace([])
+        assert result.overall.refs == 0
+        assert result.overall_accuracy == 0.0
+
+    def test_determinism(self, producer_consumer_trace):
+        r1 = evaluate_trace(producer_consumer_trace, CosmosConfig(depth=2))
+        r2 = evaluate_trace(producer_consumer_trace, CosmosConfig(depth=2))
+        assert r1.overall.hits == r2.overall.hits
+        assert r1.overall.refs == r2.overall.refs

@@ -1,0 +1,50 @@
+"""Tests for the Message History Register."""
+
+from repro.core.mhr import MessageHistoryRegister
+from repro.protocol.messages import MessageType
+
+A = (1, MessageType.GET_RO_REQUEST)
+B = (2, MessageType.GET_RO_REQUEST)
+C = (1, MessageType.UPGRADE_REQUEST)
+
+
+class TestShiftRegister:
+    def test_starts_empty(self):
+        mhr = MessageHistoryRegister(2)
+        assert len(mhr) == 0
+        assert not mhr.full
+        assert mhr.pattern() is None
+
+    def test_fills_to_depth(self):
+        mhr = MessageHistoryRegister(2)
+        mhr.shift(A)
+        assert not mhr.full
+        assert mhr.pattern() is None
+        mhr.shift(B)
+        assert mhr.full
+        assert mhr.pattern() == (A, B)
+
+    def test_oldest_drops_first(self):
+        mhr = MessageHistoryRegister(2)
+        for tup in (A, B, C):
+            mhr.shift(tup)
+        assert mhr.pattern() == (B, C)
+
+    def test_depth_one(self):
+        mhr = MessageHistoryRegister(1)
+        mhr.shift(A)
+        assert mhr.pattern() == (A,)
+        mhr.shift(B)
+        assert mhr.pattern() == (B,)
+
+    def test_snapshot_shows_partial(self):
+        mhr = MessageHistoryRegister(3)
+        mhr.shift(A)
+        assert mhr.snapshot() == (A,)
+
+    def test_pattern_is_immutable_tuple(self):
+        mhr = MessageHistoryRegister(1)
+        mhr.shift(A)
+        pattern = mhr.pattern()
+        mhr.shift(B)
+        assert pattern == (A,)  # earlier snapshot unaffected

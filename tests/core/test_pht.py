@@ -1,0 +1,88 @@
+"""Tests for the Pattern History Table and the noise filter."""
+
+from repro.core.pht import PatternHistoryTable, PHTEntry
+from repro.protocol.messages import MessageType
+
+A = (1, MessageType.GET_RO_REQUEST)
+B = (2, MessageType.INVAL_RO_RESPONSE)
+C = (3, MessageType.UPGRADE_REQUEST)
+PATTERN = (A,)
+
+
+class TestUnfiltered:
+    """max_count = 0: every misprediction replaces the prediction."""
+
+    def test_empty_predicts_nothing(self):
+        pht = PatternHistoryTable()
+        assert pht.predict(PATTERN) is None
+
+    def test_first_training_installs_prediction(self):
+        pht = PatternHistoryTable()
+        pht.train(PATTERN, B)
+        assert pht.predict(PATTERN) == B
+
+    def test_miss_replaces_immediately(self):
+        pht = PatternHistoryTable(filter_max_count=0)
+        pht.train(PATTERN, B)
+        pht.train(PATTERN, C)
+        assert pht.predict(PATTERN) == C
+
+    def test_patterns_are_independent(self):
+        pht = PatternHistoryTable()
+        pht.train((A,), B)
+        pht.train((B,), C)
+        assert pht.predict((A,)) == B
+        assert pht.predict((B,)) == C
+        assert len(pht) == 2
+
+
+class TestFiltered:
+    """The paper's single-sided saturating counter (Section 3.6)."""
+
+    def test_one_noise_event_does_not_flip(self):
+        pht = PatternHistoryTable(filter_max_count=1)
+        pht.train(PATTERN, B)
+        pht.train(PATTERN, B)  # counter -> 1
+        pht.train(PATTERN, C)  # noise: counter -> 0, prediction kept
+        assert pht.predict(PATTERN) == B
+
+    def test_two_consecutive_misses_flip(self):
+        pht = PatternHistoryTable(filter_max_count=1)
+        pht.train(PATTERN, B)
+        pht.train(PATTERN, B)
+        pht.train(PATTERN, C)
+        pht.train(PATTERN, C)
+        assert pht.predict(PATTERN) == C
+
+    def test_counter_saturates_at_max(self):
+        pht = PatternHistoryTable(filter_max_count=2)
+        pht.train(PATTERN, B)
+        for _ in range(10):
+            pht.train(PATTERN, B)  # saturates at 2, not 10
+        pht.train(PATTERN, C)
+        pht.train(PATTERN, C)
+        assert pht.predict(PATTERN) == B  # survived two misses
+        pht.train(PATTERN, C)
+        assert pht.predict(PATTERN) == C  # third miss flips
+
+    def test_fresh_entry_flips_after_needed_misses(self):
+        # A brand-new entry has counter 0: with max_count=1 a single miss
+        # replaces it (counter never got confirmations).
+        pht = PatternHistoryTable(filter_max_count=1)
+        pht.train(PATTERN, B)
+        pht.train(PATTERN, C)
+        assert pht.predict(PATTERN) == C
+
+
+class TestEntry:
+    def test_entry_repr_mentions_prediction(self):
+        entry = PHTEntry(B)
+        assert "2" in repr(entry)
+
+    def test_contains_and_items(self):
+        pht = PatternHistoryTable()
+        pht.train(PATTERN, B)
+        assert PATTERN in pht
+        assert (B,) not in pht
+        items = dict(pht.items())
+        assert items[PATTERN].prediction == B

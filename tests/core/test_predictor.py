@@ -1,0 +1,150 @@
+"""Tests for the Cosmos predictor (the paper's Section 3 examples)."""
+
+import pytest
+
+from repro.core.config import CosmosConfig
+from repro.core.predictor import CosmosPredictor
+from repro.protocol.messages import MessageType
+
+BLOCK = 0x40
+OTHER = 0x80
+
+# The paper's Figure 3b example: at the directory, a get_ro_request from
+# P1 is followed by an inval_ro_response from P2.
+GET_P1 = (1, MessageType.GET_RO_REQUEST)
+INV_P2 = (2, MessageType.INVAL_RO_RESPONSE)
+GET_P2 = (2, MessageType.GET_RO_REQUEST)
+GET_P3 = (3, MessageType.GET_RO_REQUEST)
+
+
+class TestBasicOperation:
+    def test_no_prediction_before_history(self):
+        predictor = CosmosPredictor()
+        assert predictor.predict(BLOCK) is None
+
+    def test_figure3_example(self):
+        # After observing GET_P1 -> INV_P2 once, seeing GET_P1 again
+        # predicts INV_P2.
+        predictor = CosmosPredictor(CosmosConfig(depth=1))
+        predictor.update(BLOCK, GET_P1)
+        predictor.update(BLOCK, INV_P2)
+        predictor.update(BLOCK, GET_P1)
+        assert predictor.predict(BLOCK) == INV_P2
+
+    def test_blocks_are_independent(self):
+        predictor = CosmosPredictor()
+        predictor.update(BLOCK, GET_P1)
+        predictor.update(BLOCK, INV_P2)
+        predictor.update(OTHER, GET_P1)
+        predictor.update(OTHER, GET_P3)
+        predictor.update(BLOCK, GET_P1)
+        predictor.update(OTHER, GET_P1)
+        assert predictor.predict(BLOCK) == INV_P2
+        assert predictor.predict(OTHER) == GET_P3
+
+    def test_periodic_stream_learned_perfectly(self):
+        predictor = CosmosPredictor(CosmosConfig(depth=1))
+        cycle = [GET_P1, INV_P2, GET_P2]
+        hits = 0
+        for repeat in range(10):
+            for tup in cycle:
+                observation = predictor.observe(BLOCK, tup)
+                if repeat >= 2:
+                    assert observation.hit
+                hits += observation.hit
+        assert predictor.accuracy > 0.7
+
+
+class TestSection35Adaptation:
+    """The paper's out-of-order consumer example."""
+
+    def test_depth1_handles_two_orderings(self):
+        # With depth 1, PHT learns GET_P1 -> GET_P2 and GET_P2 -> GET_P1,
+        # predicting the *other* consumer regardless of order.
+        predictor = CosmosPredictor(CosmosConfig(depth=1))
+        predictor.update(BLOCK, GET_P1)
+        predictor.update(BLOCK, GET_P2)
+        predictor.update(BLOCK, GET_P1)
+        assert predictor.predict(BLOCK) == GET_P2
+        predictor.update(BLOCK, GET_P2)
+        assert predictor.predict(BLOCK) == GET_P1
+
+    def test_depth2_disambiguates_three_consumers(self):
+        # The paper's depth-2 example: three get_ro_requests arriving in
+        # rotating orders; depth 2 predicts the third from the first two.
+        predictor = CosmosPredictor(CosmosConfig(depth=2))
+        marker = (0, MessageType.INVAL_RW_RESPONSE)
+        orders = [
+            [GET_P1, GET_P2, GET_P3],
+            [GET_P2, GET_P1, GET_P3],
+            [GET_P3, GET_P1, GET_P2],
+        ]
+        # Train each ordering a few times, separated by a marker message.
+        for _ in range(3):
+            for order in orders:
+                for tup in order:
+                    predictor.update(BLOCK, tup)
+                predictor.update(BLOCK, marker)
+        # Now: having seen (GET_P2, GET_P1), the third must be GET_P3.
+        predictor.update(BLOCK, GET_P2)
+        predictor.update(BLOCK, GET_P1)
+        assert predictor.predict(BLOCK) == GET_P3
+        # Whereas (GET_P3, GET_P1) implies GET_P2.
+        predictor.update(BLOCK, GET_P3)
+
+
+class TestStatistics:
+    def test_no_prediction_counts_as_miss(self):
+        predictor = CosmosPredictor()
+        predictor.observe(BLOCK, GET_P1)  # no history -> no prediction
+        assert predictor.no_prediction == 1
+        assert predictor.accuracy == 0.0
+
+    def test_hit_accounting(self):
+        predictor = CosmosPredictor()
+        for _ in range(3):
+            predictor.observe(BLOCK, GET_P1)
+        # First: no prediction; second: PHT empty -> no prediction;
+        # third: predicts GET_P1 -> hit.
+        assert predictor.hits == 1
+        assert predictor.predictions == 1
+        assert predictor.no_prediction == 2
+
+    def test_observation_hit_requires_full_tuple(self):
+        predictor = CosmosPredictor()
+        predictor.update(BLOCK, GET_P1)
+        predictor.update(BLOCK, GET_P2)
+        predictor.update(BLOCK, GET_P1)
+        observation = predictor.observe(BLOCK, GET_P3)
+        assert not observation.hit
+        assert observation.type_hit  # type matched, sender did not
+
+
+class TestMemoryIntrospection:
+    def test_mhr_entries_count_blocks(self):
+        predictor = CosmosPredictor()
+        predictor.update(BLOCK, GET_P1)
+        predictor.update(OTHER, GET_P1)
+        assert predictor.mhr_entries == 2
+
+    def test_pht_allocated_only_beyond_depth(self):
+        # A block with exactly `depth` references never allocates a PHT
+        # (the Table 7 footnote rule).
+        predictor = CosmosPredictor(CosmosConfig(depth=2))
+        predictor.update(BLOCK, GET_P1)
+        predictor.update(BLOCK, GET_P2)
+        assert predictor.pht_entries == 0
+        predictor.update(BLOCK, GET_P3)
+        assert predictor.pht_entries == 1
+
+    def test_pht_entries_accumulate_distinct_patterns(self):
+        predictor = CosmosPredictor(CosmosConfig(depth=1))
+        for tup in (GET_P1, GET_P2, GET_P3, GET_P1):
+            predictor.update(BLOCK, tup)
+        # Patterns seen: (GET_P1,), (GET_P2,), (GET_P3,) -> 3 entries.
+        assert predictor.pht_entries == 3
+
+    def test_blocks_listing(self):
+        predictor = CosmosPredictor()
+        predictor.update(BLOCK, GET_P1)
+        assert predictor.blocks() == (BLOCK,)

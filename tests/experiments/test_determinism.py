@@ -1,0 +1,54 @@
+"""End-to-end determinism of experiment drivers.
+
+The whole pipeline -- workload layout, simulation, prediction, analysis
+-- is seeded; an experiment re-run from scratch must reproduce its
+numbers exactly.  This is what makes EXPERIMENTS.md auditable.
+"""
+
+import pytest
+
+from repro.core.bank import PredictorBank
+from repro.core.config import CosmosConfig
+from repro.experiments.common import clear_trace_cache, get_trace
+from repro.experiments.table5 import run_table5
+
+
+class TestEndToEndDeterminism:
+    def test_table5_reproduces_exactly(self):
+        clear_trace_cache()
+        first = run_table5(apps=("moldyn",), depths=(1, 2), quick=True)
+        clear_trace_cache()  # force a fresh simulation
+        second = run_table5(apps=("moldyn",), depths=(1, 2), quick=True)
+        for depth in (1, 2):
+            a, b = first.cell("moldyn", depth), second.cell("moldyn", depth)
+            assert (a.cache, a.directory, a.overall) == (
+                b.cache,
+                b.directory,
+                b.overall,
+            )
+        clear_trace_cache()
+
+    def test_bank_matches_manual_replay(self):
+        """The bank's routing must equal a hand-rolled per-module replay."""
+        events = get_trace("moldyn", iterations=4, quick=True)
+        bank = PredictorBank(CosmosConfig(depth=1))
+        bank_hits = sum(bank.observe(event).hit for event in events)
+
+        from repro.core.predictor import CosmosPredictor
+
+        manual = {}
+        manual_hits = 0
+        for event in events:
+            key = (event.node, event.role)
+            predictor = manual.get(key)
+            if predictor is None:
+                predictor = CosmosPredictor(CosmosConfig(depth=1))
+                manual[key] = predictor
+            manual_hits += predictor.observe(event.block, event.tuple).hit
+        assert bank_hits == manual_hits
+        assert len(bank) == len(manual)
+
+    def test_different_seeds_differ(self):
+        a = get_trace("moldyn", iterations=4, quick=True, seed=100)
+        b = get_trace("moldyn", iterations=4, quick=True, seed=101)
+        assert a != b

@@ -1,0 +1,166 @@
+"""Paper-scale shape regression tests.
+
+These assert the *qualitative* claims of the paper's evaluation on
+full-size runs -- the checklist EXPERIMENTS.md audits.  They are the
+slowest tests in the suite (a few minutes of simulated machine time) but
+they are the ones that make this repository a reproduction rather than a
+library.
+"""
+
+import pytest
+
+from repro.analysis.accuracy import depth_sweep, filter_sweep
+from repro.analysis.overhead import overhead_sweep
+from repro.core.config import CosmosConfig
+from repro.experiments.common import get_trace
+from repro.experiments.table8 import TABLE8_TRANSITIONS, run_table8
+from repro.workloads.registry import BENCHMARK_NAMES
+
+SEED = 0
+
+
+@pytest.fixture(scope="module")
+def sweeps():
+    """Depth sweeps for all five applications at paper scale."""
+    return {
+        app: depth_sweep(get_trace(app, seed=SEED), depths=(1, 2, 3, 4))
+        for app in BENCHMARK_NAMES
+    }
+
+
+class TestTable5Shapes:
+    def test_accuracy_in_paper_band(self, sweeps):
+        # Paper: overall accuracies span 62-93%.
+        for app, rows in sweeps.items():
+            for row in rows:
+                assert 55.0 < row.overall < 98.0, (app, row)
+
+    def test_cache_beats_directory(self, sweeps):
+        # Stache caches hear from one fixed sender; directories from
+        # many.  At high depths deep history can close the gap to a
+        # near-tie (unstructured), so the strict check applies at depth 1
+        # and a no-worse-than-a-point check at the rest.
+        for app, rows in sweeps.items():
+            assert rows[0].cache > rows[0].directory, app
+            for row in rows:
+                assert row.cache > row.directory - 1.0, (app, row)
+
+    def test_barnes_is_worst(self, sweeps):
+        # Address reassignment makes barnes the least predictable app.
+        for depth_index in range(4):
+            barnes = sweeps["barnes"][depth_index].overall
+            for app in BENCHMARK_NAMES:
+                if app != "barnes":
+                    assert sweeps[app][depth_index].overall > barnes
+
+    def test_history_helps_barnes_then_saturates(self, sweeps):
+        rows = sweeps["barnes"]
+        assert rows[1].overall > rows[0].overall + 2  # depth 2 >> depth 1
+        assert abs(rows[2].overall - rows[1].overall) < 4  # saturated
+
+    def test_unstructured_gains_most_from_history(self, sweeps):
+        gains = {
+            app: rows[3].overall - rows[0].overall
+            for app, rows in sweeps.items()
+        }
+        assert gains["unstructured"] > 8.0
+        assert gains["unstructured"] == max(gains.values())
+
+    def test_dsmc_directory_rises_with_depth(self, sweeps):
+        rows = sweeps["dsmc"]
+        assert rows[2].directory > rows[0].directory + 4
+
+    def test_appbt_flat_with_depth(self, sweeps):
+        rows = sweeps["appbt"]
+        assert abs(rows[3].overall - rows[0].overall) < 8.0
+
+    def test_moldyn_matches_paper_band_at_depth1(self, sweeps):
+        row = sweeps["moldyn"][0]
+        assert 85 < row.cache < 98  # paper: 92
+        assert 70 < row.directory < 90  # paper: 79
+
+
+class TestTable6Shapes:
+    @pytest.fixture(scope="class")
+    def barnes_filters(self):
+        return filter_sweep(
+            get_trace("barnes", seed=SEED), depths=(1, 2), filter_counts=(0, 1, 2)
+        )
+
+    def test_filters_help_at_depth_one(self, barnes_filters):
+        # Paper: up to ~6 points for barnes at depth 1.
+        assert barnes_filters[1][1] >= barnes_filters[1][0]
+
+    def test_filters_help_less_at_depth_two(self, barnes_filters):
+        gain_d1 = barnes_filters[1][1] - barnes_filters[1][0]
+        gain_d2 = barnes_filters[2][1] - barnes_filters[2][0]
+        assert gain_d2 <= gain_d1 + 1.0
+
+    def test_second_counter_step_adds_little(self, barnes_filters):
+        assert abs(barnes_filters[1][2] - barnes_filters[1][1]) < 3.0
+
+
+class TestTable7Shapes:
+    @pytest.fixture(scope="class")
+    def overheads(self):
+        return {
+            app: overhead_sweep(get_trace(app, seed=SEED), depths=(1, 2, 3, 4))
+            for app in BENCHMARK_NAMES
+        }
+
+    def test_depth1_overhead_under_paper_threshold(self, overheads):
+        # Paper: < 14% per 128-byte block at depth 1 for every app.
+        for app, rows in overheads.items():
+            assert rows[0].overhead_percent < 16.0, app
+
+    def test_barnes_has_highest_ratio(self, overheads):
+        for depth_index in range(4):
+            barnes = overheads["barnes"][depth_index].ratio
+            for app in BENCHMARK_NAMES:
+                if app != "barnes":
+                    assert overheads[app][depth_index].ratio < barnes
+
+    def test_dsmc_ratio_below_one(self, overheads):
+        assert overheads["dsmc"][0].ratio < 1.0
+
+    def test_dsmc_ratio_does_not_grow_much(self, overheads):
+        rows = overheads["dsmc"]
+        assert rows[3].ratio < rows[0].ratio + 0.3
+
+    def test_barnes_depth3_overhead_matches_paper_scale(self, overheads):
+        # Paper: 63% at depth 3; we accept the same order of magnitude.
+        assert 35.0 < overheads["barnes"][2].overhead_percent < 95.0
+
+
+class TestTable8Shapes:
+    @pytest.fixture(scope="class")
+    def table8(self):
+        return run_table8(seed=SEED)
+
+    def test_named_transitions_improve_over_time(self, table8):
+        for transition, snapshots in table8.progress.items():
+            by_iter = {s.iteration: s for s in snapshots}
+            assert by_iter[320].hits_percent > by_iter[4].hits_percent, (
+                transition
+            )
+
+    def test_transitions_start_cold(self, table8):
+        # Paper: 1-2% hit rates after 4 iterations.  Our synthetic flow
+        # field churns between fewer candidate producers than the real
+        # application, so the floor is higher, but every transition still
+        # starts far below its converged rate.
+        for transition, snapshots in table8.progress.items():
+            by_iter = {s.iteration: s for s in snapshots}
+            assert by_iter[4].hits_percent < 60.0, transition
+            assert (
+                by_iter[4].hits_percent < by_iter[320].hits_percent - 10
+            ), transition
+
+    def test_dsmc_adapts_slowest(self, table8):
+        steady = {
+            app: curve.steady_state_iteration(tolerance=2.0)
+            for app, curve in table8.curves.items()
+        }
+        assert steady["dsmc"] == max(steady.values())
+        for app in ("barnes", "unstructured"):
+            assert steady[app] < steady["dsmc"]

@@ -1,0 +1,58 @@
+"""Tests for the repro-experiments CLI."""
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS, main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "table5" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["tableX"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_static_tables(self, capsys):
+        assert main(["tables1-3-4"]) == 0
+        out = capsys.readouterr().out
+        assert "get_ro_request" in out  # Table 1
+        assert "MOESI" in out  # Table 3
+        assert "barnes" in out  # Table 4
+
+    def test_figure5_runs(self, capsys):
+        assert main(["figure5"]) == 0
+        assert "speedup" in capsys.readouterr().out
+
+    def test_quick_experiment_runs(self, capsys):
+        assert main(["--quick", "--seed", "1", "table5"]) == 0
+        out = capsys.readouterr().out
+        assert "Depth of MHR" in out
+        assert "regenerated" in out
+
+
+class TestHtmlReport:
+    def test_html_written(self, tmp_path, capsys):
+        out = tmp_path / "report.html"
+        assert main(["figure5", "tables1-3-4", "--html", str(out)]) == 0
+        text = out.read_text()
+        assert text.startswith("<!DOCTYPE html>")
+        assert "figure5" in text and "tables1-3-4" in text
+        assert "speedup" in text
+        # Table content is escaped into <pre> blocks.
+        assert "<pre>" in text
+        assert "HTML report written" in capsys.readouterr().out
+
+    def test_render_helper_escapes(self):
+        from repro.experiments.runner import render_html_report
+
+        html = render_html_report([("t", "<script>alert(1)</script>", 0.1)])
+        assert "<script>" not in html
+        assert "&lt;script&gt;" in html

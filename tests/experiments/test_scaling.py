@@ -1,0 +1,45 @@
+"""Tests for the scaling and seed-robustness studies."""
+
+import pytest
+
+from repro.experiments.scaling import run_scaling, run_seed_study
+
+
+class TestScaling:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_scaling(
+            apps=("moldyn",), node_counts=(4, 16), depth=1, quick=True
+        )
+
+    def test_one_point_per_size(self, result):
+        assert [p.n_nodes for p in result.points["moldyn"]] == [4, 16]
+
+    def test_workloads_repartition(self, result):
+        # More nodes, more boundary traffic.
+        small, large = result.points["moldyn"]
+        assert large.messages > small.messages
+
+    def test_accuracy_does_not_collapse(self, result):
+        for point in result.points["moldyn"]:
+            assert point.overall > 40.0
+
+    def test_format(self, result):
+        text = result.format()
+        assert "nodes" in text and "moldyn" in text
+
+
+class TestSeedStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_seed_study(apps=("moldyn",), seeds=(0, 1, 2), quick=True)
+
+    def test_all_seeds_measured(self, result):
+        assert len(result.accuracies["moldyn"]) == 3
+
+    def test_spread_is_small(self, result):
+        # Calibration must not hinge on one lucky seed.
+        assert result.spread("moldyn") < 8.0
+
+    def test_format(self, result):
+        assert "spread" in result.format()

@@ -1,0 +1,181 @@
+"""Unit tests for the cache-side coherence FSM."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.protocol.cache_ctrl import CacheController
+from repro.protocol.messages import Message, MessageType
+from repro.protocol.state import CacheState
+
+NODE = 1
+HOME = 0
+BLOCK = 0x40
+
+
+@pytest.fixture
+def ctrl():
+    sent = []
+    controller = CacheController(NODE, sent.append)
+    controller.sent = sent  # test-side stash
+    return controller
+
+
+def completed_flag():
+    calls = []
+    return calls, lambda: calls.append(True)
+
+
+def respond(ctrl, mtype):
+    ctrl.handle_message(
+        Message(src=HOME, dst=NODE, mtype=mtype, block=BLOCK)
+    )
+
+
+class TestAccess:
+    def test_initial_state_is_invalid(self, ctrl):
+        assert ctrl.state_of(BLOCK) is CacheState.INVALID
+
+    def test_read_miss_sends_get_ro(self, ctrl):
+        calls, cb = completed_flag()
+        hit = ctrl.access(BLOCK, HOME, is_write=False, done_cb=cb)
+        assert not hit
+        assert ctrl.sent[-1].mtype is MessageType.GET_RO_REQUEST
+        assert ctrl.sent[-1].dst == HOME
+        assert not calls  # not complete until the response arrives
+
+    def test_write_miss_sends_get_rw(self, ctrl):
+        _, cb = completed_flag()
+        assert not ctrl.access(BLOCK, HOME, is_write=True, done_cb=cb)
+        assert ctrl.sent[-1].mtype is MessageType.GET_RW_REQUEST
+
+    def test_write_on_shared_sends_upgrade(self, ctrl):
+        _, cb = completed_flag()
+        ctrl.access(BLOCK, HOME, is_write=False, done_cb=cb)
+        respond(ctrl, MessageType.GET_RO_RESPONSE)
+        assert not ctrl.access(BLOCK, HOME, is_write=True, done_cb=cb)
+        assert ctrl.sent[-1].mtype is MessageType.UPGRADE_REQUEST
+
+    def test_read_hit_on_shared(self, ctrl):
+        _, cb = completed_flag()
+        ctrl.access(BLOCK, HOME, is_write=False, done_cb=cb)
+        respond(ctrl, MessageType.GET_RO_RESPONSE)
+        assert ctrl.access(BLOCK, HOME, is_write=False, done_cb=cb)
+
+    def test_read_and_write_hit_on_exclusive(self, ctrl):
+        _, cb = completed_flag()
+        ctrl.access(BLOCK, HOME, is_write=True, done_cb=cb)
+        respond(ctrl, MessageType.GET_RW_RESPONSE)
+        assert ctrl.access(BLOCK, HOME, is_write=False, done_cb=cb)
+        assert ctrl.access(BLOCK, HOME, is_write=True, done_cb=cb)
+
+    def test_home_block_access_rejected(self, ctrl):
+        _, cb = completed_flag()
+        with pytest.raises(ProtocolError):
+            ctrl.access(BLOCK, NODE, is_write=False, done_cb=cb)
+
+    def test_double_outstanding_rejected(self, ctrl):
+        _, cb = completed_flag()
+        ctrl.access(BLOCK, HOME, is_write=False, done_cb=cb)
+        with pytest.raises(ProtocolError):
+            ctrl.access(BLOCK, HOME, is_write=False, done_cb=cb)
+
+    def test_hit_and_miss_counters(self, ctrl):
+        _, cb = completed_flag()
+        ctrl.access(BLOCK, HOME, is_write=False, done_cb=cb)
+        respond(ctrl, MessageType.GET_RO_RESPONSE)
+        ctrl.access(BLOCK, HOME, is_write=False, done_cb=cb)
+        assert ctrl.misses == 1
+        assert ctrl.hits == 1
+
+
+class TestResponses:
+    def test_get_ro_response_completes_read(self, ctrl):
+        calls, cb = completed_flag()
+        ctrl.access(BLOCK, HOME, is_write=False, done_cb=cb)
+        respond(ctrl, MessageType.GET_RO_RESPONSE)
+        assert calls == [True]
+        assert ctrl.state_of(BLOCK) is CacheState.SHARED
+
+    def test_get_rw_response_completes_write(self, ctrl):
+        calls, cb = completed_flag()
+        ctrl.access(BLOCK, HOME, is_write=True, done_cb=cb)
+        respond(ctrl, MessageType.GET_RW_RESPONSE)
+        assert calls == [True]
+        assert ctrl.state_of(BLOCK) is CacheState.EXCLUSIVE
+
+    def test_upgrade_response_grants_exclusive(self, ctrl):
+        calls, cb = completed_flag()
+        ctrl.access(BLOCK, HOME, is_write=False, done_cb=cb)
+        respond(ctrl, MessageType.GET_RO_RESPONSE)
+        ctrl.access(BLOCK, HOME, is_write=True, done_cb=cb)
+        respond(ctrl, MessageType.UPGRADE_RESPONSE)
+        assert ctrl.state_of(BLOCK) is CacheState.EXCLUSIVE
+        assert calls == [True, True]
+
+    def test_unexpected_response_raises(self, ctrl):
+        with pytest.raises(ProtocolError):
+            respond(ctrl, MessageType.GET_RO_RESPONSE)
+
+    def test_rw_response_serves_read_outstanding(self, ctrl):
+        # The predictive directory may answer a read with an exclusive
+        # grant; the cache must accept it.
+        calls, cb = completed_flag()
+        ctrl.access(BLOCK, HOME, is_write=False, done_cb=cb)
+        respond(ctrl, MessageType.GET_RW_RESPONSE)
+        assert calls == [True]
+        assert ctrl.state_of(BLOCK) is CacheState.EXCLUSIVE
+
+
+class TestInvalidations:
+    def _acquire(self, ctrl, exclusive):
+        _, cb = completed_flag()
+        ctrl.access(BLOCK, HOME, is_write=exclusive, done_cb=cb)
+        respond(
+            ctrl,
+            MessageType.GET_RW_RESPONSE
+            if exclusive
+            else MessageType.GET_RO_RESPONSE,
+        )
+
+    def test_inval_ro_acks_and_invalidates(self, ctrl):
+        self._acquire(ctrl, exclusive=False)
+        respond(ctrl, MessageType.INVAL_RO_REQUEST)
+        assert ctrl.state_of(BLOCK) is CacheState.INVALID
+        assert ctrl.sent[-1].mtype is MessageType.INVAL_RO_RESPONSE
+        assert ctrl.sent[-1].dst == HOME
+
+    def test_inval_rw_acks_and_invalidates(self, ctrl):
+        self._acquire(ctrl, exclusive=True)
+        respond(ctrl, MessageType.INVAL_RW_REQUEST)
+        assert ctrl.state_of(BLOCK) is CacheState.INVALID
+        assert ctrl.sent[-1].mtype is MessageType.INVAL_RW_RESPONSE
+
+    def test_downgrade_demotes_to_shared(self, ctrl):
+        self._acquire(ctrl, exclusive=True)
+        respond(ctrl, MessageType.DOWNGRADE_REQUEST)
+        assert ctrl.state_of(BLOCK) is CacheState.SHARED
+        assert ctrl.sent[-1].mtype is MessageType.DOWNGRADE_RESPONSE
+
+    def test_inval_ro_in_wrong_state_raises(self, ctrl):
+        self._acquire(ctrl, exclusive=True)
+        with pytest.raises(ProtocolError):
+            respond(ctrl, MessageType.INVAL_RO_REQUEST)
+
+    def test_inval_rw_in_wrong_state_raises(self, ctrl):
+        with pytest.raises(ProtocolError):
+            respond(ctrl, MessageType.INVAL_RW_REQUEST)
+
+    def test_inval_ro_during_outstanding_upgrade(self, ctrl):
+        # Race: our upgrade crossed another node's write in flight.
+        self._acquire(ctrl, exclusive=False)
+        _, cb = completed_flag()
+        ctrl.access(BLOCK, HOME, is_write=True, done_cb=cb)  # upgrade sent
+        respond(ctrl, MessageType.INVAL_RO_REQUEST)
+        assert ctrl.state_of(BLOCK) is CacheState.INVALID
+        # The directory will serve the upgrade as a full rw miss.
+        respond(ctrl, MessageType.GET_RW_RESPONSE)
+        assert ctrl.state_of(BLOCK) is CacheState.EXCLUSIVE
+
+    def test_directory_bound_message_rejected(self, ctrl):
+        with pytest.raises(ProtocolError):
+            respond(ctrl, MessageType.GET_RO_REQUEST)

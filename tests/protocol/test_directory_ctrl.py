@@ -1,0 +1,225 @@
+"""Unit tests for the directory-side coherence FSM."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.protocol.directory_ctrl import DirectoryController
+from repro.protocol.messages import Message, MessageType
+from repro.protocol.stache import StacheOptions
+from repro.protocol.state import DirState
+
+HOME = 0
+P1, P2, P3 = 1, 2, 3
+BLOCK = 0x80
+
+
+def make_ctrl(half_migratory=True):
+    sent = []
+    ctrl = DirectoryController(
+        HOME, sent.append, StacheOptions(half_migratory=half_migratory)
+    )
+    ctrl.sent = sent
+    return ctrl
+
+
+def request(ctrl, src, mtype, block=BLOCK):
+    ctrl.handle_message(Message(src=src, dst=HOME, mtype=mtype, block=block))
+
+
+def sent_types(ctrl):
+    return [(m.dst, m.mtype) for m in ctrl.sent]
+
+
+class TestReads:
+    def test_idle_read_grants_shared(self):
+        ctrl = make_ctrl()
+        request(ctrl, P1, MessageType.GET_RO_REQUEST)
+        assert sent_types(ctrl) == [(P1, MessageType.GET_RO_RESPONSE)]
+        entry = ctrl.entry_of(BLOCK)
+        assert entry.state is DirState.SHARED
+        assert entry.sharers == {P1}
+
+    def test_second_reader_added(self):
+        ctrl = make_ctrl()
+        request(ctrl, P1, MessageType.GET_RO_REQUEST)
+        request(ctrl, P2, MessageType.GET_RO_REQUEST)
+        assert ctrl.entry_of(BLOCK).sharers == {P1, P2}
+
+    def test_read_of_exclusive_block_half_migratory(self):
+        ctrl = make_ctrl(half_migratory=True)
+        request(ctrl, P1, MessageType.GET_RW_REQUEST)
+        ctrl.sent.clear()
+        request(ctrl, P2, MessageType.GET_RO_REQUEST)
+        # Owner asked to invalidate, not downgrade.
+        assert sent_types(ctrl) == [(P1, MessageType.INVAL_RW_REQUEST)]
+        request(ctrl, P1, MessageType.INVAL_RW_RESPONSE)
+        assert sent_types(ctrl)[-1] == (P2, MessageType.GET_RO_RESPONSE)
+        entry = ctrl.entry_of(BLOCK)
+        # Half-migratory: the old owner keeps no copy.
+        assert entry.sharers == {P2}
+        assert entry.owner is None
+
+    def test_read_of_exclusive_block_downgrade_mode(self):
+        ctrl = make_ctrl(half_migratory=False)
+        request(ctrl, P1, MessageType.GET_RW_REQUEST)
+        ctrl.sent.clear()
+        request(ctrl, P2, MessageType.GET_RO_REQUEST)
+        assert sent_types(ctrl) == [(P1, MessageType.DOWNGRADE_REQUEST)]
+        request(ctrl, P1, MessageType.DOWNGRADE_RESPONSE)
+        entry = ctrl.entry_of(BLOCK)
+        # DASH-style: the old owner keeps a shared copy.
+        assert entry.sharers == {P1, P2}
+
+    def test_read_from_current_holder_raises(self):
+        ctrl = make_ctrl()
+        request(ctrl, P1, MessageType.GET_RO_REQUEST)
+        with pytest.raises(ProtocolError):
+            request(ctrl, P1, MessageType.GET_RO_REQUEST)
+
+
+class TestWrites:
+    def test_idle_write_grants_exclusive(self):
+        ctrl = make_ctrl()
+        request(ctrl, P1, MessageType.GET_RW_REQUEST)
+        assert sent_types(ctrl) == [(P1, MessageType.GET_RW_RESPONSE)]
+        assert ctrl.entry_of(BLOCK).owner == P1
+
+    def test_write_invalidates_all_sharers(self):
+        ctrl = make_ctrl()
+        request(ctrl, P1, MessageType.GET_RO_REQUEST)
+        request(ctrl, P2, MessageType.GET_RO_REQUEST)
+        ctrl.sent.clear()
+        request(ctrl, P3, MessageType.GET_RW_REQUEST)
+        invals = {m.dst for m in ctrl.sent}
+        assert invals == {P1, P2}
+        assert all(
+            m.mtype is MessageType.INVAL_RO_REQUEST for m in ctrl.sent
+        )
+        # Response held until both acks arrive.
+        request(ctrl, P1, MessageType.INVAL_RO_RESPONSE)
+        assert sent_types(ctrl)[-1][1] is MessageType.INVAL_RO_REQUEST
+        request(ctrl, P2, MessageType.INVAL_RO_RESPONSE)
+        assert sent_types(ctrl)[-1] == (P3, MessageType.GET_RW_RESPONSE)
+        entry = ctrl.entry_of(BLOCK)
+        assert entry.owner == P3
+        assert not entry.sharers
+
+    def test_upgrade_from_sharer_gets_upgrade_response(self):
+        ctrl = make_ctrl()
+        request(ctrl, P1, MessageType.GET_RO_REQUEST)
+        request(ctrl, P2, MessageType.GET_RO_REQUEST)
+        ctrl.sent.clear()
+        request(ctrl, P1, MessageType.UPGRADE_REQUEST)
+        request(ctrl, P2, MessageType.INVAL_RO_RESPONSE)
+        assert sent_types(ctrl)[-1] == (P1, MessageType.UPGRADE_RESPONSE)
+        assert ctrl.entry_of(BLOCK).owner == P1
+
+    def test_sole_sharer_upgrade_is_immediate(self):
+        ctrl = make_ctrl()
+        request(ctrl, P1, MessageType.GET_RO_REQUEST)
+        ctrl.sent.clear()
+        request(ctrl, P1, MessageType.UPGRADE_REQUEST)
+        assert sent_types(ctrl) == [(P1, MessageType.UPGRADE_RESPONSE)]
+
+    def test_upgrade_from_nonsharer_served_as_rw_miss(self):
+        # The requester lost its copy while the upgrade was in flight.
+        ctrl = make_ctrl()
+        request(ctrl, P2, MessageType.GET_RW_REQUEST)
+        ctrl.sent.clear()
+        request(ctrl, P1, MessageType.UPGRADE_REQUEST)
+        assert sent_types(ctrl) == [(P2, MessageType.INVAL_RW_REQUEST)]
+        request(ctrl, P2, MessageType.INVAL_RW_RESPONSE)
+        assert sent_types(ctrl)[-1] == (P1, MessageType.GET_RW_RESPONSE)
+
+    def test_write_steals_from_owner(self):
+        ctrl = make_ctrl()
+        request(ctrl, P1, MessageType.GET_RW_REQUEST)
+        ctrl.sent.clear()
+        request(ctrl, P2, MessageType.GET_RW_REQUEST)
+        assert sent_types(ctrl) == [(P1, MessageType.INVAL_RW_REQUEST)]
+        request(ctrl, P1, MessageType.INVAL_RW_RESPONSE)
+        assert sent_types(ctrl)[-1] == (P2, MessageType.GET_RW_RESPONSE)
+        assert ctrl.entry_of(BLOCK).owner == P2
+
+    def test_write_from_owner_raises(self):
+        ctrl = make_ctrl()
+        request(ctrl, P1, MessageType.GET_RW_REQUEST)
+        with pytest.raises(ProtocolError):
+            request(ctrl, P1, MessageType.GET_RW_REQUEST)
+
+
+class TestSerialization:
+    def test_requests_queue_while_busy(self):
+        ctrl = make_ctrl()
+        request(ctrl, P1, MessageType.GET_RW_REQUEST)
+        ctrl.sent.clear()
+        request(ctrl, P2, MessageType.GET_RO_REQUEST)  # invalidates P1
+        assert ctrl.is_busy(BLOCK)
+        request(ctrl, P3, MessageType.GET_RO_REQUEST)  # queued
+        assert sent_types(ctrl) == [(P1, MessageType.INVAL_RW_REQUEST)]
+        request(ctrl, P1, MessageType.INVAL_RW_RESPONSE)
+        # P2 answered, then P3's queued request runs (simple sharer add).
+        assert (P2, MessageType.GET_RO_RESPONSE) in sent_types(ctrl)
+        assert (P3, MessageType.GET_RO_RESPONSE) in sent_types(ctrl)
+        assert ctrl.entry_of(BLOCK).sharers == {P2, P3}
+        assert not ctrl.is_busy(BLOCK)
+
+    def test_stray_ack_raises(self):
+        ctrl = make_ctrl()
+        with pytest.raises(ProtocolError):
+            request(ctrl, P1, MessageType.INVAL_RO_RESPONSE)
+
+    def test_duplicate_ack_raises(self):
+        ctrl = make_ctrl()
+        request(ctrl, P1, MessageType.GET_RO_REQUEST)
+        request(ctrl, P2, MessageType.GET_RO_REQUEST)
+        request(ctrl, P3, MessageType.GET_RW_REQUEST)
+        request(ctrl, P1, MessageType.INVAL_RO_RESPONSE)
+        with pytest.raises(ProtocolError):
+            request(ctrl, P1, MessageType.INVAL_RO_RESPONSE)
+
+    def test_cache_bound_message_rejected(self):
+        ctrl = make_ctrl()
+        with pytest.raises(ProtocolError):
+            request(ctrl, P1, MessageType.GET_RO_RESPONSE)
+
+
+class TestLocalAccess:
+    def test_local_read_miss_then_hits(self):
+        ctrl = make_ctrl()
+        calls = []
+        assert not ctrl.local_access(BLOCK, False, lambda: calls.append(1))
+        assert calls == [1]  # idle block: completes synchronously
+        assert ctrl.local_hit(BLOCK, is_write=False)
+
+    def test_local_write_makes_home_owner(self):
+        ctrl = make_ctrl()
+        ctrl.local_access(BLOCK, True, lambda: None)
+        assert ctrl.entry_of(BLOCK).owner == HOME
+        assert ctrl.local_hit(BLOCK, is_write=True)
+
+    def test_local_write_invalidates_remote_sharers(self):
+        ctrl = make_ctrl()
+        request(ctrl, P1, MessageType.GET_RO_REQUEST)
+        ctrl.sent.clear()
+        calls = []
+        ctrl.local_access(BLOCK, True, lambda: calls.append(1))
+        assert sent_types(ctrl) == [(P1, MessageType.INVAL_RO_REQUEST)]
+        assert not calls  # waiting for the ack
+        request(ctrl, P1, MessageType.INVAL_RO_RESPONSE)
+        assert calls == [1]
+
+    def test_remote_read_invalidates_home_copy_silently(self):
+        ctrl = make_ctrl()
+        ctrl.local_access(BLOCK, True, lambda: None)  # home owns it
+        ctrl.sent.clear()
+        request(ctrl, P1, MessageType.GET_RO_REQUEST)
+        # No invalidation message: home's copy is adjusted locally.
+        assert sent_types(ctrl) == [(P1, MessageType.GET_RO_RESPONSE)]
+        assert ctrl.entry_of(BLOCK).sharers == {P1}
+
+    def test_local_hit_counter(self):
+        ctrl = make_ctrl()
+        ctrl.local_access(BLOCK, False, lambda: None)
+        ctrl.local_access(BLOCK, False, lambda: None)
+        assert ctrl.local_hits == 1  # second access was the hit

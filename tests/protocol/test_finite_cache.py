@@ -1,0 +1,129 @@
+"""Tests for finite-capacity caches with silent clean replacement."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.protocol.cache_ctrl import CacheController
+from repro.protocol.directory_ctrl import DirectoryController
+from repro.protocol.messages import Message, MessageType
+from repro.protocol.stache import StacheOptions
+from repro.protocol.state import CacheState
+
+HOME = 0
+NODE = 1
+OPTIONS = StacheOptions(finite_caches=True)
+
+# Two blocks mapping to the same set of a 4-set cache, one that doesn't.
+BLOCK_A = 0 * 64
+BLOCK_B = 4 * 64   # (4 % 4 == 0) -> same set as BLOCK_A
+BLOCK_C = 1 * 64
+
+
+def make_cache(n_sets=4):
+    sent = []
+    cache = CacheController(NODE, sent.append, OPTIONS)
+    cache.configure_finite(n_sets, 64, on_replacement=None)
+    cache.sent = sent
+    return cache
+
+
+def fill(cache, block, exclusive=False):
+    cache.access(block, HOME, is_write=exclusive, done_cb=lambda: None)
+    cache.handle_message(
+        Message(
+            src=HOME,
+            dst=NODE,
+            mtype=MessageType.GET_RW_RESPONSE
+            if exclusive
+            else MessageType.GET_RO_RESPONSE,
+            block=block,
+        )
+    )
+
+
+class TestReplacement:
+    def test_conflicting_clean_block_is_evicted(self):
+        cache = make_cache()
+        fill(cache, BLOCK_A)
+        cache.access(BLOCK_B, HOME, is_write=False, done_cb=lambda: None)
+        assert cache.state_of(BLOCK_A) is CacheState.INVALID
+        assert cache.replacements == 1
+
+    def test_non_conflicting_blocks_coexist(self):
+        cache = make_cache()
+        fill(cache, BLOCK_A)
+        fill(cache, BLOCK_C)
+        assert cache.state_of(BLOCK_A) is CacheState.SHARED
+        assert cache.state_of(BLOCK_C) is CacheState.SHARED
+        assert cache.replacements == 0
+
+    def test_dirty_victim_is_pinned(self):
+        cache = make_cache()
+        fill(cache, BLOCK_A, exclusive=True)
+        cache.access(BLOCK_B, HOME, is_write=False, done_cb=lambda: None)
+        assert cache.state_of(BLOCK_A) is CacheState.EXCLUSIVE
+        assert cache.replacements == 0
+        assert cache.pinned_evictions_skipped == 1
+
+    def test_replacement_callback_fires(self):
+        victims = []
+        cache = make_cache()
+        cache._on_replacement = victims.append
+        fill(cache, BLOCK_A)
+        cache.access(BLOCK_B, HOME, is_write=False, done_cb=lambda: None)
+        assert victims == [BLOCK_A]
+
+    def test_inval_ro_after_silent_drop_is_acknowledged(self):
+        cache = make_cache()
+        fill(cache, BLOCK_A)
+        cache.access(BLOCK_B, HOME, is_write=False, done_cb=lambda: None)
+        # The directory still thinks NODE shares BLOCK_A.
+        cache.handle_message(
+            Message(src=HOME, dst=NODE,
+                    mtype=MessageType.INVAL_RO_REQUEST, block=BLOCK_A)
+        )
+        assert cache.sent[-1].mtype is MessageType.INVAL_RO_RESPONSE
+
+    def test_infinite_cache_still_strict_about_inval(self):
+        sent = []
+        cache = CacheController(NODE, sent.append, StacheOptions())
+        with pytest.raises(ProtocolError):
+            cache.handle_message(
+                Message(src=HOME, dst=NODE,
+                        mtype=MessageType.INVAL_RO_REQUEST, block=BLOCK_A)
+            )
+
+    def test_zero_sets_rejected(self):
+        cache = make_cache()
+        with pytest.raises(ProtocolError):
+            cache.configure_finite(0, 64)
+
+
+class TestDirectoryStaleSharer:
+    def test_stale_sharer_is_regranted(self):
+        sent = []
+        directory = DirectoryController(HOME, sent.append, OPTIONS)
+        directory.handle_message(
+            Message(src=NODE, dst=HOME,
+                    mtype=MessageType.GET_RO_REQUEST, block=BLOCK_A)
+        )
+        # NODE silently dropped its copy; it asks again.
+        directory.handle_message(
+            Message(src=NODE, dst=HOME,
+                    mtype=MessageType.GET_RO_REQUEST, block=BLOCK_A)
+        )
+        assert sent[-1].mtype is MessageType.GET_RO_RESPONSE
+        assert directory.entry_of(BLOCK_A).sharers == {NODE}
+
+    def test_without_finite_caches_rerequest_raises(self):
+        sent = []
+        directory = DirectoryController(HOME, sent.append, StacheOptions())
+        directory.handle_message(
+            Message(src=NODE, dst=HOME,
+                    mtype=MessageType.GET_RO_REQUEST, block=BLOCK_A)
+        )
+        with pytest.raises(ProtocolError):
+            directory.handle_message(
+                Message(src=NODE, dst=HOME,
+                        mtype=MessageType.GET_RO_REQUEST, block=BLOCK_A)
+            )

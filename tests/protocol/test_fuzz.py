@@ -1,0 +1,185 @@
+"""Property-based protocol fuzzing.
+
+Hypothesis generates arbitrary multi-phase access scripts (random
+processors reading/writing random blocks); the simulated machine must
+
+* run every script to completion without raising ``ProtocolError``,
+* keep the single-writer/multiple-reader invariant between cache states
+  and directory entries at every quiescent point (phase boundaries), and
+* produce identical traces when replayed with the same seed.
+
+This is the strongest evidence that the coherence substrate (and its
+Origin-forwarding and finite-cache variants) is race-free under the
+serialization discipline it claims.
+"""
+
+import random
+from typing import List, Tuple
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocol.stache import StacheOptions
+from repro.protocol.state import CacheState
+from repro.sim.machine import Machine
+from repro.sim.params import PAPER_PARAMS, SystemParams
+from repro.sim.memory_map import Allocator, MemoryMap
+from repro.workloads.access import Access
+from repro.workloads.base import Workload
+
+N_PROCS = 16
+#: Fixed block pool: a handful of pages spread over several homes.
+BLOCKS = [page * 4096 + offset * 64 for page in range(5) for offset in range(3)]
+
+
+class FuzzWorkload(Workload):
+    """Replays a generated script of (proc, block_index, is_write) phases."""
+
+    name = "fuzz"
+    default_iterations = 1
+
+    def __init__(self, script: List[List[Tuple[int, int, bool]]]) -> None:
+        super().__init__(N_PROCS)
+        self._script = script
+
+    def setup(self, allocator: Allocator, rng: random.Random) -> None:
+        pass  # fixed absolute addresses; no allocation needed
+
+    def iteration(self, index: int, rng: random.Random):
+        phases = []
+        for phase_spec in self._script:
+            phase = self._new_phase()
+            for proc, block_index, is_write in phase_spec:
+                phase[proc].append(
+                    Access(BLOCKS[block_index % len(BLOCKS)], is_write)
+                )
+            phases.append(phase)
+        return phases
+
+
+def check_swmr(machine: Machine) -> None:
+    """Cache states and directory entries must agree block by block."""
+    mmap = machine.memory_map
+    for block in BLOCKS:
+        home = mmap.home_of(block)
+        entry = machine.nodes[home].directory.entry_of(block)
+        entry.check_invariants()
+        for node in machine.nodes:
+            if node.node_id == home:
+                continue  # the home's copy is tracked by the entry itself
+            state = node.cache.state_of(block)
+            if state is CacheState.EXCLUSIVE:
+                assert entry.owner == node.node_id, (
+                    f"node {node.node_id} holds 0x{block:x} exclusive but "
+                    f"the directory says owner={entry.owner}"
+                )
+            elif state is CacheState.SHARED:
+                # With finite caches the directory may conservatively
+                # list extra sharers, never fewer.
+                assert node.node_id in entry.sharers, (
+                    f"node {node.node_id} holds 0x{block:x} shared but is "
+                    "not in the sharer list"
+                )
+        if entry.owner is not None and entry.owner != home:
+            owner_state = machine.nodes[entry.owner].cache.state_of(block)
+            assert owner_state is CacheState.EXCLUSIVE
+
+
+accesses = st.tuples(
+    st.integers(min_value=0, max_value=N_PROCS - 1),
+    st.integers(min_value=0, max_value=len(BLOCKS) - 1),
+    st.booleans(),
+)
+scripts = st.lists(
+    st.lists(accesses, min_size=1, max_size=12), min_size=1, max_size=6
+)
+
+OPTION_VARIANTS = [
+    StacheOptions(),
+    StacheOptions(half_migratory=False),
+    StacheOptions(forwarding=True),
+    StacheOptions(finite_caches=True),
+]
+
+
+@given(script=scripts, seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=60, deadline=None)
+def test_fuzz_stache_protocol(script, seed):
+    machine = Machine(seed=seed)
+    machine.run_workload(FuzzWorkload(script), iterations=1)
+    check_swmr(machine)
+
+
+@given(script=scripts, seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=40, deadline=None)
+def test_fuzz_origin_protocol(script, seed):
+    machine = Machine(options=StacheOptions(forwarding=True), seed=seed)
+    machine.run_workload(FuzzWorkload(script), iterations=1)
+    check_swmr(machine)
+
+
+@given(script=scripts, seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=40, deadline=None)
+def test_fuzz_finite_caches(script, seed):
+    params = SystemParams(cache_bytes=4 * 64)  # four sets: heavy eviction
+    machine = Machine(
+        params=params, options=StacheOptions(finite_caches=True), seed=seed
+    )
+    machine.run_workload(FuzzWorkload(script), iterations=1)
+    # SWMR still holds in the weak direction checked by check_swmr
+    # (the directory may list stale sharers, never miss a holder).
+    check_swmr(machine)
+
+
+@given(script=scripts, seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=20, deadline=None)
+def test_fuzz_downgrade_mode(script, seed):
+    machine = Machine(
+        options=StacheOptions(half_migratory=False), seed=seed
+    )
+    machine.run_workload(FuzzWorkload(script), iterations=1)
+    check_swmr(machine)
+
+
+@given(script=scripts)
+@settings(max_examples=20, deadline=None)
+def test_fuzz_replay_determinism(script):
+    first = Machine(seed=7)
+    first.run_workload(FuzzWorkload(script), iterations=1)
+    second = Machine(seed=7)
+    second.run_workload(FuzzWorkload(script), iterations=1)
+    assert first.collector.all_events == second.collector.all_events
+
+
+@given(script=scripts, seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=40, deadline=None)
+def test_fuzz_predictive_machine(script, seed):
+    """Both Table 2 inline actions enabled: grants and pushes must never
+    break coherence, whatever the access pattern."""
+    from repro.accel.integration import PredictiveMachine
+    from repro.core.config import CosmosConfig
+
+    machine = PredictiveMachine(
+        seed=seed,
+        config=CosmosConfig(depth=1),
+        grant_exclusive=True,
+        push_data=True,
+    )
+    machine.run_workload(FuzzWorkload(script), iterations=1)
+    check_swmr(machine)
+
+
+@given(script=scripts, seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=25, deadline=None)
+def test_fuzz_forwarding_with_finite_caches(script, seed):
+    """Origin forwarding and finite caches composed: owners are pinned
+    (never silently dropped), so forwarding always finds a valid owner."""
+    params = SystemParams(cache_bytes=4 * 64)
+    machine = Machine(
+        params=params,
+        options=StacheOptions(forwarding=True, finite_caches=True),
+        seed=seed,
+    )
+    machine.run_workload(FuzzWorkload(script), iterations=1)
+    check_swmr(machine)

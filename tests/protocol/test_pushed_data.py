@@ -1,0 +1,74 @@
+"""Unit tests for unsolicited (pushed) data handling at the cache."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.protocol.cache_ctrl import CacheController
+from repro.protocol.messages import Message, MessageType
+from repro.protocol.state import CacheState
+
+HOME = 0
+NODE = 1
+BLOCK = 0x40
+
+
+def make_cache(allow=True):
+    sent = []
+    cache = CacheController(NODE, sent.append)
+    cache.allow_pushed_data = allow
+    cache.sent = sent
+    return cache
+
+
+def push(cache):
+    cache.handle_message(
+        Message(src=HOME, dst=NODE, mtype=MessageType.GET_RO_RESPONSE,
+                block=BLOCK)
+    )
+
+
+class TestPushedData:
+    def test_push_installs_shared_copy(self):
+        cache = make_cache()
+        push(cache)
+        assert cache.state_of(BLOCK) is CacheState.SHARED
+        assert cache.pushed_blocks_accepted == 1
+        # The next read is a hit: producer-initiated communication paid off.
+        assert cache.access(BLOCK, HOME, is_write=False,
+                            done_cb=lambda: None)
+
+    def test_push_onto_existing_copy_is_noop(self):
+        cache = make_cache()
+        push(cache)
+        push(cache)
+        assert cache.pushed_blocks_accepted == 1
+        assert cache.state_of(BLOCK) is CacheState.SHARED
+
+    def test_push_during_outstanding_write_is_dropped(self):
+        cache = make_cache()
+        calls = []
+        cache.access(BLOCK, HOME, is_write=True,
+                     done_cb=lambda: calls.append(1))
+        push(cache)  # read-only data cannot satisfy the store
+        assert not calls
+        assert cache.state_of(BLOCK) is CacheState.INVALID
+        cache.handle_message(
+            Message(src=HOME, dst=NODE, mtype=MessageType.GET_RW_RESPONSE,
+                    block=BLOCK)
+        )
+        assert calls == [1]
+        assert cache.state_of(BLOCK) is CacheState.EXCLUSIVE
+
+    def test_push_completes_outstanding_read(self):
+        cache = make_cache()
+        calls = []
+        cache.access(BLOCK, HOME, is_write=False,
+                     done_cb=lambda: calls.append(1))
+        push(cache)  # the push races (and satisfies) the read
+        assert calls == [1]
+        assert cache.state_of(BLOCK) is CacheState.SHARED
+
+    def test_unsolicited_data_rejected_when_disabled(self):
+        cache = make_cache(allow=False)
+        with pytest.raises(ProtocolError):
+            push(cache)

@@ -1,0 +1,56 @@
+"""Tests for cache and directory state tracking."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.protocol.state import CacheState, DirEntry, DirState
+
+
+class TestDirEntry:
+    def test_new_entry_is_idle(self):
+        assert DirEntry().state is DirState.IDLE
+
+    def test_sharers_make_it_shared(self):
+        entry = DirEntry(sharers={3})
+        assert entry.state is DirState.SHARED
+
+    def test_owner_makes_it_exclusive(self):
+        entry = DirEntry(owner=5)
+        assert entry.state is DirState.EXCLUSIVE
+
+    def test_owner_and_sharers_is_invalid(self):
+        entry = DirEntry(sharers={1}, owner=2)
+        with pytest.raises(ProtocolError):
+            entry.check_invariants()
+
+    def test_clean_entries_pass_invariants(self):
+        DirEntry().check_invariants()
+        DirEntry(sharers={1, 2}).check_invariants()
+        DirEntry(owner=0).check_invariants()
+
+    def test_holders_idle(self):
+        assert DirEntry().holders() == set()
+
+    def test_holders_shared(self):
+        assert DirEntry(sharers={1, 4}).holders() == {1, 4}
+
+    def test_holders_exclusive(self):
+        assert DirEntry(owner=9).holders() == {9}
+
+    def test_holders_returns_copy(self):
+        entry = DirEntry(sharers={1})
+        holders = entry.holders()
+        holders.add(99)
+        assert entry.sharers == {1}
+
+
+class TestEnums:
+    def test_cache_states(self):
+        assert {s.value for s in CacheState} == {
+            "invalid",
+            "shared",
+            "exclusive",
+        }
+
+    def test_dir_states(self):
+        assert {s.value for s in DirState} == {"idle", "shared", "exclusive"}

@@ -1,0 +1,100 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        engine = Engine()
+        log = []
+        engine.schedule(30, log.append, "c")
+        engine.schedule(10, log.append, "a")
+        engine.schedule(20, log.append, "b")
+        engine.run()
+        assert log == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        engine = Engine()
+        log = []
+        for tag in "abcde":
+            engine.schedule(5, log.append, tag)
+        engine.run()
+        assert log == list("abcde")
+
+    def test_now_advances_to_event_time(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(42, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [42]
+        assert engine.now == 42
+
+    def test_nested_scheduling(self):
+        engine = Engine()
+        log = []
+
+        def outer():
+            log.append(("outer", engine.now))
+            engine.schedule(5, inner)
+
+        def inner():
+            log.append(("inner", engine.now))
+
+        engine.schedule(10, outer)
+        engine.run()
+        assert log == [("outer", 10), ("inner", 15)]
+
+    def test_schedule_at_absolute_time(self):
+        engine = Engine()
+        log = []
+        engine.schedule_at(100, log.append, "x")
+        engine.run()
+        assert log == ["x"]
+        assert engine.now == 100
+
+    def test_negative_delay_rejected(self):
+        engine = Engine()
+        with pytest.raises(SimulationError):
+            engine.schedule(-1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        engine = Engine()
+        engine.schedule(10, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule_at(5, lambda: None)
+
+
+class TestRun:
+    def test_run_returns_dispatched_count(self):
+        engine = Engine()
+        for _ in range(4):
+            engine.schedule(1, lambda: None)
+        assert engine.run() == 4
+
+    def test_max_events_bounds_dispatch(self):
+        engine = Engine()
+        log = []
+        for index in range(5):
+            engine.schedule(index, log.append, index)
+        assert engine.run(max_events=2) == 2
+        assert log == [0, 1]
+        assert engine.pending() == 3
+        engine.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_events_processed_accumulates(self):
+        engine = Engine()
+        engine.schedule(1, lambda: None)
+        engine.run()
+        engine.schedule(1, lambda: None)
+        engine.run()
+        assert engine.events_processed == 2
+
+    def test_empty_run_is_noop(self):
+        engine = Engine()
+        assert engine.run() == 0
+        assert engine.now == 0

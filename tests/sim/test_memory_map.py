@@ -1,0 +1,84 @@
+"""Tests for page/block arithmetic and round-robin home assignment."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim.memory_map import Allocator, MemoryMap
+from repro.sim.params import PAPER_PARAMS, SystemParams
+
+
+@pytest.fixture
+def mmap():
+    return MemoryMap(PAPER_PARAMS)
+
+
+class TestMemoryMap:
+    def test_block_alignment(self, mmap):
+        assert mmap.block_of(0) == 0
+        assert mmap.block_of(63) == 0
+        assert mmap.block_of(64) == 64
+        assert mmap.block_of(130) == 128
+
+    def test_page_of(self, mmap):
+        assert mmap.page_of(0) == 0
+        assert mmap.page_of(4095) == 0
+        assert mmap.page_of(4096) == 1
+
+    def test_round_robin_homes(self, mmap):
+        # Page X on node X % 16 (paper Section 5.1).
+        assert mmap.home_of(0) == 0
+        assert mmap.home_of(4096) == 1
+        assert mmap.home_of(4096 * 16) == 0
+        assert mmap.home_of(4096 * 17 + 100) == 1
+
+    def test_blocks_on_page(self, mmap):
+        blocks = mmap.blocks_on_page(2)
+        assert len(blocks) == 64
+        assert blocks[0] == 2 * 4096
+        assert all(b % 64 == 0 for b in blocks)
+        assert all(mmap.page_of(b) == 2 for b in blocks)
+
+
+class TestAllocator:
+    def test_sequential_pages(self, mmap):
+        alloc = Allocator(mmap)
+        assert alloc.alloc_page() == 0
+        assert alloc.alloc_page() == 1
+
+    def test_alloc_page_on_specific_home(self, mmap):
+        alloc = Allocator(mmap)
+        page = alloc.alloc_page(home=5)
+        assert page % 16 == 5
+        page = alloc.alloc_page(home=3)
+        assert page % 16 == 3
+
+    def test_alloc_page_home_out_of_range(self, mmap):
+        alloc = Allocator(mmap)
+        with pytest.raises(WorkloadError):
+            alloc.alloc_page(home=16)
+
+    def test_alloc_blocks_count_and_uniqueness(self, mmap):
+        alloc = Allocator(mmap)
+        blocks = alloc.alloc_blocks(150)
+        assert len(blocks) == 150
+        assert len(set(blocks)) == 150
+        assert all(b % 64 == 0 for b in blocks)
+
+    def test_alloc_blocks_never_reuses(self, mmap):
+        alloc = Allocator(mmap)
+        first = set(alloc.alloc_blocks(100))
+        second = set(alloc.alloc_blocks(100))
+        assert not first & second
+
+    def test_alloc_blocks_invalid_count(self, mmap):
+        alloc = Allocator(mmap)
+        with pytest.raises(WorkloadError):
+            alloc.alloc_blocks(0)
+
+    def test_alloc_block_home(self, mmap):
+        alloc = Allocator(mmap)
+        block = alloc.alloc_block(home=7)
+        assert mmap.home_of(block) == 7
+
+    def test_memory_map_property(self, mmap):
+        assert Allocator(mmap).memory_map is mmap

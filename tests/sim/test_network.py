@@ -1,0 +1,44 @@
+"""Tests for the interconnect model."""
+
+from repro.protocol.messages import Message, MessageType
+from repro.sim.engine import Engine
+from repro.sim.network import Network
+from repro.sim.params import PAPER_PARAMS
+
+
+def make_network():
+    engine = Engine()
+    delivered = []
+    network = Network(engine, PAPER_PARAMS, delivered.append)
+    return engine, network, delivered
+
+
+def msg(src=0, dst=1, block=0):
+    return Message(src=src, dst=dst, mtype=MessageType.GET_RO_REQUEST, block=block)
+
+
+class TestNetwork:
+    def test_latency_matches_params(self):
+        _, network, _ = make_network()
+        assert network.latency_ns == PAPER_PARAMS.one_way_message_ns
+
+    def test_delivery_after_latency(self):
+        engine, network, delivered = make_network()
+        network.send(msg())
+        assert not delivered
+        engine.run()
+        assert len(delivered) == 1
+        assert engine.now == network.latency_ns
+
+    def test_fifo_per_channel(self):
+        engine, network, delivered = make_network()
+        for block in (0, 64, 128):
+            network.send(msg(block=block))
+        engine.run()
+        assert [m.block for m in delivered] == [0, 64, 128]
+
+    def test_message_counter(self):
+        engine, network, _ = make_network()
+        for _ in range(5):
+            network.send(msg())
+        assert network.messages_sent == 5

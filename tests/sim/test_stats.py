@@ -1,0 +1,62 @@
+"""Tests for access-latency statistics."""
+
+import pytest
+
+from repro.sim.machine import Machine
+from repro.sim.stats import summarize_latencies
+from repro.workloads.moldyn import MolDyn
+
+
+class TestSummarize:
+    def test_basic_summary(self):
+        samples = [(10, True), (20, True), (30, True), (40, True)]
+        summary = summarize_latencies(samples)
+        assert summary.count == 4
+        assert summary.mean_ns == 25.0
+        assert summary.p50_ns in (20, 30)
+        assert summary.max_ns == 40
+
+    def test_misses_only_filter(self):
+        samples = [(1, False), (1, False), (500, True)]
+        summary = summarize_latencies(samples, misses_only=True)
+        assert summary.count == 1
+        assert summary.mean_ns == 500.0
+
+    def test_empty(self):
+        summary = summarize_latencies([])
+        assert summary.count == 0
+        assert summary.mean_ns == 0.0
+
+    def test_p95_on_long_tail(self):
+        samples = [(i, True) for i in range(1, 101)]
+        summary = summarize_latencies(samples)
+        assert 94 <= summary.p95_ns <= 96
+
+
+class TestMachineRecording:
+    @pytest.fixture(scope="class")
+    def machine(self):
+        machine = Machine(seed=2)
+        machine.run_workload(
+            MolDyn(force_blocks=6, coord_blocks=6, cold_blocks=0),
+            iterations=4,
+        )
+        return machine
+
+    def test_every_access_recorded(self, machine):
+        assert len(machine.access_latencies) == machine.accesses_issued
+
+    def test_misses_cost_more_than_hits(self, machine):
+        misses = summarize_latencies(machine.access_latencies, misses_only=True)
+        all_accesses = summarize_latencies(machine.access_latencies)
+        assert misses.count > 0
+        assert misses.mean_ns >= all_accesses.mean_ns
+
+    def test_miss_latency_at_least_round_trip(self, machine):
+        # A coherence miss pays at least request + response.
+        misses = summarize_latencies(machine.access_latencies, misses_only=True)
+        round_trip = 2 * machine.params.one_way_message_ns
+        assert misses.p50_ns >= round_trip
+
+    def test_latencies_nonnegative(self, machine):
+        assert all(lat >= 0 for lat, _ in machine.access_latencies)

@@ -1,0 +1,97 @@
+"""Tests for the repro-trace CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.trace.io import load_trace
+
+
+@pytest.fixture(scope="module")
+def trace_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "moldyn.jsonl"
+    code = main(
+        [
+            "simulate",
+            "moldyn",
+            "-o",
+            str(path),
+            "--iterations",
+            "4",
+            "--seed",
+            "3",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestSimulate:
+    def test_writes_trace(self, trace_file):
+        events = load_trace(trace_file)
+        assert events
+        assert max(e.iteration for e in events) == 4
+
+    def test_forwarding_flag(self, tmp_path):
+        path = tmp_path / "fwd.jsonl"
+        code = main(
+            ["simulate", "moldyn", "-o", str(path), "--iterations", "3",
+             "--forwarding"]
+        )
+        assert code == 0
+        from repro.protocol.messages import MessageType
+
+        types = {e.mtype for e in load_trace(path)}
+        assert MessageType.FWD_GET_RW_REQUEST in types or (
+            MessageType.FWD_GET_RO_REQUEST in types
+        )
+
+    def test_unknown_app_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["simulate", "quicksort", "-o", "/tmp/x.jsonl"])
+
+
+class TestEvaluate:
+    def test_prints_accuracies(self, trace_file, capsys):
+        assert main(["evaluate", str(trace_file), "--depth", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "cache" in out and "directory" in out and "overall" in out
+        assert "depth=2" in out
+
+    def test_filter_and_macroblock_options(self, trace_file, capsys):
+        assert (
+            main(
+                ["evaluate", str(trace_file), "--filter", "1",
+                 "--macroblock", "256"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "macroblock=256B" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["evaluate", "/nonexistent/trace.jsonl"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestInfo:
+    def test_traffic_summary(self, trace_file, capsys):
+        assert main(["info", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "messages" in out
+        assert "fan-out" in out
+
+
+class TestDot:
+    def test_stdout(self, trace_file, capsys):
+        assert main(["dot", str(trace_file), "--role", "cache"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+
+    def test_to_file(self, trace_file, tmp_path, capsys):
+        out_path = tmp_path / "graph.dot"
+        assert (
+            main(["dot", str(trace_file), "--role", "directory", "-o",
+                  str(out_path)])
+            == 0
+        )
+        assert out_path.read_text().startswith("digraph")

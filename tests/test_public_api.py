@@ -1,0 +1,59 @@
+"""Tests for the package-level public API."""
+
+import pytest
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_flow(self):
+        """The README's four-line quickstart works verbatim."""
+        trace = repro.simulate(
+            repro.make_workload("moldyn", force_blocks=8, coord_blocks=8,
+                                cold_blocks=0),
+            iterations=6,
+            seed=1,
+        )
+        result = repro.evaluate_trace(
+            trace.events, repro.CosmosConfig(depth=2)
+        )
+        assert 0.0 < result.overall_accuracy <= 1.0
+
+    def test_errors_form_hierarchy(self):
+        for exc in (
+            repro.ConfigError,
+            repro.ProtocolError,
+            repro.SimulationError,
+            repro.TraceError,
+            repro.WorkloadError,
+        ):
+            assert issubclass(exc, repro.ReproError)
+        assert issubclass(repro.ReproError, Exception)
+
+    def test_subpackages_importable(self):
+        import repro.accel
+        import repro.analysis
+        import repro.core
+        import repro.experiments
+        import repro.predictors
+        import repro.protocol
+        import repro.sim
+        import repro.trace
+        import repro.workloads
+
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = repro.simulate(
+            repro.make_workload("moldyn", force_blocks=4, coord_blocks=4,
+                                cold_blocks=0),
+            iterations=3,
+        )
+        path = tmp_path / "t.jsonl"
+        repro.save_trace(trace.events, path)
+        assert repro.load_trace(path) == list(trace.events)

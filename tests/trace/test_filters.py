@@ -1,0 +1,72 @@
+"""Tests for trace filters and selectors."""
+
+import pytest
+
+from repro.protocol.messages import MessageType, Role
+from repro.trace.events import TraceEvent
+from repro.trace.filters import (
+    blocks_touched,
+    by_block,
+    by_node,
+    by_role,
+    from_iteration,
+    iteration_span,
+    split_by_endpoint,
+    up_to_iteration,
+)
+
+
+@pytest.fixture
+def events():
+    return [
+        TraceEvent(1, 1, 0, Role.DIRECTORY, 0x00, 1, MessageType.GET_RO_REQUEST),
+        TraceEvent(2, 1, 1, Role.CACHE, 0x00, 0, MessageType.GET_RO_RESPONSE),
+        TraceEvent(3, 2, 0, Role.DIRECTORY, 0x40, 2, MessageType.GET_RW_REQUEST),
+        TraceEvent(4, 2, 2, Role.CACHE, 0x40, 0, MessageType.GET_RW_RESPONSE),
+        TraceEvent(5, 3, 1, Role.CACHE, 0x00, 0, MessageType.INVAL_RO_REQUEST),
+    ]
+
+
+class TestSelectors:
+    def test_by_role(self, events):
+        cache = list(by_role(events, Role.CACHE))
+        assert len(cache) == 3
+        assert all(e.role is Role.CACHE for e in cache)
+
+    def test_by_node(self, events):
+        assert len(list(by_node(events, 1))) == 2
+
+    def test_by_block(self, events):
+        assert len(list(by_block(events, 0x40))) == 2
+
+    def test_up_to_iteration(self, events):
+        assert len(list(up_to_iteration(events, 1))) == 2
+        assert len(list(up_to_iteration(events, 2))) == 4
+
+    def test_from_iteration(self, events):
+        assert len(list(from_iteration(events, 2))) == 3
+
+    def test_composition(self, events):
+        subset = list(by_role(up_to_iteration(events, 2), Role.DIRECTORY))
+        assert len(subset) == 2
+
+
+class TestAggregates:
+    def test_split_by_endpoint(self, events):
+        groups = split_by_endpoint(events)
+        assert set(groups) == {
+            (0, Role.DIRECTORY),
+            (1, Role.CACHE),
+            (2, Role.CACHE),
+        }
+        assert len(groups[(0, Role.DIRECTORY)]) == 2
+
+    def test_blocks_touched(self, events):
+        assert blocks_touched(events) == {0x00, 0x40}
+
+    def test_iteration_span(self, events):
+        assert iteration_span(events) == (1, 3)
+
+    def test_iteration_span_empty_raises(self):
+        with pytest.raises(ValueError):
+            iteration_span([])

@@ -1,0 +1,78 @@
+"""Tests for trace persistence."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.protocol.messages import MessageType, Role
+from repro.trace.events import TraceEvent
+from repro.trace.io import iter_trace, load_trace, save_trace
+
+
+def sample_events():
+    return [
+        TraceEvent(10, 1, 2, Role.CACHE, 0x40, 0, MessageType.GET_RO_RESPONSE),
+        TraceEvent(
+            25, 1, 0, Role.DIRECTORY, 0x40, 2, MessageType.UPGRADE_REQUEST
+        ),
+        TraceEvent(
+            99, 3, 5, Role.CACHE, 0x1000, 1, MessageType.INVAL_RW_REQUEST
+        ),
+    ]
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        events = sample_events()
+        count = save_trace(events, path)
+        assert count == 3
+        assert load_trace(path) == events
+
+    def test_iter_is_lazy_equal(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_trace(sample_events(), path)
+        assert list(iter_trace(path)) == sample_events()
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        assert save_trace([], path) == 0
+        assert load_trace(path) == []
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_trace(sample_events(), path)
+        with open(path, "a") as handle:
+            handle.write("\n\n")
+        assert len(load_trace(path)) == 3
+
+    def test_simulated_trace_roundtrip(self, tmp_path, producer_consumer_trace):
+        path = tmp_path / "sim.jsonl"
+        save_trace(producer_consumer_trace, path)
+        assert load_trace(path) == list(producer_consumer_trace)
+
+
+class TestMalformed:
+    def test_bad_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(TraceError) as exc:
+            load_trace(path)
+        assert ":1:" in str(exc.value)
+
+    def test_wrong_arity(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("[1,2,3]\n")
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_unknown_role_code(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('[1,1,1,"x",0,0,0]\n')
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_unknown_message_type(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('[1,1,1,"c",0,0,99]\n')
+        with pytest.raises(TraceError):
+            load_trace(path)

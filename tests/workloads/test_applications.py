@@ -1,0 +1,248 @@
+"""Tests for the five application models.
+
+Each workload is checked for structural properties (the sharing patterns
+the paper describes), not exact access lists: phases are well-formed,
+the right processors touch the right blocks, and the documented noise
+mechanisms (octree rebuild, flow convergence, interaction-list rebuild,
+phase oscillation) actually occur.
+"""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim.memory_map import Allocator, MemoryMap
+from repro.sim.params import PAPER_PARAMS
+from repro.workloads.appbt import AppBT, _grid_dims
+from repro.workloads.barnes import Barnes
+from repro.workloads.dsmc import DSMC
+from repro.workloads.moldyn import MolDyn
+from repro.workloads.registry import make_workload
+from repro.workloads.unstructured import Unstructured
+
+
+def setup_workload(workload, seed=0):
+    allocator = Allocator(MemoryMap(PAPER_PARAMS))
+    workload.setup(allocator, random.Random(seed))
+    return workload
+
+
+def phases_of(workload, iteration, seed=0):
+    return workload.iteration(iteration, random.Random(seed))
+
+
+def check_phase_shape(workload, phases):
+    for phase in phases:
+        assert len(phase) == workload.n_procs
+        for stream in phase:
+            assert isinstance(stream, list)
+
+
+@pytest.mark.parametrize(
+    "name", ["appbt", "barnes", "dsmc", "moldyn", "unstructured"]
+)
+class TestCommonStructure:
+    def test_phases_well_formed(self, name):
+        workload = setup_workload(make_workload(name))
+        for iteration in (1, 2, 5):
+            phases = phases_of(workload, iteration)
+            assert phases
+            check_phase_shape(workload, phases)
+
+    def test_startup_well_formed(self, name):
+        workload = setup_workload(make_workload(name))
+        check_phase_shape(workload, workload.startup(random.Random(0)))
+
+    def test_has_paper_metadata(self, name):
+        workload = make_workload(name)
+        assert workload.name == name
+        assert workload.description
+        assert workload.default_iterations >= 4
+
+
+class TestGridDims:
+    def test_sixteen_procs(self):
+        x, y, z = _grid_dims(16)
+        assert x * y * z == 16
+        assert sorted((x, y, z)) == [2, 2, 4]
+
+    def test_eight_procs(self):
+        assert sorted(_grid_dims(8)) == [2, 2, 2]
+
+    def test_prime(self):
+        assert sorted(_grid_dims(7)) == [1, 1, 7]
+
+
+class TestAppBT:
+    def test_neighbours_exchange_in_both_directions(self):
+        workload = setup_workload(AppBT())
+        pairs = set(workload._faces)
+        for producer, consumer in pairs:
+            assert (consumer, producer) in pairs
+
+    def test_consumer_reads_producer_blocks(self):
+        workload = setup_workload(AppBT())
+        consume, produce = phases_of(workload, 1)
+        (producer, consumer), blocks = next(iter(workload._faces.items()))
+        consumed = {a.block for a in consume[consumer]}
+        assert set(blocks) <= consumed
+
+    def test_producer_rmw_own_blocks(self):
+        workload = setup_workload(AppBT())
+        _consume, produce = phases_of(workload, 1)
+        (producer, _), blocks = next(iter(workload._faces.items()))
+        stream = produce[producer]
+        reads = [a.block for a in stream if not a.is_write]
+        writes = [a.block for a in stream if a.is_write]
+        for block in blocks:
+            assert block in reads and block in writes
+
+    def test_face_blocks_validated(self):
+        with pytest.raises(WorkloadError):
+            AppBT(face_blocks=0)
+
+
+class TestBarnes:
+    def test_rebuild_changes_mapping(self):
+        workload = setup_workload(Barnes())
+        before = list(workload._mapping)
+        workload._rebuild_octree(random.Random(1))
+        after = list(workload._mapping)
+        assert before != after
+        assert sorted(after) == sorted(before)  # a permutation
+
+    def test_rebuild_is_window_local(self):
+        workload = setup_workload(Barnes(remap_window=6, remap_fraction=1.0))
+        workload._rebuild_octree(random.Random(1))
+        for obj_index, slot in enumerate(workload._mapping):
+            assert abs(obj_index - slot) < 6
+
+    def test_owner_ranges_contiguous(self):
+        workload = setup_workload(Barnes())
+        owners = [obj.owner for obj in workload._objects]
+        assert owners == sorted(owners)
+        assert set(owners) == set(range(16))
+
+    def test_readers_exclude_owner(self):
+        workload = setup_workload(Barnes())
+        for obj in workload._objects:
+            assert obj.owner not in obj.readers
+            assert obj.readers
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            Barnes(remap_fraction=1.5)
+        with pytest.raises(WorkloadError):
+            Barnes(n_objects=3)
+        with pytest.raises(WorkloadError):
+            Barnes(remap_window=1)
+
+
+class TestDSMC:
+    def test_producer_converges_to_steady(self):
+        workload = setup_workload(DSMC())
+        buf = workload._buffers[0]
+        rng = random.Random(2)
+        early = Counter(
+            workload._actual_producer(buf, 1, rng) for _ in range(300)
+        )
+        late = Counter(
+            workload._actual_producer(buf, 1000, rng) for _ in range(300)
+        )
+        assert late[buf.steady_producer] > 295  # fully converged
+        assert early[buf.steady_producer] < 150  # still churning
+
+    def test_churn_candidates_are_not_consumer(self):
+        workload = setup_workload(DSMC())
+        for buf in workload._buffers:
+            assert buf.consumer not in buf.churn_candidates
+
+    def test_consumers_drain_their_buffers(self):
+        workload = setup_workload(DSMC())
+        fill, drain = phases_of(workload, 1)
+        for buf in workload._buffers:
+            drained = {a.block for a in drain[buf.consumer]}
+            assert set(buf.blocks) <= drained
+
+    def test_append_mode_buffers_read_before_write(self):
+        workload = setup_workload(DSMC(append_fraction=1.0))
+        fill, _drain = phases_of(workload, 500)  # converged: steady producer
+        buf = workload._buffers[0]
+        stream = fill[buf.steady_producer]
+        kinds = [(a.block, a.is_write) for a in stream if a.block in buf.blocks]
+        assert (buf.blocks[0], False) in kinds
+        assert (buf.blocks[0], True) in kinds
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            DSMC(convergence_tau=0)
+
+
+class TestMolDyn:
+    def test_interaction_list_rebuilt_on_schedule(self):
+        workload = setup_workload(MolDyn(rebuild_period=5))
+        before = [list(p) for p in workload._participants]
+        phases_of(workload, 2)  # not a rebuild iteration
+        assert [list(p) for p in workload._participants] == before
+        phases_of(workload, 6)  # (6-1) % 5 == 0 -> rebuild
+        assert [list(p) for p in workload._participants] != before
+
+    def test_consumer_fanout_near_paper_mean(self):
+        workload = setup_workload(MolDyn(coord_blocks=200))
+        sizes = [len(c) for c in workload._coord_consumers]
+        assert 4.0 < sum(sizes) / len(sizes) < 5.8
+
+    def test_three_phases(self):
+        workload = setup_workload(MolDyn())
+        assert len(phases_of(workload, 1)) == 3
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            MolDyn(rebuild_period=0)
+        with pytest.raises(WorkloadError):
+            MolDyn(participants_min=1)
+
+
+class TestUnstructured:
+    def test_mesh_is_static(self):
+        workload = setup_workload(Unstructured())
+        participants = [list(p) for p in workload._participants]
+        consumers = [list(c) for c in workload._consumers]
+        for iteration in range(1, 6):
+            phases_of(workload, iteration)
+        assert [list(p) for p in workload._participants] == participants
+        assert [list(c) for c in workload._consumers] == consumers
+
+    def test_owner_participates_in_edge_phase(self):
+        workload = setup_workload(Unstructured())
+        for index, participants in enumerate(workload._participants):
+            assert workload._owner[index] in participants
+
+    def test_consumer_fanout_near_paper_mean(self):
+        workload = setup_workload(Unstructured(mesh_blocks=200))
+        sizes = [len(c) for c in workload._consumers]
+        assert 2.1 < sum(sizes) / len(sizes) < 3.1
+
+    def test_blocks_oscillate_between_patterns(self):
+        # The same block appears in both the migratory (edge) phase and
+        # the producer-consumer (node) phase of one iteration.
+        workload = setup_workload(Unstructured())
+        edges, nodes = phases_of(workload, 1)
+        block = workload._blocks[0]
+        edge_touchers = {
+            proc
+            for proc, stream in enumerate(edges)
+            if any(a.block == block for a in stream)
+        }
+        node_touchers = {
+            proc
+            for proc, stream in enumerate(nodes)
+            if any(a.block == block for a in stream)
+        }
+        assert edge_touchers and node_touchers
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            Unstructured(mesh_blocks=0)

@@ -1,0 +1,46 @@
+"""Tests for the abstract workload machinery."""
+
+import random
+
+import pytest
+
+from repro.sim.memory_map import Allocator, MemoryMap
+from repro.sim.params import PAPER_PARAMS
+from repro.workloads.base import Workload
+
+
+class Minimal(Workload):
+    name = "minimal"
+
+    def setup(self, allocator, rng):
+        pass
+
+    def iteration(self, index, rng):
+        return [self._new_phase()]
+
+
+class TestWorkloadBase:
+    def test_needs_two_processors(self):
+        with pytest.raises(ValueError):
+            Minimal(n_procs=1)
+
+    def test_default_startup_is_empty(self):
+        workload = Minimal()
+        assert workload.startup(random.Random(0)) == []
+
+    def test_new_phase_shape(self):
+        workload = Minimal(n_procs=4)
+        phase = workload._new_phase()
+        assert len(phase) == 4
+        phase[0].append("x")
+        assert phase[1] == []
+
+    def test_repr(self):
+        assert "minimal" in repr(Minimal())
+
+    def test_abstract_methods_enforced(self):
+        with pytest.raises(TypeError):
+            Workload()  # type: ignore[abstract]
+
+    def test_default_iterations_positive(self):
+        assert Minimal().default_iterations >= 1

@@ -1,0 +1,92 @@
+"""Tests for the cold-data pool."""
+
+import random
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim.memory_map import Allocator, MemoryMap
+from repro.sim.params import PAPER_PARAMS
+from repro.workloads.access import empty_phase
+from repro.workloads.cold import ColdPool, ColdPoolSpec
+
+
+def make_pool(spec, horizon=20, seed=0):
+    pool = ColdPool(spec)
+    allocator = Allocator(MemoryMap(PAPER_PARAMS))
+    pool.setup(allocator, random.Random(seed), n_procs=16, horizon=horizon)
+    return pool
+
+
+def collect_touches(pool, horizon=20):
+    touches = []
+    for iteration in range(1, horizon + 1):
+        phase = empty_phase(16)
+        pool.extend_phase(phase, iteration)
+        for proc, stream in enumerate(phase):
+            for access in stream:
+                touches.append((iteration, proc, access))
+    return touches
+
+
+class TestSpec:
+    def test_negative_blocks_rejected(self):
+        with pytest.raises(WorkloadError):
+            ColdPoolSpec(blocks=-1)
+
+    def test_fractions_bounded(self):
+        with pytest.raises(WorkloadError):
+            ColdPoolSpec(blocks=1, rmw_fraction=0.9, rmw_then_read_fraction=0.2)
+
+    def test_negative_fraction_rejected(self):
+        with pytest.raises(WorkloadError):
+            ColdPoolSpec(blocks=1, rmw_fraction=-0.1)
+
+
+class TestColdPool:
+    def test_empty_pool_is_silent(self):
+        pool = make_pool(ColdPoolSpec(blocks=0))
+        assert collect_touches(pool) == []
+
+    def test_every_block_touched(self):
+        spec = ColdPoolSpec(blocks=50, rmw_fraction=0.0,
+                            rmw_then_read_fraction=0.0)
+        pool = make_pool(spec)
+        touches = collect_touches(pool)
+        blocks = {access.block for _, _, access in touches}
+        assert len(blocks) == 50
+        assert len(touches) == 50  # single read each
+
+    def test_rmw_blocks_get_two_accesses(self):
+        spec = ColdPoolSpec(blocks=40, rmw_fraction=1.0,
+                            rmw_then_read_fraction=0.0)
+        pool = make_pool(spec)
+        touches = collect_touches(pool)
+        assert len(touches) == 80  # read + write each
+
+    def test_rmw_then_read_uses_two_procs(self):
+        spec = ColdPoolSpec(blocks=30, rmw_fraction=0.0,
+                            rmw_then_read_fraction=1.0)
+        pool = make_pool(spec)
+        touches = collect_touches(pool)
+        by_block = {}
+        for iteration, proc, access in touches:
+            by_block.setdefault(access.block, set()).add(proc)
+        assert all(len(procs) == 2 for procs in by_block.values())
+
+    def test_touchers_are_remote_from_home(self):
+        spec = ColdPoolSpec(blocks=60)
+        pool = make_pool(spec)
+        mmap = MemoryMap(PAPER_PARAMS)
+        for _, proc, access in collect_touches(pool):
+            assert mmap.home_of(access.block) != proc
+
+    def test_touches_within_horizon(self):
+        pool = make_pool(ColdPoolSpec(blocks=60), horizon=10)
+        touches = collect_touches(pool, horizon=60)
+        assert all(1 <= iteration <= 10 for iteration, _, _ in touches)
+
+    def test_deterministic_given_seed(self):
+        a = collect_touches(make_pool(ColdPoolSpec(blocks=30), seed=9))
+        b = collect_touches(make_pool(ColdPoolSpec(blocks=30), seed=9))
+        assert a == b

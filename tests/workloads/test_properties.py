@@ -1,0 +1,86 @@
+"""Property-based tests over all workload models.
+
+For arbitrary (application, iteration, seed) combinations, the phases a
+workload emits must be structurally sound: correct processor count,
+every access targeting an allocated block, and layouts deterministic per
+seed.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.memory_map import Allocator, MemoryMap
+from repro.sim.params import PAPER_PARAMS
+from repro.workloads.access import Access
+from repro.workloads.registry import BENCHMARK_NAMES, make_workload
+
+#: Small constructor overrides so property runs stay fast.
+_SMALL = {
+    "appbt": {"face_blocks": 2, "false_share_blocks": 1, "cold_blocks": 40},
+    "barnes": {"n_objects": 32},
+    "dsmc": {
+        "buffers_per_proc": 1,
+        "rare_blocks_per_proc": 4,
+        "contended_buffers": 1,
+    },
+    "moldyn": {"force_blocks": 8, "coord_blocks": 8, "cold_blocks": 40},
+    "unstructured": {"mesh_blocks": 12, "cold_blocks": 40},
+}
+
+apps = st.sampled_from(BENCHMARK_NAMES)
+iterations = st.integers(min_value=1, max_value=50)
+seeds = st.integers(min_value=0, max_value=10**6)
+
+
+def build(app, seed):
+    workload = make_workload(app, **_SMALL[app])
+    allocator = Allocator(MemoryMap(PAPER_PARAMS))
+    workload.setup(allocator, random.Random(seed))
+    allocated_blocks = allocator.pages_allocated * (
+        PAPER_PARAMS.page_bytes // PAPER_PARAMS.cache_block_bytes
+    )
+    return workload, allocated_blocks
+
+
+@given(app=apps, iteration=iterations, seed=seeds)
+@settings(max_examples=60, deadline=None)
+def test_phases_are_structurally_sound(app, iteration, seed):
+    workload, allocated_blocks = build(app, seed)
+    rng = random.Random(seed)
+    limit = allocated_blocks * PAPER_PARAMS.cache_block_bytes
+    for phases in (workload.startup(rng), workload.iteration(iteration, rng)):
+        for phase in phases:
+            assert len(phase) == workload.n_procs
+            for stream in phase:
+                for access in stream:
+                    assert isinstance(access, Access)
+                    assert 0 <= access.block < limit
+                    assert access.block % PAPER_PARAMS.cache_block_bytes == 0
+
+
+@given(app=apps, seed=seeds)
+@settings(max_examples=30, deadline=None)
+def test_layout_is_deterministic_per_seed(app, seed):
+    first, _ = build(app, seed)
+    second, _ = build(app, seed)
+    rng_a, rng_b = random.Random(99), random.Random(99)
+    phases_a = first.iteration(1, rng_a)
+    phases_b = second.iteration(1, rng_b)
+    assert phases_a == phases_b
+
+
+@given(app=apps, iteration=iterations, seed=seeds)
+@settings(max_examples=30, deadline=None)
+def test_some_sharing_occurs(app, iteration, seed):
+    """Every iteration touches at least one block from two processors
+    (otherwise there would be no coherence traffic to predict)."""
+    workload, _ = build(app, seed)
+    rng = random.Random(seed)
+    touchers = {}
+    for phase in workload.iteration(iteration, rng):
+        for proc, stream in enumerate(phase):
+            for access in stream:
+                touchers.setdefault(access.block, set()).add(proc)
+    assert any(len(procs) >= 2 for procs in touchers.values())

@@ -1,0 +1,54 @@
+"""Tests for the workload registry (Table 4)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.appbt import AppBT
+from repro.workloads.registry import (
+    BENCHMARK_NAMES,
+    BENCHMARKS,
+    all_workloads,
+    format_table4,
+    make_workload,
+)
+
+
+class TestRegistry:
+    def test_five_benchmarks(self):
+        assert BENCHMARK_NAMES == [
+            "appbt",
+            "barnes",
+            "dsmc",
+            "moldyn",
+            "unstructured",
+        ]
+
+    def test_make_workload(self):
+        workload = make_workload("appbt")
+        assert isinstance(workload, AppBT)
+        assert workload.n_procs == 16
+
+    def test_make_workload_kwargs_forwarded(self):
+        workload = make_workload("appbt", face_blocks=3)
+        assert workload.face_blocks == 3
+
+    def test_unknown_name(self):
+        with pytest.raises(WorkloadError):
+            make_workload("quicksort")
+
+    def test_all_workloads(self):
+        workloads = all_workloads()
+        assert set(workloads) == set(BENCHMARK_NAMES)
+        for name, workload in workloads.items():
+            assert workload.name == name
+
+    def test_info_for_every_benchmark(self):
+        assert set(BENCHMARKS) == set(BENCHMARK_NAMES)
+        for info in BENCHMARKS.values():
+            assert info.origin
+            assert info.description
+
+    def test_table4_mentions_all(self):
+        text = format_table4()
+        for name in BENCHMARK_NAMES:
+            assert name in text
