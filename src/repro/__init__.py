@@ -13,7 +13,10 @@ Mukherjee & Hill, ISCA 1998.  The package provides:
 * :mod:`repro.analysis` -- accuracy, signature, adaptation, and
   memory-overhead analyses;
 * :mod:`repro.experiments` -- drivers regenerating every table and
-  figure of the paper's evaluation.
+  figure of the paper's evaluation;
+* :mod:`repro.parallel` -- sharded parallel execution of independent
+  experiment cells over a ``spawn`` worker pool, fed by the
+  content-addressed on-disk trace cache (:mod:`repro.trace.cache`).
 
 Quickstart::
 

@@ -48,6 +48,37 @@ def render_table(
     return "\n".join(lines)
 
 
+def format_metrics(snapshot: dict) -> str:
+    """Render a :meth:`repro.sim.metrics.Metrics.snapshot` as text tables.
+
+    Used by benchmarks and ``--metrics-json`` consumers that want the
+    counters / timers human-readable next to the raw JSON.
+    """
+    parts: List[str] = []
+    counters = snapshot.get("counters", {})
+    if counters:
+        parts.append(
+            render_table(
+                ["counter", "value"],
+                [[name, value] for name, value in counters.items()],
+                title="Counters",
+            )
+        )
+    timers = snapshot.get("timers", {})
+    if timers:
+        parts.append(
+            render_table(
+                ["timer", "seconds", "calls"],
+                [
+                    [name, f"{entry['seconds']:.3f}", entry["count"]]
+                    for name, entry in timers.items()
+                ],
+                title="Timers",
+            )
+        )
+    return "\n\n".join(parts) if parts else "(no metrics recorded)"
+
+
 def render_matrix(
     row_labels: Sequence[Cell],
     col_labels: Sequence[Cell],

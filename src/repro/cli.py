@@ -29,6 +29,7 @@ from .errors import ReproError
 from .protocol.messages import Role
 from .protocol.stache import StacheOptions
 from .sim.machine import simulate
+from .sim.metrics import METRICS, dump_metrics_json
 from .trace.io import load_trace, save_trace
 from .workloads.registry import BENCHMARK_NAMES, make_workload
 
@@ -39,12 +40,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         half_migratory=not args.no_half_migratory,
         forwarding=args.forwarding,
     )
-    collector = simulate(
-        workload,
-        iterations=args.iterations,
-        seed=args.seed,
-        options=options,
-    )
+    with METRICS.timer("trace.simulate"):
+        collector = simulate(
+            workload,
+            iterations=args.iterations,
+            seed=args.seed,
+            options=options,
+        )
+    METRICS.inc("trace.simulated")
     count = save_trace(collector.events, args.output)
     print(f"wrote {count} events to {args.output}")
     return 0
@@ -99,6 +102,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-trace",
         description="Simulate and analyze coherence-message traces.",
     )
+    parser.add_argument(
+        "--metrics-json",
+        metavar="PATH",
+        default=None,
+        help="dump runtime counters/timers as JSON to PATH",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sim = sub.add_parser("simulate", help="run a workload, save its trace")
@@ -145,14 +154,22 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    METRICS.reset()
     try:
-        return args.func(args)
+        with METRICS.timer("cli.command"):
+            status = args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    if args.metrics_json:
+        dump_metrics_json(
+            METRICS.snapshot(), args.metrics_json, command=args.command
+        )
+        print(f"metrics written to {args.metrics_json}")
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

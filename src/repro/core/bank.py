@@ -9,7 +9,7 @@ cache- and directory-side patterns then alias in one table).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
 from ..protocol.messages import Role
 from ..trace.events import TraceEvent
@@ -22,10 +22,10 @@ class PredictorBank:
 
     def __init__(
         self,
-        config: CosmosConfig = CosmosConfig(),
+        config: Optional[CosmosConfig] = None,
         share_roles: bool = False,
     ) -> None:
-        self.config = config
+        self.config = config if config is not None else CosmosConfig()
         self.share_roles = share_roles
         self._predictors: Dict[Tuple[int, Role], CosmosPredictor] = {}
 

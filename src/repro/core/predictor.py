@@ -44,7 +44,11 @@ class Observation:
 class CosmosPredictor:
     """Two-level adaptive predictor for one cache or directory module."""
 
-    def __init__(self, config: CosmosConfig = CosmosConfig()) -> None:
+    def __init__(self, config: Optional[CosmosConfig] = None) -> None:
+        # A ``config=CosmosConfig()`` default would be evaluated once at
+        # class-definition time and shared by every default-constructed
+        # predictor; build a fresh instance per predictor instead.
+        config = config if config is not None else CosmosConfig()
         self.config = config
         self._mht: "OrderedDict[int, MessageHistoryRegister]" = OrderedDict()
         self._phts: Dict[int, PatternHistoryTable] = {}

@@ -1,9 +1,15 @@
 """Shared plumbing for the experiment drivers.
 
 Simulating a workload is the expensive step; every experiment on the same
-application replays the same trace.  :func:`get_trace` memoizes traces per
-(workload, iterations, seed, scale) within the process so a full
-experiment suite simulates each application once.
+application replays the same trace.  :func:`get_trace` memoizes traces at
+two levels:
+
+* **in process** -- a dict keyed by (workload, iterations, seed, scale),
+  so a full experiment suite simulates each application once, and
+* **on disk** (opt in via :func:`configure_trace_cache`) -- a
+  content-addressed :class:`~repro.trace.cache.TraceCache`, so repeated
+  runs and the parallel runner's worker processes skip the simulator
+  entirely and replay stored traces.
 
 ``scale`` shrinks both the data-structure sizes and the iteration count
 proportionally, letting benchmarks exercise the full code path in a
@@ -12,9 +18,12 @@ fraction of the time of a paper-scale run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from ..protocol.stache import DEFAULT_OPTIONS
+from ..sim.metrics import METRICS
+from ..sim.params import PAPER_PARAMS
+from ..trace.cache import TraceCache, trace_key
 from ..trace.events import TraceEvent
 from ..sim.machine import simulate
 from ..workloads.base import Workload
@@ -41,6 +50,22 @@ _SCALE_KWARGS: Dict[str, Dict[str, int]] = {
 
 _TRACE_CACHE: Dict[Tuple[str, int, int, bool], List[TraceEvent]] = {}
 
+#: The optional on-disk cache; ``None`` keeps memoization in-process only.
+_DISK_CACHE: Optional[TraceCache] = None
+
+
+def configure_trace_cache(
+    cache: Optional[TraceCache],
+) -> Optional[TraceCache]:
+    """Install (or, with ``None``, remove) the on-disk trace cache.
+
+    Returns the previously installed cache so callers can restore it.
+    """
+    global _DISK_CACHE
+    previous = _DISK_CACHE
+    _DISK_CACHE = cache
+    return previous
+
 
 def workload_for(name: str, quick: bool = False) -> Workload:
     """Build a paper-scale (or shrunken) workload instance."""
@@ -64,12 +89,31 @@ def get_trace(
         iterations = iterations_for(name, quick)
     key = (name, iterations, seed, quick)
     trace = _TRACE_CACHE.get(key)
-    if trace is None:
-        collector = simulate(
-            workload_for(name, quick), iterations=iterations, seed=seed
-        )
-        trace = collector.events
-        _TRACE_CACHE[key] = trace
+    if trace is not None:
+        METRICS.inc("trace.memo.hit")
+        return trace
+    with METRICS.timer("trace.acquire"):
+        disk_key = None
+        if _DISK_CACHE is not None:
+            disk_key = trace_key(
+                workload=name,
+                iterations=iterations,
+                seed=seed,
+                params=PAPER_PARAMS,
+                options=DEFAULT_OPTIONS,
+                workload_kwargs=_SCALE_KWARGS[name] if quick else None,
+            )
+            trace = _DISK_CACHE.load(disk_key)
+        if trace is None:
+            with METRICS.timer("trace.simulate"):
+                collector = simulate(
+                    workload_for(name, quick), iterations=iterations, seed=seed
+                )
+                trace = collector.events
+            METRICS.inc("trace.simulated")
+            if _DISK_CACHE is not None and disk_key is not None:
+                _DISK_CACHE.store(disk_key, trace)
+    _TRACE_CACHE[key] = trace
     return trace
 
 

@@ -5,24 +5,40 @@ Usage::
     repro-experiments all                 # everything, paper scale
     repro-experiments table5              # one experiment
     repro-experiments table5 --quick      # shrunken workloads, fast
+    repro-experiments all --jobs 4        # shard across 4 worker processes
+    repro-experiments all --sequential    # force the in-process path
     repro-experiments all --html out.html # self-contained HTML report
+    repro-experiments table5 --metrics-json m.json   # runtime metrics dump
     repro-experiments --list
 
 or ``python -m repro.experiments.runner ...``.
+
+Parallel runs (``--jobs N``) shard independent experiments across a
+``spawn`` process pool and hand simulation traces between workers
+through the on-disk trace cache (``--trace-cache DIR``, or the
+``REPRO_TRACE_CACHE`` environment variable, defaulting to
+``~/.cache/repro/traces`` when parallel).  The same seeds drive the same
+simulations wherever they run, so the report text is byte-identical to
+``--sequential``; only the wall time changes.
 """
 
 from __future__ import annotations
 
 import argparse
 import html as html_module
+import os
 import sys
 import time
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..protocol.messages import format_table1
+from ..sim.metrics import METRICS, dump_metrics_json
 from ..sim.params import PAPER_PARAMS
-from ..workloads.registry import format_table4
+from ..trace.cache import TraceCache
+from ..workloads.registry import BENCHMARK_NAMES, format_table4
 from .bounds import run_bounds
+from .common import configure_trace_cache
 from .figure2 import run_figure2
 from .figure5 import run_figure5
 from .figure8 import run_figure8
@@ -38,6 +54,9 @@ from .table5 import run_table5
 from .table6 import run_table6
 from .table7 import run_table7
 from .table8 import run_table8
+
+#: A rendered experiment: (name, text, elapsed seconds).
+Section = Tuple[str, str, float]
 
 
 def _static_tables(quick: bool, seed: int) -> str:
@@ -93,6 +112,105 @@ EXPERIMENTS: Dict[str, Callable[[bool, int], str]] = {
     ).format(),
 }
 
+#: Workloads each experiment replays through the shared trace cache.
+#: Experiments that simulate privately (non-default protocol options or
+#: machine sizes: sensitivity, protocols, replacement, scaling, seeds)
+#: or not at all are mapped to the empty tuple; the parallel planner
+#: uses this to warm exactly the traces a run will need.
+EXPERIMENT_TRACES: Dict[str, Tuple[str, ...]] = {
+    name: () for name in EXPERIMENTS
+}
+EXPERIMENT_TRACES.update(
+    {
+        "table5": tuple(BENCHMARK_NAMES),
+        "table6": tuple(BENCHMARK_NAMES),
+        "table7": tuple(BENCHMARK_NAMES),
+        "table8": tuple(BENCHMARK_NAMES),
+        "figures6-7": tuple(BENCHMARK_NAMES),
+        "figure8": tuple(BENCHMARK_NAMES),
+        "traffic": tuple(BENCHMARK_NAMES),
+        "bounds": tuple(BENCHMARK_NAMES),
+        "integration": tuple(BENCHMARK_NAMES),
+        "hardware": ("moldyn",),
+    }
+)
+
+#: Fallback shared cache directory for parallel runs.
+DEFAULT_CACHE_DIR = Path.home() / ".cache" / "repro" / "traces"
+
+
+def run_experiments(
+    names: List[str],
+    quick: bool = False,
+    seed: int = 0,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    on_section: Optional[Callable[[Section], None]] = None,
+) -> Tuple[List[Section], List[dict]]:
+    """Run ``names`` sequentially (``jobs <= 1``) or on a worker pool.
+
+    Both paths produce identical section text for identical inputs; the
+    parallel path shards experiments across ``spawn`` processes and
+    merges results back in request order.  ``on_section`` is called once
+    per section, in order.  Returns ``(sections, shard_stats)`` where
+    ``shard_stats`` holds one JSON-able accounting dict per shard
+    (simulation shards included) for ``--metrics-json``.
+    """
+    sections: List[Section] = []
+    shard_stats: List[dict] = []
+    if jobs > 1:
+        from ..parallel import plan_run, run_plan
+
+        plan = plan_run(names, quick, seed, cache_dir, EXPERIMENT_TRACES)
+        sections, outcomes = run_plan(plan, jobs)
+        shard_stats = [
+            {
+                "kind": outcome.kind,
+                "name": outcome.name,
+                "seconds": outcome.seconds,
+                "events": outcome.events,
+                "events_per_second": round(outcome.events_per_second, 1),
+                "pid": outcome.pid,
+            }
+            for outcome in outcomes
+        ]
+        if on_section is not None:
+            for section in sections:
+                on_section(section)
+        return sections, shard_stats
+
+    previous = configure_trace_cache(
+        TraceCache(cache_dir) if cache_dir is not None else None
+    )
+    try:
+        for name in names:
+            start = time.perf_counter()
+            text = EXPERIMENTS[name](quick, seed)
+            elapsed = time.perf_counter() - start
+            METRICS.inc("shard.experiment")
+            section = (name, text, elapsed)
+            sections.append(section)
+            shard_stats.append(
+                {
+                    "kind": "experiment",
+                    "name": name,
+                    "seconds": elapsed,
+                    "events": 0,
+                    "events_per_second": 0.0,
+                    "pid": os.getpid(),
+                }
+            )
+            if on_section is not None:
+                on_section(section)
+    finally:
+        configure_trace_cache(previous)
+    return sections, shard_stats
+
+
+def report_text(sections: List[Section]) -> str:
+    """The report body: every section's text, in order (no timings)."""
+    return ("\n\n" + "=" * 78 + "\n\n").join(text for _, text, _ in sections)
+
 
 _HTML_STYLE = """
 body { font-family: Georgia, serif; max-width: 70rem; margin: 2rem auto;
@@ -134,6 +252,27 @@ def render_html_report(sections: List[Tuple[str, str, float]]) -> str:
     return "\n".join(parts)
 
 
+def _resolve_cache_dir(args: argparse.Namespace, jobs: int) -> Optional[str]:
+    """Which on-disk trace cache (if any) this invocation should use.
+
+    Precedence: ``--no-trace-cache`` wins; then an explicit
+    ``--trace-cache DIR``; then ``REPRO_TRACE_CACHE``; finally parallel
+    runs fall back to a per-user default (workers need *some* shared
+    directory to hand traces to each other).  Sequential runs default to
+    no disk cache, preserving the historical behaviour.
+    """
+    if args.no_trace_cache:
+        return None
+    if args.trace_cache is not None:
+        return args.trace_cache
+    env = os.environ.get("REPRO_TRACE_CACHE")
+    if env:
+        return env
+    if jobs > 1:
+        return str(DEFAULT_CACHE_DIR)
+    return None
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -160,6 +299,39 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--seed", type=int, default=0, help="simulation seed (default 0)"
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run experiments on N worker processes (default 1: in-process)",
+    )
+    parser.add_argument(
+        "--sequential",
+        action="store_true",
+        help="force the in-process path (equivalent to --jobs 1)",
+    )
+    parser.add_argument(
+        "--trace-cache",
+        metavar="DIR",
+        default=None,
+        help=(
+            "cache simulation traces on disk under DIR (default: "
+            "$REPRO_TRACE_CACHE, else ~/.cache/repro/traces for parallel "
+            "runs, else disabled)"
+        ),
+    )
+    parser.add_argument(
+        "--no-trace-cache",
+        action="store_true",
+        help="disable the on-disk trace cache entirely",
+    )
+    parser.add_argument(
+        "--metrics-json",
+        metavar="PATH",
+        default=None,
+        help="dump counters/timers/per-shard throughput as JSON to PATH",
+    )
+    parser.add_argument(
         "--html",
         metavar="PATH",
         default=None,
@@ -183,20 +355,49 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("use --list to see what is available", file=sys.stderr)
         return 2
 
-    sections: List[Tuple[str, str, float]] = []
-    for index, name in enumerate(names):
-        if index:
+    jobs = 1 if args.sequential else max(1, args.jobs)
+    cache_dir = _resolve_cache_dir(args, jobs)
+
+    printed = 0
+
+    def _print_section(section: Section) -> None:
+        nonlocal printed
+        name, text, elapsed = section
+        if printed:
             print("\n" + "=" * 78 + "\n")
-        start = time.time()
-        text = EXPERIMENTS[name](args.quick, args.seed)
-        elapsed = time.time() - start
         print(text)
         print(f"\n[{name} regenerated in {elapsed:.1f}s]")
-        sections.append((name, text, elapsed))
+        printed += 1
+
+    METRICS.reset()
+    wall_start = time.perf_counter()
+    sections, shard_stats = run_experiments(
+        names,
+        quick=args.quick,
+        seed=args.seed,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        on_section=_print_section,
+    )
+    wall_seconds = time.perf_counter() - wall_start
+
     if args.html:
         with open(args.html, "w", encoding="utf-8") as handle:
             handle.write(render_html_report(sections))
         print(f"\nHTML report written to {args.html}")
+    if args.metrics_json:
+        dump_metrics_json(
+            METRICS.snapshot(),
+            args.metrics_json,
+            shards=shard_stats,
+            wall_seconds=wall_seconds,
+            jobs=jobs,
+            quick=args.quick,
+            seed=args.seed,
+            trace_cache=cache_dir,
+            experiments=names,
+        )
+        print(f"\nmetrics written to {args.metrics_json}")
     return 0
 
 

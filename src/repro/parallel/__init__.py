@@ -1,0 +1,31 @@
+"""Parallel execution of independent experiment cells.
+
+The paper's evaluation is a grid -- applications x nodes x predictor
+configurations -- and every ``(workload, seed, config)`` cell is
+independent: prediction accuracy depends only on per-block message
+order, which is latency-insensitive.  This package shards that grid
+across a ``spawn`` process pool and merges results back in plan order,
+so the parallel path emits byte-identical experiment text to the serial
+one.
+
+* :mod:`repro.parallel.seeds` -- deterministic per-shard seed derivation
+  (``hashlib`` over the cell identity, independent of pool scheduling).
+* :mod:`repro.parallel.plan` -- the shard planner: a trace-warming stage
+  (one shard per unique simulation, written to the on-disk trace cache)
+  followed by one shard per experiment.
+* :mod:`repro.parallel.pool` -- the worker pool and the ordered merge.
+"""
+
+from .plan import ExperimentShard, Plan, TraceShard, plan_run
+from .pool import ShardOutcome, run_plan
+from .seeds import derive_seed
+
+__all__ = [
+    "ExperimentShard",
+    "Plan",
+    "ShardOutcome",
+    "TraceShard",
+    "derive_seed",
+    "plan_run",
+    "run_plan",
+]

@@ -1,0 +1,125 @@
+"""The worker pool: execute a :class:`~repro.parallel.plan.Plan`.
+
+Workers run in ``spawn`` processes (fresh interpreters -- no inherited
+RNG state, no copy-on-write surprises, same behaviour on every
+platform).  Each worker configures the shared on-disk trace cache,
+seeds ambient randomness from the shard's derived seed, runs its shard,
+and ships back the result plus its local metrics snapshot.  The parent
+folds worker metrics into the global registry and merges experiment
+outputs in plan order, so scheduling never leaks into the report.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from multiprocessing import get_context
+from typing import Dict, List, Tuple, Union
+
+from ..sim.metrics import METRICS
+from .plan import ExperimentShard, Plan, TraceShard
+
+_Shard = Union[TraceShard, ExperimentShard]
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """What one shard produced, plus per-shard accounting."""
+
+    kind: str  # "trace" | "experiment"
+    name: str
+    index: int
+    text: str  # experiment shards: the rendered table/figure
+    events: int  # trace shards: number of trace events produced
+    seconds: float
+    pid: int
+    metrics: Dict[str, dict]
+
+    @property
+    def events_per_second(self) -> float:
+        return self.events / self.seconds if self.seconds > 0 else 0.0
+
+
+def _configure_worker_cache(cache_dir: object) -> None:
+    from ..experiments.common import configure_trace_cache
+    from ..trace.cache import TraceCache
+
+    if cache_dir is not None:
+        configure_trace_cache(TraceCache(str(cache_dir)))
+
+
+def _run_shard(shard: _Shard) -> ShardOutcome:
+    """Top-level worker entry point (must be picklable for ``spawn``)."""
+    import random
+
+    random.seed(shard.shard_seed)
+    METRICS.reset()
+    _configure_worker_cache(shard.cache_dir)
+    start = time.perf_counter()
+    if isinstance(shard, TraceShard):
+        from ..experiments.common import get_trace
+
+        events = get_trace(
+            shard.app,
+            iterations=shard.iterations,
+            seed=shard.seed,
+            quick=shard.quick,
+        )
+        kind, name, index = "trace", shard.app, -1
+        text, n_events = "", len(events)
+    else:
+        from ..experiments.runner import EXPERIMENTS
+
+        text = EXPERIMENTS[shard.name](shard.quick, shard.seed)
+        kind, name, index = "experiment", shard.name, shard.index
+        n_events = 0
+    seconds = time.perf_counter() - start
+    METRICS.inc(f"shard.{kind}")
+    return ShardOutcome(
+        kind=kind,
+        name=name,
+        index=index,
+        text=text,
+        events=n_events,
+        seconds=seconds,
+        pid=os.getpid(),
+        metrics=METRICS.snapshot(),
+    )
+
+
+def run_plan(
+    plan: Plan, jobs: int
+) -> Tuple[List[Tuple[str, str, float]], List[ShardOutcome]]:
+    """Execute ``plan`` on ``jobs`` workers.
+
+    Returns ``(sections, outcomes)`` where ``sections`` is the ordered
+    ``(name, text, elapsed)`` list matching the requested experiment
+    order exactly, and ``outcomes`` covers every shard (traces first)
+    for metrics/throughput reporting.  Worker metrics are merged into
+    the parent's global registry as results arrive.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    outcomes: List[ShardOutcome] = []
+    with ProcessPoolExecutor(
+        max_workers=jobs, mp_context=get_context("spawn")
+    ) as pool:
+        # Stage 1: warm the trace cache.  A barrier here keeps stage 2
+        # workers from racing to re-simulate the same workload.
+        with METRICS.timer("parallel.stage.traces"):
+            for outcome in pool.map(_run_shard, plan.traces):
+                METRICS.merge(outcome.metrics)
+                outcomes.append(outcome)
+        with METRICS.timer("parallel.stage.experiments"):
+            finished = list(pool.map(_run_shard, plan.experiments))
+    for outcome in finished:
+        METRICS.merge(outcome.metrics)
+    # Ordered merge: plan order, not completion order.
+    finished.sort(key=lambda outcome: outcome.index)
+    outcomes.extend(finished)
+    sections = [
+        (outcome.name, outcome.text, outcome.seconds) for outcome in finished
+    ]
+    return sections, outcomes

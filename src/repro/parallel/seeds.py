@@ -1,0 +1,39 @@
+"""Deterministic per-shard seed derivation.
+
+A shard must behave identically no matter which worker runs it, in what
+order, or on which platform.  Python's builtin ``hash`` is salted per
+process, so shard identities are hashed with :mod:`hashlib` instead:
+``derive_seed`` maps the cell identity ``(experiment, workload, config,
+base seed)`` to a stable 63-bit integer.  Workers seed their ambient
+``random`` state with it before running a shard, so any stray
+randomness is at least reproducible per cell (the simulator itself
+always builds its own explicitly seeded generators).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+#: Seeds fit in a non-negative signed 64-bit int for easy transport.
+_SEED_BITS = 63
+
+
+def derive_seed(
+    experiment: str,
+    workload: Optional[str] = None,
+    config: Optional[str] = None,
+    seed: int = 0,
+) -> int:
+    """Derive a stable shard seed from the cell identity.
+
+    Any change to any field -- experiment name, workload, config
+    description, or base seed -- yields a different (but deterministic)
+    value.  The unit separator keeps field boundaries unambiguous, so
+    ``("ab", "c")`` and ``("a", "bc")`` cannot collide.
+    """
+    material = "\x1f".join(
+        [experiment, workload or "", config or "", str(seed)]
+    )
+    digest = hashlib.sha256(material.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> (64 - _SEED_BITS)

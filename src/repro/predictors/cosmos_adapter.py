@@ -20,8 +20,9 @@ from .base import MessagePredictor
 class CosmosAdapter(MessagePredictor):
     """Cosmos wrapped as a :class:`MessagePredictor`."""
 
-    def __init__(self, config: CosmosConfig = CosmosConfig()) -> None:
+    def __init__(self, config: Optional[CosmosConfig] = None) -> None:
         super().__init__()
+        config = config if config is not None else CosmosConfig()
         self._cosmos = CosmosPredictor(config)
         self.name = f"cosmos-d{config.depth}" + (
             f"-f{config.filter_max_count}" if config.has_filter else ""

@@ -27,11 +27,12 @@ class SetCosmos(MessagePredictor):
     name = "cosmos-set"
 
     def __init__(
-        self, config: CosmosConfig = CosmosConfig(), set_size: int = 2
+        self, config: Optional[CosmosConfig] = None, set_size: int = 2
     ) -> None:
         super().__init__()
         if set_size < 1:
             raise ValueError("set_size must be at least 1")
+        config = config if config is not None else CosmosConfig()
         self.config = config
         self.set_size = set_size
         self.name = f"cosmos-set{set_size}-d{config.depth}"

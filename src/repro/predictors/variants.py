@@ -37,9 +37,9 @@ class TypeOnlyCosmos(MessagePredictor):
 
     name = "cosmos-type-only"
 
-    def __init__(self, config: CosmosConfig = CosmosConfig()) -> None:
+    def __init__(self, config: Optional[CosmosConfig] = None) -> None:
         super().__init__()
-        self.config = config
+        self.config = config if config is not None else CosmosConfig()
         self._mht: Dict[int, MessageHistoryRegister] = {}
         self._phts: Dict[int, PatternHistoryTable] = {}
         self._last_sender: Dict[int, int] = {}
@@ -111,10 +111,10 @@ class GlobalHistoryCosmos(MessagePredictor):
 
     name = "cosmos-global-history"
 
-    def __init__(self, config: CosmosConfig = CosmosConfig()) -> None:
+    def __init__(self, config: Optional[CosmosConfig] = None) -> None:
         super().__init__()
-        self.config = config
-        self._global = MessageHistoryRegister(config.depth)
+        self.config = config if config is not None else CosmosConfig()
+        self._global = MessageHistoryRegister(self.config.depth)
         self._phts: Dict[int, PatternHistoryTable] = {}
 
     def predict(self, block: int) -> Optional[MessageTuple]:

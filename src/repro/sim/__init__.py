@@ -3,6 +3,7 @@
 from .engine import Engine
 from .machine import Machine, simulate
 from .memory_map import Allocator, MemoryMap
+from .metrics import METRICS, Metrics, dump_metrics_json
 from .network import Network
 from .node import Node
 from .params import PAPER_PARAMS, SystemParams
@@ -12,7 +13,10 @@ __all__ = [
     "Allocator",
     "Engine",
     "LatencySummary",
+    "METRICS",
     "Machine",
+    "Metrics",
+    "dump_metrics_json",
     "summarize_latencies",
     "MemoryMap",
     "Network",

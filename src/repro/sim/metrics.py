@@ -1,0 +1,103 @@
+"""Lightweight run-time metrics: counters and wall-time timers.
+
+The parallel experiment runner and the on-disk trace cache both need to
+answer "where did the time go?" without dragging in a profiler.  This
+module keeps one process-global :class:`Metrics` registry (``METRICS``)
+of named counters and accumulating timers.  Worker processes each have
+their own registry (they are separate interpreters); the pool ships each
+worker's :meth:`Metrics.snapshot` back with its result and the parent
+folds them together with :meth:`Metrics.merge`, so ``--metrics-json``
+reports totals across every shard.
+
+Conventions for names: dotted lowercase, ``<layer>.<event>`` --
+``trace.cache.hit``, ``trace.simulate``, ``shard.experiment``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+
+class Metrics:
+    """A registry of named counters and accumulating wall-time timers."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+        #: name -> [total_seconds, invocation_count]
+        self._timers: Dict[str, List[float]] = {}
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> int:
+        """Add ``amount`` to counter ``name``; return the new value."""
+        value = self._counters.get(name, 0) + amount
+        self._counters[name] = value
+        return value
+
+    def add_time(self, name: str, seconds: float, count: int = 1) -> None:
+        """Fold ``seconds`` of wall time into timer ``name``."""
+        entry = self._timers.setdefault(name, [0.0, 0])
+        entry[0] += seconds
+        entry[1] += count
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Time a ``with`` block into timer ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_time(name, time.perf_counter() - start)
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def seconds(self, name: str) -> float:
+        return self._timers.get(name, [0.0, 0])[0]
+
+    def snapshot(self) -> Dict[str, dict]:
+        """A JSON-able copy: counters plus per-timer seconds and count."""
+        return {
+            "counters": dict(sorted(self._counters.items())),
+            "timers": {
+                name: {"seconds": entry[0], "count": entry[1]}
+                for name, entry in sorted(self._timers.items())
+            },
+        }
+
+    def merge(self, snapshot: Dict[str, dict]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.inc(name, value)
+        for name, entry in snapshot.get("timers", {}).items():
+            self.add_time(name, entry["seconds"], entry.get("count", 1))
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._timers.clear()
+
+
+def dump_metrics_json(
+    snapshot: Dict[str, dict], path: Union[str, Path], **extra: object
+) -> None:
+    """Write a metrics snapshot (plus ``extra`` top-level keys) as JSON."""
+    payload = dict(snapshot)
+    payload.update(extra)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+#: The process-global registry.  Library code records here; entry points
+#: (the experiment runner, benchmarks) reset/snapshot it around a run.
+METRICS = Metrics()

@@ -1,5 +1,6 @@
 """Coherence-message trace infrastructure."""
 
+from .cache import TraceCache, TraceCacheKey, trace_key
 from .collector import TraceCollector
 from .events import TraceEvent
 from .filters import (
@@ -15,6 +16,8 @@ from .filters import (
 from .io import iter_trace, load_trace, save_trace
 
 __all__ = [
+    "TraceCache",
+    "TraceCacheKey",
     "TraceCollector",
     "TraceEvent",
     "blocks_touched",
@@ -27,5 +30,6 @@ __all__ = [
     "load_trace",
     "save_trace",
     "split_by_endpoint",
+    "trace_key",
     "up_to_iteration",
 ]

@@ -1,0 +1,165 @@
+"""Content-addressed on-disk cache of simulation message traces.
+
+Simulating a workload is the expensive step of every experiment; the
+resulting trace depends only on ``(workload + construction kwargs,
+iterations, seed, system params, protocol options)``.  This module hashes
+that tuple into a cache key and stores the trace once per key, so
+predictor sweeps (figures 6/7, sensitivity, ablations) replay traces from
+disk instead of re-running the simulator -- across processes, including
+the parallel runner's worker pool.
+
+Layout: ``<root>/<digest[:2]>/<digest>.trace``.  Each file holds two
+pickle frames: a small metadata header (format version, event count,
+SHA-256 of the payload, the human-readable key descriptor) followed by
+the pickled event list.  Loads verify the hash and count; any mismatch,
+truncation, or unpickling error is treated as a miss -- the corrupt file
+is removed and the caller re-simulates.  Writes go through a temp file
+and ``os.replace`` so concurrent workers never observe a half-written
+trace.  Bump :data:`FORMAT_VERSION` whenever the event schema or the
+simulator's timing model changes meaning: old entries then simply stop
+matching and are re-simulated.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..sim.metrics import METRICS
+from ..sim.params import SystemParams
+from ..protocol.stache import StacheOptions
+from .events import TraceEvent
+
+#: Bump when TraceEvent's schema or the simulator's semantics change.
+FORMAT_VERSION = 1
+
+_HEADER_MAGIC = "repro-trace-cache"
+
+
+@dataclass(frozen=True)
+class TraceCacheKey:
+    """A content hash plus the descriptor it was derived from."""
+
+    digest: str
+    descriptor: Dict[str, object]
+
+
+def trace_key(
+    workload: str,
+    iterations: int,
+    seed: int,
+    params: SystemParams,
+    options: StacheOptions,
+    workload_kwargs: Optional[Dict[str, int]] = None,
+) -> TraceCacheKey:
+    """Derive the cache key for one simulation's trace.
+
+    Every field that can change the trace participates in the hash, so a
+    change to *any* config field yields a different key (and therefore a
+    cache miss, never a stale hit).
+    """
+    descriptor: Dict[str, object] = {
+        "format": FORMAT_VERSION,
+        "workload": workload,
+        "workload_kwargs": dict(sorted((workload_kwargs or {}).items())),
+        "iterations": iterations,
+        "seed": seed,
+        "params": asdict(params),
+        "options": asdict(options),
+    }
+    canonical = json.dumps(descriptor, sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    return TraceCacheKey(digest=digest, descriptor=descriptor)
+
+
+class TraceCache:
+    """Read/write access to one cache directory."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    def path_for(self, key: TraceCacheKey) -> Path:
+        return self.root / key.digest[:2] / f"{key.digest}.trace"
+
+    def __contains__(self, key: TraceCacheKey) -> bool:
+        return self.path_for(key).exists()
+
+    def load(self, key: TraceCacheKey) -> Optional[List[TraceEvent]]:
+        """Return the cached trace, or ``None`` on miss/corruption.
+
+        A corrupt or truncated entry is deleted so the follow-up
+        :meth:`store` replaces it with a good one.
+        """
+        path = self.path_for(key)
+        if not path.exists():
+            METRICS.inc("trace.cache.miss")
+            return None
+        try:
+            with METRICS.timer("trace.cache.load"), open(path, "rb") as handle:
+                header = pickle.load(handle)
+                payload = handle.read()
+                if (
+                    not isinstance(header, dict)
+                    or header.get("magic") != _HEADER_MAGIC
+                    or header.get("format") != FORMAT_VERSION
+                    or header.get("sha256")
+                    != hashlib.sha256(payload).hexdigest()
+                ):
+                    raise ValueError("header/payload mismatch")
+                events = pickle.loads(payload)
+                if (
+                    not isinstance(events, list)
+                    or len(events) != header.get("count")
+                ):
+                    raise ValueError("event count mismatch")
+        except Exception:
+            # Any failure mode -- truncation, bit rot, a stale format,
+            # a partial write from a killed process -- degrades to a
+            # miss and a re-simulation, never a crash or a wrong trace.
+            METRICS.inc("trace.cache.corrupt")
+            METRICS.inc("trace.cache.miss")
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        METRICS.inc("trace.cache.hit")
+        return events
+
+    def store(self, key: TraceCacheKey, events: List[TraceEvent]) -> Path:
+        """Atomically write ``events`` under ``key``; return the path."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with METRICS.timer("trace.cache.store"):
+            payload = pickle.dumps(
+                list(events), protocol=pickle.HIGHEST_PROTOCOL
+            )
+            header = {
+                "magic": _HEADER_MAGIC,
+                "format": FORMAT_VERSION,
+                "count": len(events),
+                "sha256": hashlib.sha256(payload).hexdigest(),
+                "descriptor": key.descriptor,
+            }
+            fd, tmp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=f".{key.digest[:8]}.", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(header, handle)
+                    handle.write(payload)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        METRICS.inc("trace.cache.stored")
+        return path

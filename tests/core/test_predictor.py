@@ -148,3 +148,50 @@ class TestMemoryIntrospection:
         predictor = CosmosPredictor()
         predictor.update(BLOCK, GET_P1)
         assert predictor.blocks() == (BLOCK,)
+
+
+class TestDefaultConfigIsolation:
+    """Default-constructed predictors must not share any state.
+
+    ``config: CosmosConfig = CosmosConfig()`` in a signature is evaluated
+    once at definition time; every default-constructed predictor would
+    then share one module-level config instance.  The constructor now
+    builds a fresh config per predictor.
+    """
+
+    def test_two_default_predictors_do_not_alias(self):
+        first = CosmosPredictor()
+        second = CosmosPredictor()
+        assert first.config is not second.config
+        assert first._mht is not second._mht
+        assert first._phts is not second._phts
+
+    def test_training_one_leaves_the_other_empty(self):
+        first = CosmosPredictor()
+        second = CosmosPredictor()
+        for tup in (GET_P1, INV_P2, GET_P1):
+            first.update(BLOCK, tup)
+        assert first.mhr_entries == 1
+        assert second.mhr_entries == 0
+        assert second.predict(BLOCK) is None
+
+    def test_default_constructed_helpers_do_not_alias(self):
+        from repro.core.bank import PredictorBank
+        from repro.predictors.cosmos_adapter import CosmosAdapter
+        from repro.predictors.set_predictor import SetCosmos
+        from repro.predictors.variants import GlobalHistoryCosmos, TypeOnlyCosmos
+
+        for cls in (PredictorBank, CosmosAdapter, SetCosmos,
+                    TypeOnlyCosmos, GlobalHistoryCosmos):
+            first, second = cls(), cls()
+            config_of = (
+                lambda obj: obj._cosmos.config
+                if isinstance(obj, CosmosAdapter)
+                else obj.config
+            )
+            assert config_of(first) is not config_of(second), cls.__name__
+
+    def test_explicit_config_still_honoured(self):
+        config = CosmosConfig(depth=3)
+        predictor = CosmosPredictor(config)
+        assert predictor.config is config

@@ -1,0 +1,29 @@
+"""Regenerate the golden quick-scale traces (see README.md)."""
+
+import gzip
+import tempfile
+from pathlib import Path
+
+from repro.experiments.common import get_trace
+from repro.trace.io import save_trace
+from repro.workloads.registry import BENCHMARK_NAMES
+
+DATA_DIR = Path(__file__).parent
+
+
+def main() -> None:
+    for app in BENCHMARK_NAMES:
+        events = get_trace(app, quick=True, seed=0)
+        with tempfile.NamedTemporaryFile(suffix=".jsonl") as tmp:
+            count = save_trace(events, tmp.name)
+            data = Path(tmp.name).read_bytes()
+        out = DATA_DIR / f"{app}_quick_seed0.jsonl.gz"
+        # mtime=0 keeps the gzip bytes themselves reproducible.
+        with open(out, "wb") as raw:
+            with gzip.GzipFile(fileobj=raw, mode="wb", mtime=0) as gz:
+                gz.write(data)
+        print(f"{out.name}: {count} events")
+
+
+if __name__ == "__main__":
+    main()

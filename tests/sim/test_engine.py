@@ -98,3 +98,104 @@ class TestRun:
         engine = Engine()
         assert engine.run() == 0
         assert engine.now == 0
+
+
+class TestDeterminism:
+    """Two engines fed the same schedule dispatch identically.
+
+    The protocol relies on deterministic tie-breaking (insertion order)
+    for per-channel FIFO; these tests pin that contract for interleaved
+    ``schedule``/``schedule_at`` calls with equal-time ties.
+    """
+
+    @staticmethod
+    def _drive(engine, log):
+        # Mix relative and absolute scheduling with deliberate ties:
+        # everything below lands at t=5, t=7, or t=9.
+        engine.schedule(5, log.append, "rel-5a")
+        engine.schedule_at(5, log.append, "abs-5b")
+        engine.schedule(7, log.append, "rel-7a")
+        engine.schedule_at(5, log.append, "abs-5c")
+        engine.schedule_at(9, log.append, "abs-9a")
+        engine.schedule(5, log.append, "rel-5d")
+        engine.schedule_at(7, log.append, "abs-7b")
+        engine.schedule(9, log.append, "rel-9b")
+
+    def test_interleaved_ties_dispatch_in_insertion_order(self):
+        engine = Engine()
+        log = []
+        self._drive(engine, log)
+        engine.run()
+        assert log == [
+            "rel-5a", "abs-5b", "abs-5c", "rel-5d",
+            "rel-7a", "abs-7b",
+            "abs-9a", "rel-9b",
+        ]
+
+    def test_two_engines_replay_identically(self):
+        first_log, second_log = [], []
+        for log in (first_log, second_log):
+            engine = Engine()
+            self._drive(engine, log)
+            # Nested scheduling at dispatch time must also replay: each
+            # t=5 event schedules a follow-up at the same future time.
+            engine.schedule(1, engine.schedule, 4, log.append, "nested-5")
+            engine.run()
+        assert first_log == second_log
+
+    def test_ties_created_at_dispatch_time_follow_insertion_order(self):
+        engine = Engine()
+        log = []
+
+        def spawn(tag):
+            log.append(tag)
+            # Scheduled mid-run with delay 0: same timestamp, later seq.
+            engine.schedule(0, log.append, f"{tag}-child")
+
+        engine.schedule(3, spawn, "a")
+        engine.schedule(3, spawn, "b")
+        engine.run()
+        assert log == ["a", "b", "a-child", "b-child"]
+
+
+class TestErrorPaths:
+    def test_negative_delay_message_names_offender(self):
+        engine = Engine()
+        with pytest.raises(SimulationError, match="-7"):
+            engine.schedule(-7, lambda: None)
+
+    def test_rejected_schedule_leaves_queue_untouched(self):
+        engine = Engine()
+        engine.schedule(1, lambda: None)
+        with pytest.raises(SimulationError):
+            engine.schedule(-1, lambda: None)
+        assert engine.pending() == 1
+
+    def test_schedule_at_past_message_names_times(self):
+        engine = Engine()
+        engine.schedule(10, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError, match="5.*10"):
+            engine.schedule_at(5, lambda: None)
+        assert engine.pending() == 0
+
+    def test_schedule_at_current_time_is_allowed(self):
+        engine = Engine()
+        engine.schedule(10, lambda: None)
+        engine.run()
+        log = []
+        engine.schedule_at(10, log.append, "now")
+        engine.run()
+        assert log == ["now"] and engine.now == 10
+
+    def test_rejected_calls_do_not_advance_sequence_visibly(self):
+        # A rejected schedule between two accepted ties must not change
+        # their dispatch order.
+        engine = Engine()
+        log = []
+        engine.schedule(5, log.append, "first")
+        with pytest.raises(SimulationError):
+            engine.schedule(-1, log.append, "never")
+        engine.schedule(5, log.append, "second")
+        engine.run()
+        assert log == ["first", "second"]

@@ -1,0 +1,108 @@
+"""Tests for the runtime metrics registry."""
+
+import json
+
+from repro.sim.metrics import METRICS, Metrics, dump_metrics_json
+
+
+class TestCounters:
+    def test_inc_and_read(self):
+        metrics = Metrics()
+        assert metrics.inc("a") == 1
+        assert metrics.inc("a", 4) == 5
+        assert metrics.counter("a") == 5
+
+    def test_unknown_counter_is_zero(self):
+        assert Metrics().counter("nope") == 0
+
+
+class TestTimers:
+    def test_timer_accumulates(self):
+        metrics = Metrics()
+        with metrics.timer("t"):
+            pass
+        with metrics.timer("t"):
+            pass
+        snap = metrics.snapshot()
+        assert snap["timers"]["t"]["count"] == 2
+        assert snap["timers"]["t"]["seconds"] >= 0.0
+
+    def test_timer_records_on_exception(self):
+        metrics = Metrics()
+        try:
+            with metrics.timer("t"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert metrics.snapshot()["timers"]["t"]["count"] == 1
+
+    def test_add_time_direct(self):
+        metrics = Metrics()
+        metrics.add_time("t", 1.5)
+        metrics.add_time("t", 0.5, count=3)
+        assert metrics.seconds("t") == 2.0
+        assert metrics.snapshot()["timers"]["t"]["count"] == 4
+
+
+class TestSnapshotMerge:
+    def test_snapshot_is_a_copy(self):
+        metrics = Metrics()
+        metrics.inc("a")
+        snap = metrics.snapshot()
+        metrics.inc("a")
+        assert snap["counters"]["a"] == 1
+
+    def test_merge_folds_counters_and_timers(self):
+        parent, worker = Metrics(), Metrics()
+        parent.inc("shared", 2)
+        worker.inc("shared", 3)
+        worker.inc("worker-only")
+        worker.add_time("t", 1.0)
+        parent.merge(worker.snapshot())
+        assert parent.counter("shared") == 5
+        assert parent.counter("worker-only") == 1
+        assert parent.seconds("t") == 1.0
+
+    def test_merge_empty_snapshot_is_noop(self):
+        metrics = Metrics()
+        metrics.merge({})
+        assert metrics.snapshot() == {"counters": {}, "timers": {}}
+
+    def test_reset(self):
+        metrics = Metrics()
+        metrics.inc("a")
+        metrics.add_time("t", 1.0)
+        metrics.reset()
+        assert metrics.snapshot() == {"counters": {}, "timers": {}}
+
+
+class TestDump:
+    def test_dump_metrics_json(self, tmp_path):
+        metrics = Metrics()
+        metrics.inc("runs")
+        path = tmp_path / "m.json"
+        dump_metrics_json(metrics.snapshot(), path, jobs=4, shards=[])
+        data = json.loads(path.read_text())
+        assert data["counters"]["runs"] == 1
+        assert data["jobs"] == 4
+        assert data["shards"] == []
+
+    def test_global_registry_exists(self):
+        assert isinstance(METRICS, Metrics)
+
+
+class TestFormatMetrics:
+    def test_format_metrics_renders_tables(self):
+        from repro.analysis.report import format_metrics
+
+        metrics = Metrics()
+        metrics.inc("trace.cache.hit", 7)
+        metrics.add_time("trace.simulate", 1.25)
+        text = format_metrics(metrics.snapshot())
+        assert "trace.cache.hit" in text and "7" in text
+        assert "trace.simulate" in text and "1.250" in text
+
+    def test_format_metrics_empty(self):
+        from repro.analysis.report import format_metrics
+
+        assert "no metrics" in format_metrics({})

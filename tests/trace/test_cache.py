@@ -1,0 +1,206 @@
+"""Property tests for the content-addressed on-disk trace cache."""
+
+import dataclasses
+import pickle
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocol.messages import MessageType, Role
+from repro.protocol.stache import DEFAULT_OPTIONS, StacheOptions
+from repro.sim.params import PAPER_PARAMS, SystemParams
+from repro.trace.cache import FORMAT_VERSION, TraceCache, trace_key
+from repro.trace.events import TraceEvent
+
+message_types = st.sampled_from(list(MessageType))
+
+
+@st.composite
+def trace_events(draw):
+    return TraceEvent(
+        time=draw(st.integers(min_value=0, max_value=10**9)),
+        iteration=draw(st.integers(min_value=0, max_value=10)),
+        node=draw(st.integers(min_value=0, max_value=15)),
+        role=draw(st.sampled_from([Role.CACHE, Role.DIRECTORY])),
+        block=draw(st.integers(min_value=0, max_value=2**20).map(lambda a: a * 64)),
+        sender=draw(st.integers(min_value=0, max_value=15)),
+        mtype=draw(message_types),
+    )
+
+
+def _key(**overrides):
+    base = dict(
+        workload="appbt",
+        iterations=40,
+        seed=0,
+        params=PAPER_PARAMS,
+        options=DEFAULT_OPTIONS,
+        workload_kwargs=None,
+    )
+    base.update(overrides)
+    return trace_key(**base)
+
+
+class TestKeyDerivation:
+    def test_key_is_deterministic(self):
+        assert _key().digest == _key().digest
+
+    def test_key_changes_when_any_field_changes(self):
+        baseline = _key().digest
+        variants = [
+            _key(workload="barnes"),
+            _key(iterations=41),
+            _key(seed=1),
+            _key(params=SystemParams(network_latency_ns=41)),
+            _key(options=StacheOptions(forwarding=True)),
+            _key(workload_kwargs={"face_blocks": 2}),
+        ]
+        digests = [baseline] + [v.digest for v in variants]
+        assert len(set(digests)) == len(digests)
+
+    def test_every_params_field_participates(self):
+        # Flip/bump every single SystemParams field; each must produce
+        # a distinct cache key (no stale hits after a config change).
+        baseline = _key().digest
+        seen = {baseline}
+        for field in dataclasses.fields(SystemParams):
+            value = getattr(PAPER_PARAMS, field.name)
+            if isinstance(value, bool):
+                bumped = not value
+            elif isinstance(value, int):
+                bumped = value * 2
+            elif isinstance(value, float):
+                bumped = value * 2.0
+            else:
+                bumped = value + "X"
+            params = dataclasses.replace(PAPER_PARAMS, **{field.name: bumped})
+            digest = _key(params=params).digest
+            assert digest not in seen, field.name
+            seen.add(digest)
+
+    def test_every_options_field_participates(self):
+        baseline = _key().digest
+        seen = {baseline}
+        for field in dataclasses.fields(StacheOptions):
+            value = getattr(DEFAULT_OPTIONS, field.name)
+            options = dataclasses.replace(
+                DEFAULT_OPTIONS, **{field.name: not value}
+            )
+            digest = _key(options=options).digest
+            assert digest not in seen, field.name
+            seen.add(digest)
+
+    def test_descriptor_records_format_version(self):
+        assert _key().descriptor["format"] == FORMAT_VERSION
+
+
+class TestRoundTrip:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(trace_events(), max_size=50))
+    def test_round_trip_preserves_trace_equality(self, tmp_path_factory, events):
+        cache = TraceCache(tmp_path_factory.mktemp("cache"))
+        key = _key(seed=len(events))
+        cache.store(key, events)
+        assert cache.load(key) == events
+
+    def test_missing_entry_is_a_miss(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        assert cache.load(_key()) is None
+        assert _key() not in cache
+
+    def test_store_then_contains(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        key = _key()
+        cache.store(key, [])
+        assert key in cache
+        assert cache.load(key) == []
+
+    def test_overwrite_replaces_entry(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        key = _key()
+        first = [
+            TraceEvent(0, 1, 0, Role.CACHE, 64, 1, MessageType.GET_RO_REQUEST)
+        ]
+        cache.store(key, first)
+        cache.store(key, [])
+        assert cache.load(key) == []
+
+
+class TestCorruptionFallback:
+    def _stored(self, tmp_path, n_events=20):
+        cache = TraceCache(tmp_path)
+        key = _key()
+        events = [
+            TraceEvent(
+                time=i,
+                iteration=1,
+                node=i % 16,
+                role=Role.CACHE,
+                block=64 * i,
+                sender=(i + 1) % 16,
+                mtype=MessageType.GET_RO_REQUEST,
+            )
+            for i in range(n_events)
+        ]
+        cache.store(key, events)
+        return cache, key, cache.path_for(key)
+
+    def test_truncated_file_degrades_to_miss_and_cleans_up(self, tmp_path):
+        cache, key, path = self._stored(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        assert cache.load(key) is None
+        assert not path.exists()  # corrupt entry removed
+
+    def test_every_truncation_point_is_detected(self, tmp_path):
+        # Chop the file at several byte offsets; no prefix may ever load.
+        cache, key, path = self._stored(tmp_path)
+        data = path.read_bytes()
+        for cut in (0, 1, 10, len(data) // 4, len(data) - 1):
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_bytes(data[:cut])
+            assert cache.load(key) is None, f"cut={cut}"
+
+    def test_flipped_payload_byte_is_detected(self, tmp_path):
+        cache, key, path = self._stored(tmp_path)
+        data = bytearray(path.read_bytes())
+        data[-10] ^= 0xFF
+        path.write_bytes(bytes(data))
+        assert cache.load(key) is None
+
+    def test_garbage_file_is_detected(self, tmp_path):
+        cache, key, path = self._stored(tmp_path)
+        path.write_bytes(b"not a cache entry at all")
+        assert cache.load(key) is None
+
+    def test_wrong_header_pickle_is_detected(self, tmp_path):
+        cache, key, path = self._stored(tmp_path)
+        path.write_bytes(pickle.dumps(["unexpected", "structure"]))
+        assert cache.load(key) is None
+
+    def test_fallback_re_simulation_path(self, tmp_path):
+        """get_trace re-simulates (and restores) a corrupted entry."""
+        from repro.experiments.common import (
+            clear_trace_cache,
+            configure_trace_cache,
+            get_trace,
+        )
+
+        cache = TraceCache(tmp_path)
+        previous = configure_trace_cache(cache)
+        try:
+            clear_trace_cache()
+            first = get_trace("barnes", seed=3, quick=True)
+            stored = list(tmp_path.rglob("*.trace"))
+            assert len(stored) == 1
+            stored[0].write_bytes(b"\x00" * 16)  # corrupt it
+            clear_trace_cache()  # force the disk path
+            second = get_trace("barnes", seed=3, quick=True)
+            assert second == first  # re-simulated, not crashed
+            # ... and the cache was healed with a loadable entry.
+            clear_trace_cache()
+            third = get_trace("barnes", seed=3, quick=True)
+            assert third == first
+        finally:
+            configure_trace_cache(previous)
+            clear_trace_cache()
