@@ -1,0 +1,35 @@
+"""Benchmark: fault-injection overhead and the fault study itself."""
+
+from conftest import SEED, once
+
+from repro.experiments.common import iterations_for, workload_for
+from repro.experiments.faults import run_fault_study
+from repro.sim.faults import PRESETS
+from repro.sim.machine import simulate
+
+
+def test_fault_study(benchmark):
+    result = once(
+        benchmark, run_fault_study, apps=["moldyn"], quick=True, seed=SEED
+    )
+    print("\n" + result.format())
+    for row in result.rows:
+        assert 0.0 <= row.overall_accuracy <= 1.0
+    benchmark.extra_info["overall_by_profile"] = {
+        row.profile: round(100 * row.overall_accuracy, 1)
+        for row in result.rows
+    }
+
+
+def test_simulation_under_moderate_faults(benchmark):
+    """Recovery-layer cost: one quick simulation at the moderate preset."""
+    collector = once(
+        benchmark,
+        simulate,
+        workload_for("moldyn", quick=True),
+        iterations=iterations_for("moldyn", quick=True),
+        seed=SEED,
+        faults=PRESETS["moderate"],
+        fault_seed=0,
+    )
+    assert collector.events

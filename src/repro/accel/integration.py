@@ -35,7 +35,9 @@ from ..core.config import CosmosConfig
 from ..core.predictor import CosmosPredictor
 from ..protocol.directory_ctrl import DirectoryController, _Request
 from ..protocol.messages import Message, MessageType
+from ..protocol.recovery import RecoveryConfig, Scheduler
 from ..protocol.stache import DEFAULT_OPTIONS, StacheOptions
+from ..sim.faults import FaultProfile
 from ..sim.machine import Machine
 from ..sim.params import PAPER_PARAMS, SystemParams
 from ..workloads.base import Workload
@@ -52,8 +54,13 @@ class PredictiveDirectoryController(DirectoryController):
         config: CosmosConfig = CosmosConfig(depth=2),
         grant_exclusive: bool = True,
         push_data: bool = False,
+        *,
+        recovery: Optional[RecoveryConfig] = None,
+        schedule: Optional[Scheduler] = None,
     ) -> None:
-        super().__init__(node_id, send, options)
+        super().__init__(
+            node_id, send, options, recovery=recovery, schedule=schedule
+        )
         self.predictor = CosmosPredictor(config)
         self.grant_exclusive = grant_exclusive
         self.push_data = push_data
@@ -84,6 +91,7 @@ class PredictiveDirectoryController(DirectoryController):
                         is_write=True,
                         was_upgrade=False,
                         done_cb=None,
+                        req_seq=msg.seq,
                     ),
                 )
                 self._try_push(msg.block)
@@ -94,6 +102,12 @@ class PredictiveDirectoryController(DirectoryController):
     def _try_push(self, block: int) -> None:
         """Push data to a predicted consumer, when legal right now."""
         if not self.push_data or self.is_busy(block):
+            return
+        if self._recovery is not None:
+            # The Table 1 vocabulary has no push ack/nack, so a pushed
+            # copy racing an invalidation cannot be closed out safely on
+            # an unreliable network; caches refuse pushes under faults
+            # and the directory does not offer them.
             return
         predicted = self.predictor.predict(block)
         if predicted is None:
@@ -150,8 +164,16 @@ class PredictiveMachine(Machine):
         config: CosmosConfig = CosmosConfig(depth=2),
         grant_exclusive: bool = True,
         push_data: bool = False,
+        faults: Optional[FaultProfile] = None,
+        fault_seed: int = 0,
     ) -> None:
-        super().__init__(params=params, options=options, seed=seed)
+        super().__init__(
+            params=params,
+            options=options,
+            seed=seed,
+            faults=faults,
+            fault_seed=fault_seed,
+        )
         self.predictor_config = config
         for node in self.nodes:
             node.directory = PredictiveDirectoryController(
@@ -161,6 +183,8 @@ class PredictiveMachine(Machine):
                 config,
                 grant_exclusive=grant_exclusive,
                 push_data=push_data,
+                recovery=self.recovery,
+                schedule=self.engine.schedule,
             )
             if push_data:
                 node.cache.allow_pushed_data = True
@@ -238,13 +262,21 @@ def compare_acceleration(
     config: CosmosConfig = CosmosConfig(depth=2),
     grant_exclusive: bool = True,
     push_data: bool = False,
+    faults: Optional[FaultProfile] = None,
+    fault_seed: int = 0,
 ) -> AccelerationComparison:
     """Run one workload with and without directory-side prediction.
 
     ``workload_factory`` must build a fresh workload per call (workloads
     carry layout state, so instances cannot be reused across machines).
     """
-    baseline = Machine(params=params, options=options, seed=seed)
+    baseline = Machine(
+        params=params,
+        options=options,
+        seed=seed,
+        faults=faults,
+        fault_seed=fault_seed,
+    )
     baseline.run_workload(workload_factory(), iterations=iterations)
     predictive = PredictiveMachine(
         params=params,
@@ -253,6 +285,8 @@ def compare_acceleration(
         config=config,
         grant_exclusive=grant_exclusive,
         push_data=push_data,
+        faults=faults,
+        fault_seed=fault_seed,
     )
     predictive.run_workload(workload_factory(), iterations=iterations)
     return AccelerationComparison(

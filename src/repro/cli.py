@@ -28,6 +28,7 @@ from .core.evaluation import evaluate_trace
 from .errors import ReproError
 from .protocol.messages import Role
 from .protocol.stache import StacheOptions
+from .sim.faults import PRESETS, FaultProfile
 from .sim.machine import simulate
 from .sim.metrics import METRICS, dump_metrics_json
 from .trace.io import load_trace, save_trace
@@ -40,12 +41,19 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         half_migratory=not args.no_half_migratory,
         forwarding=args.forwarding,
     )
+    faults = None
+    if args.fault_profile is not None:
+        profile = FaultProfile.parse(args.fault_profile)
+        if profile.is_active:
+            faults = profile
     with METRICS.timer("trace.simulate"):
         collector = simulate(
             workload,
             iterations=args.iterations,
             seed=args.seed,
             options=options,
+            faults=faults,
+            fault_seed=args.fault_seed,
         )
     METRICS.inc("trace.simulated")
     count = save_trace(collector.events, args.output)
@@ -124,6 +132,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-half-migratory",
         action="store_true",
         help="downgrade (DASH-style) instead of invalidating owners",
+    )
+    sim.add_argument(
+        "--fault-profile",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "inject interconnect faults: a preset "
+            f"({', '.join(PRESETS)}) or 'drop=0.05,reorder=0.2,...'"
+        ),
+    )
+    sim.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for the fault-injection RNG (default 0)",
     )
     sim.set_defaults(func=_cmd_simulate)
 

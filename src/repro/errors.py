@@ -34,3 +34,19 @@ class WorkloadError(ReproError):
 
 class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent state."""
+
+
+class ShardError(ReproError):
+    """One or more parallel worker shards failed.
+
+    Raised by the pool after every shard has been drained, so partial
+    results and worker metrics are already merged when callers see it.
+    ``failures`` holds ``(shard, error_text)`` pairs -- the shard is the
+    plan's own descriptor (:class:`~repro.parallel.plan.TraceShard` or
+    :class:`~repro.parallel.plan.ExperimentShard`), identifying exactly
+    which unit of work to re-run.
+    """
+
+    def __init__(self, message: str, failures=()) -> None:
+        super().__init__(message)
+        self.failures = list(failures)

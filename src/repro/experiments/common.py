@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..protocol.stache import DEFAULT_OPTIONS
+from ..sim.faults import FaultProfile
 from ..sim.metrics import METRICS
 from ..sim.params import PAPER_PARAMS
 from ..trace.cache import TraceCache, trace_key
@@ -48,10 +49,18 @@ _SCALE_KWARGS: Dict[str, Dict[str, int]] = {
     "unstructured": {"mesh_blocks": 24},
 }
 
-_TRACE_CACHE: Dict[Tuple[str, int, int, bool], List[TraceEvent]] = {}
+_TRACE_CACHE: Dict[
+    Tuple[str, int, int, bool, Optional[str], int], List[TraceEvent]
+] = {}
 
 #: The optional on-disk cache; ``None`` keeps memoization in-process only.
 _DISK_CACHE: Optional[TraceCache] = None
+
+#: Ambient fault-injection configuration (``--fault-profile``): every
+#: simulation :func:`get_trace` runs uses it.  ``None`` = reliable
+#: interconnect, the default and the golden-trace configuration.
+_FAULTS: Optional[FaultProfile] = None
+_FAULT_SEED: int = 0
 
 
 def configure_trace_cache(
@@ -65,6 +74,32 @@ def configure_trace_cache(
     previous = _DISK_CACHE
     _DISK_CACHE = cache
     return previous
+
+
+def configure_faults(
+    profile: Optional[object], fault_seed: int = 0
+) -> Tuple[Optional[FaultProfile], int]:
+    """Install the ambient fault profile for subsequent simulations.
+
+    ``profile`` may be a :class:`~repro.sim.faults.FaultProfile`, a spec
+    string (preset name or ``key=value,...``), or ``None`` to restore the
+    reliable interconnect.  Returns the previous ``(profile, seed)`` pair
+    so callers (tests, the runner) can restore it.
+    """
+    global _FAULTS, _FAULT_SEED
+    previous = (_FAULTS, _FAULT_SEED)
+    if isinstance(profile, str):
+        profile = FaultProfile.parse(profile)
+    if profile is not None and not profile.is_active:
+        profile = None
+    _FAULTS = profile
+    _FAULT_SEED = fault_seed
+    return previous
+
+
+def current_faults() -> Tuple[Optional[FaultProfile], int]:
+    """The ambient ``(fault profile, fault seed)`` pair."""
+    return _FAULTS, _FAULT_SEED
 
 
 def workload_for(name: str, quick: bool = False) -> Workload:
@@ -87,7 +122,8 @@ def get_trace(
     """Simulate (or fetch from cache) one application's message trace."""
     if iterations is None:
         iterations = iterations_for(name, quick)
-    key = (name, iterations, seed, quick)
+    fault_spec = _FAULTS.spec() if _FAULTS is not None else None
+    key = (name, iterations, seed, quick, fault_spec, _FAULT_SEED)
     trace = _TRACE_CACHE.get(key)
     if trace is not None:
         METRICS.inc("trace.memo.hit")
@@ -102,12 +138,18 @@ def get_trace(
                 params=PAPER_PARAMS,
                 options=DEFAULT_OPTIONS,
                 workload_kwargs=_SCALE_KWARGS[name] if quick else None,
+                faults=fault_spec,
+                fault_seed=_FAULT_SEED,
             )
             trace = _DISK_CACHE.load(disk_key)
         if trace is None:
             with METRICS.timer("trace.simulate"):
                 collector = simulate(
-                    workload_for(name, quick), iterations=iterations, seed=seed
+                    workload_for(name, quick),
+                    iterations=iterations,
+                    seed=seed,
+                    faults=_FAULTS,
+                    fault_seed=_FAULT_SEED,
                 )
                 trace = collector.events
             METRICS.inc("trace.simulated")

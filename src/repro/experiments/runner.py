@@ -37,8 +37,10 @@ from ..sim.metrics import METRICS, dump_metrics_json
 from ..sim.params import PAPER_PARAMS
 from ..trace.cache import TraceCache
 from ..workloads.registry import BENCHMARK_NAMES, format_table4
+from ..sim.faults import PRESETS, FaultProfile
 from .bounds import run_bounds
-from .common import configure_trace_cache
+from .common import configure_faults, configure_trace_cache
+from .faults import run_fault_study
 from .figure2 import run_figure2
 from .figure5 import run_figure5
 from .figure8 import run_figure8
@@ -110,6 +112,9 @@ EXPERIMENTS: Dict[str, Callable[[bool, int], str]] = {
     "bounds": lambda quick, seed: run_bounds(
         quick=quick, seed=seed
     ).format(),
+    "faults": lambda quick, seed: run_fault_study(
+        quick=quick, seed=seed
+    ).format(),
 }
 
 #: Workloads each experiment replays through the shared trace cache.
@@ -146,22 +151,34 @@ def run_experiments(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     on_section: Optional[Callable[[Section], None]] = None,
+    fault_spec: Optional[str] = None,
+    fault_seed: int = 0,
 ) -> Tuple[List[Section], List[dict]]:
     """Run ``names`` sequentially (``jobs <= 1``) or on a worker pool.
 
     Both paths produce identical section text for identical inputs; the
     parallel path shards experiments across ``spawn`` processes and
     merges results back in request order.  ``on_section`` is called once
-    per section, in order.  Returns ``(sections, shard_stats)`` where
-    ``shard_stats`` holds one JSON-able accounting dict per shard
-    (simulation shards included) for ``--metrics-json``.
+    per section, in order.  ``fault_spec`` (``--fault-profile``) injects
+    interconnect faults into every simulation either path runs.  Returns
+    ``(sections, shard_stats)`` where ``shard_stats`` holds one
+    JSON-able accounting dict per shard (simulation shards included) for
+    ``--metrics-json``.
     """
     sections: List[Section] = []
     shard_stats: List[dict] = []
     if jobs > 1:
         from ..parallel import plan_run, run_plan
 
-        plan = plan_run(names, quick, seed, cache_dir, EXPERIMENT_TRACES)
+        plan = plan_run(
+            names,
+            quick,
+            seed,
+            cache_dir,
+            EXPERIMENT_TRACES,
+            fault_spec=fault_spec,
+            fault_seed=fault_seed,
+        )
         sections, outcomes = run_plan(plan, jobs)
         shard_stats = [
             {
@@ -182,6 +199,7 @@ def run_experiments(
     previous = configure_trace_cache(
         TraceCache(cache_dir) if cache_dir is not None else None
     )
+    previous_faults = configure_faults(fault_spec, fault_seed)
     try:
         for name in names:
             start = time.perf_counter()
@@ -204,6 +222,7 @@ def run_experiments(
                 on_section(section)
     finally:
         configure_trace_cache(previous)
+        configure_faults(*previous_faults)
     return sections, shard_stats
 
 
@@ -326,6 +345,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="disable the on-disk trace cache entirely",
     )
     parser.add_argument(
+        "--fault-profile",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "inject interconnect faults into every simulation: a preset "
+            f"({', '.join(PRESETS)}) or 'drop=0.05,reorder=0.2,...'"
+        ),
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for the fault-injection RNG (default 0)",
+    )
+    parser.add_argument(
         "--metrics-json",
         metavar="PATH",
         default=None,
@@ -355,6 +389,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("use --list to see what is available", file=sys.stderr)
         return 2
 
+    fault_spec: Optional[str] = None
+    if args.fault_profile is not None:
+        try:
+            profile = FaultProfile.parse(args.fault_profile)
+        except Exception as exc:
+            print(f"bad --fault-profile: {exc}", file=sys.stderr)
+            return 2
+        if profile.is_active:
+            fault_spec = profile.spec()
+
     jobs = 1 if args.sequential else max(1, args.jobs)
     cache_dir = _resolve_cache_dir(args, jobs)
 
@@ -378,6 +422,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         jobs=jobs,
         cache_dir=cache_dir,
         on_section=_print_section,
+        fault_spec=fault_spec,
+        fault_seed=args.fault_seed,
     )
     wall_seconds = time.perf_counter() - wall_start
 
@@ -396,6 +442,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             seed=args.seed,
             trace_cache=cache_dir,
             experiments=names,
+            fault_profile=fault_spec,
+            fault_seed=args.fault_seed,
         )
         print(f"\nmetrics written to {args.metrics_json}")
     return 0

@@ -34,6 +34,10 @@ class TraceShard:
     quick: bool
     cache_dir: str
     shard_seed: int
+    #: Fault-injection profile spec the worker must configure before
+    #: simulating (``None`` = reliable interconnect).
+    fault_spec: Optional[str] = None
+    fault_seed: int = 0
 
 
 @dataclass(frozen=True)
@@ -46,6 +50,8 @@ class ExperimentShard:
     seed: int
     cache_dir: Optional[str]
     shard_seed: int
+    fault_spec: Optional[str] = None
+    fault_seed: int = 0
 
 
 @dataclass(frozen=True)
@@ -66,6 +72,8 @@ def plan_run(
     seed: int,
     cache_dir: Optional[str],
     traces_by_experiment: Mapping[str, Iterable[str]],
+    fault_spec: Optional[str] = None,
+    fault_seed: int = 0,
 ) -> Plan:
     """Build the shard plan for one runner invocation.
 
@@ -74,7 +82,17 @@ def plan_run(
     that simulate privately or not at all).  Without a ``cache_dir``
     there is nowhere to hand traces across processes, so the warming
     stage is skipped and each worker simulates what it needs.
+
+    ``fault_spec`` propagates the runner's ``--fault-profile`` into
+    every worker; the derived shard seeds fold it in only when set, so
+    fault-free plans keep their historical seeds (and cached traces).
     """
+
+    def config_tag(base: str) -> str:
+        if fault_spec is None:
+            return base
+        return f"{base},faults={fault_spec}:{fault_seed}"
+
     traces: List[TraceShard] = []
     if cache_dir is not None:
         seen: Dict[Tuple[str, int, int, bool], None] = {}
@@ -91,8 +109,13 @@ def plan_run(
                             quick=quick,
                             cache_dir=cache_dir,
                             shard_seed=derive_seed(
-                                "trace", app, f"it={key[1]},quick={quick}", seed
+                                "trace",
+                                app,
+                                config_tag(f"it={key[1]},quick={quick}"),
+                                seed,
                             ),
+                            fault_spec=fault_spec,
+                            fault_seed=fault_seed,
                         )
                     )
     experiments = tuple(
@@ -102,7 +125,11 @@ def plan_run(
             quick=quick,
             seed=seed,
             cache_dir=cache_dir,
-            shard_seed=derive_seed(name, None, f"quick={quick}", seed),
+            shard_seed=derive_seed(
+                name, None, config_tag(f"quick={quick}"), seed
+            ),
+            fault_spec=fault_spec,
+            fault_seed=fault_seed,
         )
         for index, name in enumerate(names)
     )

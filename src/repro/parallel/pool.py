@@ -13,11 +13,13 @@ from __future__ import annotations
 
 import os
 import time
+import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from multiprocessing import get_context
-from typing import Dict, List, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
+from ..errors import ShardError
 from ..sim.metrics import METRICS
 from .plan import ExperimentShard, Plan, TraceShard
 
@@ -36,10 +38,42 @@ class ShardOutcome:
     seconds: float
     pid: int
     metrics: Dict[str, dict]
+    #: Traceback text when the shard failed; ``None`` on success.  A
+    #: failed shard still ships its metrics snapshot, so the work it did
+    #: before dying (cache writes, simulations) is accounted for.
+    error: Optional[str] = None
 
     @property
     def events_per_second(self) -> float:
         return self.events / self.seconds if self.seconds > 0 else 0.0
+
+
+def _shard_identity(shard: _Shard) -> Tuple[str, str, int]:
+    """``(kind, name, index)`` for any shard type."""
+    if isinstance(shard, TraceShard):
+        return "trace", shard.app, -1
+    return "experiment", shard.name, shard.index
+
+
+def _failure_outcome(
+    shard: _Shard,
+    error: str,
+    seconds: float = 0.0,
+    pid: int = 0,
+    metrics: Optional[Dict[str, dict]] = None,
+) -> ShardOutcome:
+    kind, name, index = _shard_identity(shard)
+    return ShardOutcome(
+        kind=kind,
+        name=name,
+        index=index,
+        text="",
+        events=0,
+        seconds=seconds,
+        pid=pid,
+        metrics=metrics or {},
+        error=error,
+    )
 
 
 def _configure_worker_cache(cache_dir: object) -> None:
@@ -51,30 +85,49 @@ def _configure_worker_cache(cache_dir: object) -> None:
 
 
 def _run_shard(shard: _Shard) -> ShardOutcome:
-    """Top-level worker entry point (must be picklable for ``spawn``)."""
+    """Top-level worker entry point (must be picklable for ``spawn``).
+
+    Failures are captured and returned as an error outcome rather than
+    raised: the parent must see the worker's metrics snapshot (the shard
+    may have warmed the cache or finished simulations before dying) and
+    must keep draining the remaining shards.
+    """
     import random
 
     random.seed(shard.shard_seed)
     METRICS.reset()
-    _configure_worker_cache(shard.cache_dir)
+    kind, name, index = _shard_identity(shard)
     start = time.perf_counter()
-    if isinstance(shard, TraceShard):
-        from ..experiments.common import get_trace
+    try:
+        _configure_worker_cache(shard.cache_dir)
+        if shard.fault_spec is not None:
+            from ..experiments.common import configure_faults
 
-        events = get_trace(
-            shard.app,
-            iterations=shard.iterations,
-            seed=shard.seed,
-            quick=shard.quick,
+            configure_faults(shard.fault_spec, shard.fault_seed)
+        if isinstance(shard, TraceShard):
+            from ..experiments.common import get_trace
+
+            events = get_trace(
+                shard.app,
+                iterations=shard.iterations,
+                seed=shard.seed,
+                quick=shard.quick,
+            )
+            text, n_events = "", len(events)
+        else:
+            from ..experiments.runner import EXPERIMENTS
+
+            text = EXPERIMENTS[shard.name](shard.quick, shard.seed)
+            n_events = 0
+    except Exception:
+        METRICS.inc(f"shard.{kind}.failed")
+        return _failure_outcome(
+            shard,
+            traceback.format_exc(),
+            seconds=time.perf_counter() - start,
+            pid=os.getpid(),
+            metrics=METRICS.snapshot(),
         )
-        kind, name, index = "trace", shard.app, -1
-        text, n_events = "", len(events)
-    else:
-        from ..experiments.runner import EXPERIMENTS
-
-        text = EXPERIMENTS[shard.name](shard.quick, shard.seed)
-        kind, name, index = "experiment", shard.name, shard.index
-        n_events = 0
     seconds = time.perf_counter() - start
     METRICS.inc(f"shard.{kind}")
     return ShardOutcome(
@@ -89,6 +142,28 @@ def _run_shard(shard: _Shard) -> ShardOutcome:
     )
 
 
+def _drain(
+    pool: ProcessPoolExecutor, shards: Tuple[_Shard, ...]
+) -> List[Tuple[_Shard, ShardOutcome]]:
+    """Run ``shards`` and collect every outcome, crashed workers included.
+
+    ``_run_shard`` converts ordinary exceptions into error outcomes; a
+    worker that dies without returning at all (killed process, broken
+    pool) surfaces here as a future exception, converted to an error
+    outcome with no metrics so the stage still drains completely.
+    """
+    pairs = [(shard, pool.submit(_run_shard, shard)) for shard in shards]
+    results: List[Tuple[_Shard, ShardOutcome]] = []
+    for shard, future in pairs:
+        try:
+            results.append((shard, future.result()))
+        except Exception as exc:  # worker died before shipping a result
+            results.append(
+                (shard, _failure_outcome(shard, f"{type(exc).__name__}: {exc}"))
+            )
+    return results
+
+
 def run_plan(
     plan: Plan, jobs: int
 ) -> Tuple[List[Tuple[str, str, float]], List[ShardOutcome]]:
@@ -99,23 +174,48 @@ def run_plan(
     order exactly, and ``outcomes`` covers every shard (traces first)
     for metrics/throughput reporting.  Worker metrics are merged into
     the parent's global registry as results arrive.
+
+    Shard failures do not abort the run mid-flight: every shard is
+    drained and every worker's metrics (including a failed worker's
+    partial metrics) are merged first, then a :class:`ShardError`
+    carrying the failed shard descriptors is raised.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
-    outcomes: List[ShardOutcome] = []
     with ProcessPoolExecutor(
         max_workers=jobs, mp_context=get_context("spawn")
     ) as pool:
         # Stage 1: warm the trace cache.  A barrier here keeps stage 2
         # workers from racing to re-simulate the same workload.
         with METRICS.timer("parallel.stage.traces"):
-            for outcome in pool.map(_run_shard, plan.traces):
-                METRICS.merge(outcome.metrics)
-                outcomes.append(outcome)
+            trace_results = _drain(pool, plan.traces)
         with METRICS.timer("parallel.stage.experiments"):
-            finished = list(pool.map(_run_shard, plan.experiments))
-    for outcome in finished:
+            experiment_results = _drain(pool, plan.experiments)
+    for _, outcome in trace_results + experiment_results:
         METRICS.merge(outcome.metrics)
+    failures = [
+        (shard, outcome)
+        for shard, outcome in trace_results + experiment_results
+        if outcome.error is not None
+    ]
+    if failures:
+        lines = [
+            f"{len(failures)} of {plan.n_shards} shards failed "
+            "(all shards drained; partial metrics merged):"
+        ]
+        for shard, outcome in failures:
+            last = outcome.error.strip().splitlines()[-1]
+            lines.append(f"  {shard!r}: {last}")
+        lines.append("first failure traceback:")
+        lines.append(failures[0][1].error.rstrip())
+        raise ShardError(
+            "\n".join(lines),
+            failures=[
+                (shard, outcome.error) for shard, outcome in failures
+            ],
+        )
+    outcomes = [outcome for _, outcome in trace_results]
+    finished = [outcome for _, outcome in experiment_results]
     # Ordered merge: plan order, not completion order.
     finished.sort(key=lambda outcome: outcome.index)
     outcomes.extend(finished)

@@ -9,15 +9,28 @@ The controller is a finite-state machine over the stable states
 ``invalid -> shared -> exclusive`` with a single outstanding transaction
 per block tracked separately (the processor model issues one access at a
 time, so at most one transaction is ever in flight per controller).
+
+With a :class:`~repro.protocol.recovery.RecoveryConfig` installed the
+controller additionally survives an unreliable network: requests carry
+sequence numbers, unanswered attempts are retried with bounded
+exponential backoff, responses are matched to the *current* attempt (so
+duplicates and stale deliveries are discarded), and invalidations are
+acknowledged idempotently from any state.  An invalidation arriving
+while a transaction is outstanding also *poisons* the attempt -- any
+response still in flight to the old attempt would install a copy the
+directory has already revoked, so the attempt is re-issued under a fresh
+sequence number instead.
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
 from ..errors import ProtocolError
 from .messages import Message, MessageType
+from .recovery import RecoveryConfig, Scheduler
 from .stache import DEFAULT_OPTIONS, StacheOptions
 from .state import CacheState
 
@@ -35,6 +48,13 @@ class _Outstanding:
     home: int
     is_write: bool
     done_cb: DoneCallback
+    #: Sequence number of the current attempt (recovery mode only).
+    seq: Optional[int] = None
+    #: Timeout-driven re-issues so far (poison re-issues are unbounded
+    #: and tracked separately -- see ``_poison_outstanding``).
+    retries: int = 0
+    #: Timeout armed for the current attempt (ns).
+    timeout_ns: int = 0
 
 
 class CacheController:
@@ -45,10 +65,20 @@ class CacheController:
         node_id: int,
         send: Callable[[Message], None],
         options: StacheOptions = DEFAULT_OPTIONS,
+        *,
+        recovery: Optional[RecoveryConfig] = None,
+        schedule: Optional[Scheduler] = None,
     ) -> None:
+        if recovery is not None and schedule is None:
+            raise ProtocolError(
+                "recovery mode needs an engine scheduler for timeouts"
+            )
         self.node_id = node_id
         self._send = send
         self._options = options
+        self._recovery = recovery
+        self._schedule = schedule
+        self._seq_counter = itertools.count(1)
         self._states: Dict[int, CacheState] = {}
         self._outstanding: Dict[int, _Outstanding] = {}
         # Finite-capacity mode (off by default: Stache never replaces).
@@ -65,6 +95,13 @@ class CacheController:
         self.misses = 0
         self.replacements = 0
         self.pinned_evictions_skipped = 0
+        #: Recovery-mode statistics (folded into ``proto.*`` metrics by
+        #: the machine after a run).
+        self.request_retries = 0
+        self.poisoned_reissues = 0
+        self.stale_responses_dropped = 0
+        self.duplicate_invals_acked = 0
+        self.pushes_rejected = 0
 
     def configure_finite(
         self,
@@ -155,19 +192,80 @@ class CacheController:
                 "with a transaction already outstanding"
             )
         self._allocate_slot(block)
-        self._outstanding[block] = _Outstanding(
-            home=home, is_write=is_write, done_cb=done_cb
-        )
-        if is_write and state is CacheState.SHARED:
-            request = MessageType.UPGRADE_REQUEST
-        elif is_write:
-            request = MessageType.GET_RW_REQUEST
-        else:
-            request = MessageType.GET_RO_REQUEST
-        self._send(
-            Message(src=self.node_id, dst=home, mtype=request, block=block)
-        )
+        txn = _Outstanding(home=home, is_write=is_write, done_cb=done_cb)
+        self._outstanding[block] = txn
+        self._issue(block, txn)
         return False
+
+    # ------------------------------------------------------------------
+    # request issue / timeout / retry (recovery machinery)
+    # ------------------------------------------------------------------
+
+    def _request_type(self, block: int, txn: _Outstanding) -> MessageType:
+        """The request matching the *current* state (retries recompute:
+        an upgrade whose copy was since invalidated becomes a full write
+        miss)."""
+        state = self.state_of(block)
+        if txn.is_write and state is CacheState.SHARED:
+            return MessageType.UPGRADE_REQUEST
+        if txn.is_write:
+            return MessageType.GET_RW_REQUEST
+        return MessageType.GET_RO_REQUEST
+
+    def _issue(self, block: int, txn: _Outstanding) -> None:
+        """Send (or re-send) the request for ``txn`` and arm its timeout."""
+        seq: Optional[int] = None
+        if self._recovery is not None:
+            seq = next(self._seq_counter)
+            txn.seq = seq
+        self._send(
+            Message(
+                src=self.node_id,
+                dst=txn.home,
+                mtype=self._request_type(block, txn),
+                block=block,
+                seq=seq,
+            )
+        )
+        if self._recovery is not None:
+            assert self._schedule is not None
+            if txn.timeout_ns == 0:
+                txn.timeout_ns = self._recovery.timeout_ns
+            self._schedule(txn.timeout_ns, self._on_timeout, block, seq)
+
+    def _on_timeout(self, block: int, seq: Optional[int]) -> None:
+        txn = self._outstanding.get(block)
+        if txn is None or txn.seq != seq:
+            return  # completed, or already re-issued under a new attempt
+        assert self._recovery is not None
+        txn.retries += 1
+        if txn.retries > self._recovery.max_retries:
+            raise ProtocolError(
+                f"node {self.node_id} exhausted "
+                f"{self._recovery.max_retries} retries for block "
+                f"0x{block:x}: livelock on the unreliable network"
+            )
+        self.request_retries += 1
+        txn.timeout_ns = self._recovery.next_timeout(txn.timeout_ns)
+        self._issue(block, txn)
+
+    def _poison_outstanding(self, block: int) -> None:
+        """An invalidation revoked what an in-flight response may grant.
+
+        Any response to the current attempt must now be discarded (the
+        directory has already moved on), so the attempt is re-issued
+        under a fresh sequence number.  Unlike timeout retries, poison
+        re-issues are *not* bounded: each one is triggered by a delivered
+        invalidation, i.e. by another node's transaction completing, so
+        the system as a whole is making progress (and on a hot block
+        under heavy contention they legitimately pile up).
+        """
+        if self._recovery is None:
+            return
+        txn = self._outstanding.get(block)
+        if txn is not None:
+            self.poisoned_reissues += 1
+            self._issue(block, txn)
 
     # ------------------------------------------------------------------
     # network side
@@ -183,6 +281,13 @@ class CacheController:
             )
         handler(self, msg)
 
+    def _stale_response(self, msg: Message) -> bool:
+        """Is this data response a duplicate or aimed at an old attempt?"""
+        if self._recovery is None:
+            return False
+        txn = self._outstanding.get(msg.block)
+        return txn is None or msg.ack_seq != txn.seq
+
     def _complete(self, block: int, new_state: CacheState) -> None:
         txn = self._outstanding.pop(block, None)
         if txn is None:
@@ -195,7 +300,15 @@ class CacheController:
 
     def _on_get_ro_response(self, msg: Message) -> None:
         txn = self._outstanding.get(msg.block)
-        if txn is None and self.allow_pushed_data:
+        if txn is None and self.allow_pushed_data and msg.ack_seq is None:
+            if self._recovery is not None:
+                # A push can race an invalidation: the consumer may ack
+                # the invalidation before the (reordered) push arrives,
+                # and installing it then would resurrect a revoked copy.
+                # The Table 1 vocabulary has no push ack/nack to close
+                # that window, so pushes are refused under faults.
+                self.pushes_rejected += 1
+                return
             # Unsolicited push from a predictive directory: install the
             # copy; the next local read will hit.
             if self.state_of(msg.block) is CacheState.INVALID:
@@ -207,14 +320,38 @@ class CacheController:
             # A push raced our write miss; read-only data cannot satisfy
             # a store, so drop it and keep waiting for the rw response.
             return
+        if self._stale_response(msg):
+            self.stale_responses_dropped += 1
+            return
         self._complete(msg.block, CacheState.SHARED)
 
     def _on_rw_response(self, msg: Message) -> None:
+        if self._stale_response(msg):
+            self.stale_responses_dropped += 1
+            return
         self._complete(msg.block, CacheState.EXCLUSIVE)
+
+    def _ack(self, msg: Message, mtype: MessageType) -> None:
+        """Acknowledge ``msg`` back to its sender, echoing its seq."""
+        self._send(
+            Message(
+                src=self.node_id,
+                dst=msg.src,
+                mtype=mtype,
+                block=msg.block,
+                ack_seq=msg.seq,
+            )
+        )
 
     def _on_inval_ro_request(self, msg: Message) -> None:
         state = self.state_of(msg.block)
-        if (
+        if self._recovery is not None:
+            # Idempotent: duplicates and invalidations of copies we never
+            # received (lost response, silent replacement) are acked from
+            # any state; invalidating is monotonically safe.
+            if state is not CacheState.SHARED:
+                self.duplicate_invals_acked += 1
+        elif (
             self._options.check_invariants
             and state is not CacheState.SHARED
             # A finite cache may have silently replaced the copy; the
@@ -226,29 +363,73 @@ class CacheController:
                 f"0x{msg.block:x} in state {state}"
             )
         self._states[msg.block] = CacheState.INVALID
-        self._send(
-            Message(
-                src=self.node_id,
-                dst=msg.src,
-                mtype=MessageType.INVAL_RO_RESPONSE,
-                block=msg.block,
-            )
-        )
+        self._ack(msg, MessageType.INVAL_RO_RESPONSE)
+        self._poison_outstanding(msg.block)
 
     def _on_inval_rw_request(self, msg: Message) -> None:
         state = self.state_of(msg.block)
-        if self._options.check_invariants and state is not CacheState.EXCLUSIVE:
+        if self._recovery is not None:
+            if state is not CacheState.EXCLUSIVE:
+                self.duplicate_invals_acked += 1
+        elif (
+            self._options.check_invariants
+            and state is not CacheState.EXCLUSIVE
+        ):
             raise ProtocolError(
                 f"node {self.node_id} got inval_rw_request for block "
                 f"0x{msg.block:x} in state {state}"
             )
         self._states[msg.block] = CacheState.INVALID
+        self._ack(msg, MessageType.INVAL_RW_RESPONSE)
+        self._poison_outstanding(msg.block)
+
+    def _on_downgrade_request(self, msg: Message) -> None:
+        state = self.state_of(msg.block)
+        if self._recovery is not None:
+            if state is not CacheState.EXCLUSIVE:
+                # Duplicate (already demoted) or stale (since
+                # invalidated): ack without touching state -- promoting
+                # an INVALID block to SHARED here could resurrect a copy
+                # the directory no longer tracks.
+                self.duplicate_invals_acked += 1
+                self._ack(msg, MessageType.DOWNGRADE_RESPONSE)
+                self._poison_outstanding(msg.block)
+                return
+        elif (
+            self._options.check_invariants
+            and state is not CacheState.EXCLUSIVE
+        ):
+            raise ProtocolError(
+                f"node {self.node_id} got downgrade_request for block "
+                f"0x{msg.block:x} in state {state}"
+            )
+        self._states[msg.block] = CacheState.SHARED
+        self._ack(msg, MessageType.DOWNGRADE_RESPONSE)
+        self._poison_outstanding(msg.block)
+
+    def _respond_forwarded(
+        self, msg: Message, reply: MessageType
+    ) -> None:
+        """Answer the requester of a forwarded miss, then close the
+        transaction at the directory with a revision notice."""
+        if msg.requester is None:
+            raise ProtocolError("forwarded request carries no requester")
+        self._send(
+            Message(
+                src=self.node_id,
+                dst=msg.requester,
+                mtype=reply,
+                block=msg.block,
+                ack_seq=msg.requester_seq,
+            )
+        )
         self._send(
             Message(
                 src=self.node_id,
                 dst=msg.src,
-                mtype=MessageType.INVAL_RW_RESPONSE,
+                mtype=MessageType.REVISION,
                 block=msg.block,
+                ack_seq=msg.seq,
             )
         )
 
@@ -256,74 +437,41 @@ class CacheController:
         # Origin forwarding: answer the requester directly, keep a shared
         # copy, and close the transaction at the directory.
         state = self.state_of(msg.block)
+        if self._recovery is not None:
+            # A duplicate forward finds the copy already demoted; re-send
+            # both the response and the revision (the originals may be the
+            # very messages the network lost).
+            if state is CacheState.EXCLUSIVE:
+                self._states[msg.block] = CacheState.SHARED
+            else:
+                self.duplicate_invals_acked += 1
+            self._respond_forwarded(msg, MessageType.GET_RO_RESPONSE)
+            self._poison_outstanding(msg.block)
+            return
         if self._options.check_invariants and state is not CacheState.EXCLUSIVE:
             raise ProtocolError(
                 f"node {self.node_id} got fwd_get_ro_request for block "
                 f"0x{msg.block:x} in state {state}"
             )
-        if msg.requester is None:
-            raise ProtocolError("forwarded request carries no requester")
         self._states[msg.block] = CacheState.SHARED
-        self._send(
-            Message(
-                src=self.node_id,
-                dst=msg.requester,
-                mtype=MessageType.GET_RO_RESPONSE,
-                block=msg.block,
-            )
-        )
-        self._send(
-            Message(
-                src=self.node_id,
-                dst=msg.src,
-                mtype=MessageType.REVISION,
-                block=msg.block,
-            )
-        )
+        self._respond_forwarded(msg, MessageType.GET_RO_RESPONSE)
 
     def _on_fwd_get_rw_request(self, msg: Message) -> None:
         state = self.state_of(msg.block)
+        if self._recovery is not None:
+            if state is not CacheState.EXCLUSIVE:
+                self.duplicate_invals_acked += 1
+            self._states[msg.block] = CacheState.INVALID
+            self._respond_forwarded(msg, MessageType.GET_RW_RESPONSE)
+            self._poison_outstanding(msg.block)
+            return
         if self._options.check_invariants and state is not CacheState.EXCLUSIVE:
             raise ProtocolError(
                 f"node {self.node_id} got fwd_get_rw_request for block "
                 f"0x{msg.block:x} in state {state}"
             )
-        if msg.requester is None:
-            raise ProtocolError("forwarded request carries no requester")
         self._states[msg.block] = CacheState.INVALID
-        self._send(
-            Message(
-                src=self.node_id,
-                dst=msg.requester,
-                mtype=MessageType.GET_RW_RESPONSE,
-                block=msg.block,
-            )
-        )
-        self._send(
-            Message(
-                src=self.node_id,
-                dst=msg.src,
-                mtype=MessageType.REVISION,
-                block=msg.block,
-            )
-        )
-
-    def _on_downgrade_request(self, msg: Message) -> None:
-        state = self.state_of(msg.block)
-        if self._options.check_invariants and state is not CacheState.EXCLUSIVE:
-            raise ProtocolError(
-                f"node {self.node_id} got downgrade_request for block "
-                f"0x{msg.block:x} in state {state}"
-            )
-        self._states[msg.block] = CacheState.SHARED
-        self._send(
-            Message(
-                src=self.node_id,
-                dst=msg.src,
-                mtype=MessageType.DOWNGRADE_RESPONSE,
-                block=msg.block,
-            )
-        )
+        self._respond_forwarded(msg, MessageType.GET_RW_RESPONSE)
 
     _HANDLERS = {
         MessageType.GET_RO_RESPONSE: _on_get_ro_response,

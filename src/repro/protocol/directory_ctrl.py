@@ -10,16 +10,29 @@ Transactions on the same block are serialized: while one transaction is
 collecting invalidation acknowledgments, later requests for the block are
 queued.  This matches a blocking home directory and keeps every message in
 the paper's Table 1 vocabulary.
+
+With a :class:`~repro.protocol.recovery.RecoveryConfig` installed the
+directory additionally survives an unreliable network:
+
+* requests arrive at least once, so a request the directory has already
+  served (the requester retried because the response was lost) is
+  answered again idempotently instead of tripping an invariant check;
+* invalidation/downgrade rounds carry sequence numbers, acknowledgments
+  echo them, and the round is re-sent to unresponsive nodes on a
+  bounded-exponential-backoff timer -- a stale or duplicated ack can
+  never satisfy a newer transaction's collection.
 """
 
 from __future__ import annotations
 
+import itertools
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Deque, Dict, Optional, Set
 
 from ..errors import ProtocolError
 from .messages import Message, MessageType
+from .recovery import RecoveryConfig, Scheduler
 from .stache import DEFAULT_OPTIONS, StacheOptions
 from .state import DirEntry, DirState
 
@@ -52,6 +65,9 @@ class _Request:
     is_write: bool
     was_upgrade: bool
     done_cb: Optional[DoneCallback]  # set only for home-local accesses
+    #: Sequence number of the requester's message (recovery mode), echoed
+    #: in the response so the requester can match it to its attempt.
+    req_seq: Optional[int] = None
 
     @property
     def is_local(self) -> bool:
@@ -67,6 +83,14 @@ class _Txn:
     final_owner: Optional[int]
     final_sharers: Set[int]
     reply_type: Optional[MessageType]
+    #: Recovery bookkeeping: per pending node, the seq we expect the ack
+    #: to echo, and the message to re-send on timeout.
+    pending_seq: Dict[int, int] = field(default_factory=dict)
+    pending_msg: Dict[int, Message] = field(default_factory=dict)
+    retries: int = 0
+    timeout_ns: int = 0
+    #: Increments at every timeout arming; stale timer callbacks no-op.
+    timer_token: int = 0
 
 
 class DirectoryController:
@@ -77,10 +101,20 @@ class DirectoryController:
         node_id: int,
         send: Callable[[Message], None],
         options: StacheOptions = DEFAULT_OPTIONS,
+        *,
+        recovery: Optional[RecoveryConfig] = None,
+        schedule: Optional[Scheduler] = None,
     ) -> None:
+        if recovery is not None and schedule is None:
+            raise ProtocolError(
+                "recovery mode needs an engine scheduler for timeouts"
+            )
         self.node_id = node_id
         self._send = send
         self._options = options
+        self._recovery = recovery
+        self._schedule = schedule
+        self._seq_counter = itertools.count(1)
         self._entries: Dict[int, DirEntry] = {}
         self._active: Dict[int, _Txn] = {}
         self._queues: Dict[int, Deque[_Request]] = {}
@@ -88,6 +122,12 @@ class DirectoryController:
         self.transactions = 0
         self.local_hits = 0
         self.invalidations_sent = 0
+        #: Recovery-mode statistics (folded into ``proto.*`` metrics by
+        #: the machine after a run).
+        self.inval_retries = 0
+        self.stale_acks_dropped = 0
+        self.duplicate_requests_regranted = 0
+        self.duplicate_requests_merged = 0
 
     def entry_of(self, block: int) -> DirEntry:
         """The directory entry for ``block`` (created on first use)."""
@@ -99,6 +139,20 @@ class DirectoryController:
 
     def is_busy(self, block: int) -> bool:
         return block in self._active
+
+    def pending_grant(self, block: int):
+        """``(final_owner, final_sharers)`` of the in-flight transaction
+        for ``block``, or ``None`` when the block is quiescent.
+
+        Used by the machine-level invariant checker: a forwarding owner
+        answers the requester *before* the revision notice updates the
+        entry, so a copy can legally exist that only the active
+        transaction's final state explains.
+        """
+        txn = self._active.get(block)
+        if txn is None:
+            return None
+        return txn.final_owner, txn.final_sharers
 
     # ------------------------------------------------------------------
     # home-node processor side
@@ -146,6 +200,7 @@ class DirectoryController:
                 is_write=msg.mtype is not MessageType.GET_RO_REQUEST,
                 was_upgrade=msg.mtype is MessageType.UPGRADE_REQUEST,
                 done_cb=None,
+                req_seq=msg.seq,
             )
             self._admit(msg.block, request)
         elif msg.mtype in _ACK_TYPES:
@@ -162,9 +217,44 @@ class DirectoryController:
 
     def _admit(self, block: int, request: _Request) -> None:
         if self.is_busy(block):
+            if self._merge_duplicate(block, request):
+                return
             self._queues.setdefault(block, deque()).append(request)
             return
         self._start(block, request)
+
+    def _merge_duplicate(self, block: int, request: _Request) -> bool:
+        """Fold an at-least-once duplicate into its earlier admission.
+
+        A remote node has at most one access in flight per block, so a
+        second request from the same node is always a retry of the one
+        already queued (or being served): refresh that entry's sequence
+        number so the eventual response answers the *newest* attempt,
+        instead of appending.  Appending would let a contended block
+        build a backlog of stale requests -- each served backlog entry
+        draws an invalidation race that re-poisons the requester and
+        enqueues yet another retry, a self-sustaining message storm that
+        never drains (the original livelock this layer exists to kill).
+        """
+        if self._recovery is None or request.is_local:
+            return False
+        active = self._active.get(block)
+        if (
+            active is not None
+            and not active.request.is_local
+            and active.request.requester == request.requester
+        ):
+            active.request.req_seq = request.req_seq
+            active.request.was_upgrade = request.was_upgrade
+            self.duplicate_requests_merged += 1
+            return True
+        for queued in self._queues.get(block, ()):
+            if not queued.is_local and queued.requester == request.requester:
+                queued.req_seq = request.req_seq
+                queued.was_upgrade = request.was_upgrade
+                self.duplicate_requests_merged += 1
+                return True
+        return False
 
     def _start(self, block: int, request: _Request) -> None:
         self.transactions += 1
@@ -172,15 +262,70 @@ class DirectoryController:
         if self._options.check_invariants:
             entry.check_invariants()
 
-        if request.is_write:
+        if self._recovery is not None:
+            txn = self._regrant(block, entry, request)
+            if txn is None:
+                if request.is_write:
+                    txn = self._start_write(block, entry, request)
+                else:
+                    txn = self._start_read(block, entry, request)
+        elif request.is_write:
             txn = self._start_write(block, entry, request)
         else:
             txn = self._start_read(block, entry, request)
 
         if txn.pending_acks:
             self._active[block] = txn
+            self._arm_timeout(block, txn)
         else:
             self._finish(block, txn)
+
+    def _regrant(
+        self, block: int, entry: DirEntry, request: _Request
+    ) -> Optional[_Txn]:
+        """Serve a request the directory has (as far as it knows) already
+        served: the requester retried because a response or its own
+        request got lost, or the network duplicated the request.  The
+        entry is left untouched and the response re-sent.
+        """
+        requester = request.requester
+        if request.is_local:
+            return None
+        if entry.owner == requester:
+            # Already granted exclusive (a lost/raced rw or upgrade
+            # response); any request kind collapses to "send it again".
+            reply = MessageType.GET_RW_RESPONSE
+        elif not request.is_write and requester in entry.sharers:
+            reply = MessageType.GET_RO_RESPONSE
+        else:
+            return None
+        self.duplicate_requests_regranted += 1
+        return _Txn(
+            request=request,
+            pending_acks=set(),
+            final_owner=entry.owner,
+            final_sharers=set(entry.sharers),
+            reply_type=reply,
+        )
+
+    def _send_round(
+        self, txn: _Txn, dst: int, mtype: MessageType, block: int
+    ) -> None:
+        """Send one invalidation/downgrade of a collection round, with
+        recovery bookkeeping when enabled."""
+        seq: Optional[int] = None
+        if self._recovery is not None:
+            seq = next(self._seq_counter)
+        msg = Message(
+            src=self.node_id, dst=dst, mtype=mtype, block=block, seq=seq
+        )
+        self._send(msg)
+        self.invalidations_sent += 1
+        txn.pending_acks.add(dst)
+        if self._recovery is not None:
+            assert seq is not None
+            txn.pending_seq[dst] = seq
+            txn.pending_msg[dst] = msg
 
     def _start_read(
         self, block: int, entry: DirEntry, request: _Request
@@ -191,7 +336,11 @@ class DirectoryController:
                 f"read request for block 0x{block:x} from P{requester}, "
                 "which already owns it"
             )
-        if requester in entry.sharers and not self._options.finite_caches:
+        if (
+            requester in entry.sharers
+            and not self._options.finite_caches
+            and self._recovery is None
+        ):
             if self._options.check_invariants:
                 raise ProtocolError(
                     f"read request for block 0x{block:x} from P{requester}, "
@@ -199,42 +348,32 @@ class DirectoryController:
                 )
         # With finite caches, a listed sharer may have silently replaced
         # its copy; re-granting it is harmless.
-        pending: Set[int] = set()
+        txn = _Txn(
+            request=request,
+            pending_acks=set(),
+            final_owner=None,
+            final_sharers=set(),
+            reply_type=None if request.is_local else MessageType.GET_RO_RESPONSE,
+        )
         if entry.owner is not None:
             owner = entry.owner
             if self._options.half_migratory:
                 # Ask the owner to give up its copy entirely.
-                final_sharers = {requester}
+                txn.final_sharers = {requester}
                 request_type = MessageType.INVAL_RW_REQUEST
             else:
                 # DASH-style: demote the owner to shared.
-                final_sharers = {owner, requester}
+                txn.final_sharers = {owner, requester}
                 request_type = MessageType.DOWNGRADE_REQUEST
             if owner == self.node_id:
                 # Home's own copy: adjusted silently, no message.
                 pass
             else:
-                self._send(
-                    Message(
-                        src=self.node_id,
-                        dst=owner,
-                        mtype=request_type,
-                        block=block,
-                    )
-                )
-                self.invalidations_sent += 1
-                pending.add(owner)
+                self._send_round(txn, owner, request_type, block)
         else:
-            final_sharers = set(entry.sharers)
-            final_sharers.add(requester)
-        reply = None if request.is_local else MessageType.GET_RO_RESPONSE
-        return _Txn(
-            request=request,
-            pending_acks=pending,
-            final_owner=None,
-            final_sharers=final_sharers,
-            reply_type=reply,
-        )
+            txn.final_sharers = set(entry.sharers)
+            txn.final_sharers.add(requester)
+        return txn
 
     def _start_write(
         self, block: int, entry: DirEntry, request: _Request
@@ -245,34 +384,7 @@ class DirectoryController:
                 f"write request for block 0x{block:x} from P{requester}, "
                 "which already owns it"
             )
-        pending: Set[int] = set()
         requester_was_sharer = requester in entry.sharers
-        for sharer in entry.sharers:
-            if sharer == requester:
-                continue
-            if sharer == self.node_id:
-                continue  # home's copy adjusted silently
-            self._send(
-                Message(
-                    src=self.node_id,
-                    dst=sharer,
-                    mtype=MessageType.INVAL_RO_REQUEST,
-                    block=block,
-                )
-            )
-            self.invalidations_sent += 1
-            pending.add(sharer)
-        if entry.owner is not None and entry.owner != self.node_id:
-            self._send(
-                Message(
-                    src=self.node_id,
-                    dst=entry.owner,
-                    mtype=MessageType.INVAL_RW_REQUEST,
-                    block=block,
-                )
-            )
-            self.invalidations_sent += 1
-            pending.add(entry.owner)
         if request.is_local:
             reply = None
         elif request.was_upgrade and requester_was_sharer:
@@ -281,27 +393,93 @@ class DirectoryController:
             # An upgrade whose requester lost its copy in the meantime is
             # served as a full read-write miss.
             reply = MessageType.GET_RW_RESPONSE
-        return _Txn(
+        txn = _Txn(
             request=request,
-            pending_acks=pending,
+            pending_acks=set(),
             final_owner=requester,
             final_sharers=set(),
             reply_type=reply,
         )
+        for sharer in entry.sharers:
+            if sharer == requester:
+                continue
+            if sharer == self.node_id:
+                continue  # home's copy adjusted silently
+            self._send_round(txn, sharer, MessageType.INVAL_RO_REQUEST, block)
+        if entry.owner is not None and entry.owner != self.node_id:
+            self._send_round(
+                txn, entry.owner, MessageType.INVAL_RW_REQUEST, block
+            )
+        return txn
+
+    # ------------------------------------------------------------------
+    # timeout / retry (recovery machinery)
+    # ------------------------------------------------------------------
+
+    def _arm_timeout(self, block: int, txn: _Txn) -> None:
+        if self._recovery is None:
+            return
+        assert self._schedule is not None
+        if txn.timeout_ns == 0:
+            txn.timeout_ns = self._recovery.timeout_ns
+        txn.timer_token += 1
+        self._schedule(
+            txn.timeout_ns, self._on_txn_timeout, block, txn.timer_token
+        )
+
+    def _on_txn_timeout(self, block: int, token: int) -> None:
+        txn = self._active.get(block)
+        if txn is None or txn.timer_token != token or not txn.pending_acks:
+            return  # finished, or re-armed by a later retry
+        assert self._recovery is not None
+        txn.retries += 1
+        if txn.retries > self._recovery.max_retries:
+            raise ProtocolError(
+                f"directory at node {self.node_id} exhausted "
+                f"{self._recovery.max_retries} invalidation retries for "
+                f"block 0x{block:x}: livelock on the unreliable network"
+            )
+        for dst in sorted(txn.pending_acks):
+            seq = next(self._seq_counter)
+            msg = replace(txn.pending_msg[dst], seq=seq)
+            txn.pending_seq[dst] = seq
+            txn.pending_msg[dst] = msg
+            self._send(msg)
+            self.inval_retries += 1
+        txn.timeout_ns = self._recovery.next_timeout(txn.timeout_ns)
+        self._arm_timeout(block, txn)
+
+    # ------------------------------------------------------------------
+    # acknowledgment collection
+    # ------------------------------------------------------------------
 
     def _on_ack(self, msg: Message) -> None:
         txn = self._active.get(msg.block)
-        if txn is None:
-            raise ProtocolError(
-                f"directory at node {self.node_id} received unexpected ack "
-                f"{msg}"
-            )
-        if msg.src not in txn.pending_acks:
-            raise ProtocolError(
-                f"directory at node {self.node_id} received duplicate or "
-                f"stray ack {msg}"
-            )
+        if self._recovery is not None:
+            # At-least-once delivery makes duplicate and stale acks
+            # ordinary events; only an ack echoing the seq of the latest
+            # round sent to that node retires its pending entry.
+            if (
+                txn is None
+                or msg.src not in txn.pending_acks
+                or msg.ack_seq != txn.pending_seq.get(msg.src)
+            ):
+                self.stale_acks_dropped += 1
+                return
+        else:
+            if txn is None:
+                raise ProtocolError(
+                    f"directory at node {self.node_id} received unexpected "
+                    f"ack {msg}"
+                )
+            if msg.src not in txn.pending_acks:
+                raise ProtocolError(
+                    f"directory at node {self.node_id} received duplicate "
+                    f"or stray ack {msg}"
+                )
         txn.pending_acks.discard(msg.src)
+        txn.pending_seq.pop(msg.src, None)
+        txn.pending_msg.pop(msg.src, None)
         if not txn.pending_acks:
             del self._active[msg.block]
             self._finish(msg.block, txn)
@@ -322,6 +500,7 @@ class DirectoryController:
                     dst=txn.request.requester,
                     mtype=txn.reply_type,
                     block=block,
+                    ack_seq=txn.request.req_seq,
                 )
             )
         # reply_type None on a remote request means another module (a

@@ -142,6 +142,15 @@ class Message:
         block: block-aligned byte address the message refers to.
         requester: for forwarded requests, the node the owner must
             answer directly (``None`` for ordinary messages).
+        seq: sender-assigned sequence number of this message (stamped by
+            controllers running in recovery mode; ``None`` on a reliable
+            network, where delivery order makes numbering redundant).
+        ack_seq: the ``seq`` of the request this message answers, echoed
+            so the receiver can match a response/acknowledgment to its
+            current attempt and discard duplicates or stale deliveries.
+        requester_seq: for forwarded requests, the ``seq`` of the
+            requester's original request, so the owner's direct response
+            carries the right ``ack_seq``.
     """
 
     src: int
@@ -149,6 +158,9 @@ class Message:
     mtype: MessageType
     block: int
     requester: Optional[int] = None
+    seq: Optional[int] = None
+    ack_seq: Optional[int] = None
+    requester_seq: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.src < 0 or self.dst < 0:

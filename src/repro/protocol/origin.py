@@ -30,11 +30,12 @@ the per-block message orders Cosmos observes.
 
 from __future__ import annotations
 
-from typing import Callable, Set
+from typing import Callable, Optional, Set
 
 from ..errors import ProtocolError
 from .directory_ctrl import DirectoryController, _Request, _Txn
 from .messages import Message, MessageType
+from .recovery import RecoveryConfig, Scheduler
 from .stache import DEFAULT_OPTIONS, StacheOptions
 from .state import DirEntry
 
@@ -47,8 +48,13 @@ class OriginDirectoryController(DirectoryController):
         node_id: int,
         send: Callable[[Message], None],
         options: StacheOptions = DEFAULT_OPTIONS,
+        *,
+        recovery: Optional[RecoveryConfig] = None,
+        schedule: Optional[Scheduler] = None,
     ) -> None:
-        super().__init__(node_id, send, options)
+        super().__init__(
+            node_id, send, options, recovery=recovery, schedule=schedule
+        )
         self.forwards = 0
 
     def handle_message(self, msg: Message) -> None:
@@ -68,22 +74,33 @@ class OriginDirectoryController(DirectoryController):
     ) -> _Txn:
         assert entry.owner is not None and entry.owner != self.node_id
         self.forwards += 1
-        self._send(
-            Message(
-                src=self.node_id,
-                dst=entry.owner,
-                mtype=fwd_type,
-                block=block,
-                requester=request.requester,
-            )
+        seq: Optional[int] = None
+        if self._recovery is not None:
+            seq = next(self._seq_counter)
+        msg = Message(
+            src=self.node_id,
+            dst=entry.owner,
+            mtype=fwd_type,
+            block=block,
+            requester=request.requester,
+            seq=seq,
+            # The owner answers the requester directly; it needs the
+            # requester's own attempt seq to stamp that response with.
+            requester_seq=request.req_seq,
         )
-        return _Txn(
+        self._send(msg)
+        txn = _Txn(
             request=request,
             pending_acks={entry.owner},
             final_owner=final_owner,
             final_sharers=final_sharers,
             reply_type=None,  # the owner answers the requester directly
         )
+        if self._recovery is not None:
+            assert seq is not None
+            txn.pending_seq[entry.owner] = seq
+            txn.pending_msg[entry.owner] = msg
+        return txn
 
     def _start_read(self, block: int, entry: DirEntry, request: _Request) -> _Txn:
         if (

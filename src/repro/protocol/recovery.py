@@ -1,0 +1,74 @@
+"""Recovery policy for running the protocol over an unreliable network.
+
+The Stache controllers were written against an idealized interconnect
+(no loss, no duplication, per-channel FIFO).  When the machine runs on a
+:class:`~repro.sim.faults.FaultyNetwork` instead, the controllers switch
+on three cooperating mechanisms, configured here:
+
+* **sequence numbers** -- every request carries a per-controller
+  sequence number; responses and acknowledgments echo the number they
+  answer, so duplicates and stale deliveries are suppressed by exact
+  match rather than guessed at.
+* **timeout + bounded exponential backoff** -- the requesting side
+  (cache for misses, directory for invalidation/downgrade/forward
+  rounds) schedules a timeout on the simulation engine; an unanswered
+  attempt is re-sent with a fresh sequence number and a doubled (capped)
+  timeout.  Retries are bounded: exhausting them raises
+  :class:`~repro.errors.ProtocolError` instead of livelocking silently.
+* **idempotent re-grants** -- an at-least-once request stream means the
+  directory will see requests it has already served; instead of
+  declaring an invariant violation it re-sends the response the
+  (possibly lost) original answered with.
+
+Mispredictions and faults may only move the protocol between legal
+states (paper Section 4.3); the machine-level invariant checker in
+:mod:`repro.sim.machine` asserts exactly that after every delivery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+#: ``schedule(delay_ns, callback, *args)`` -- the engine's scheduling hook.
+Scheduler = Callable[..., None]
+
+
+@dataclass(frozen=True)
+class RecoveryConfig:
+    """Timeout/retry policy shared by the cache and directory sides."""
+
+    #: First-attempt timeout (ns).  Must comfortably exceed the worst
+    #: round trip (including invalidation rounds and fault-injected
+    #: skew) or every transaction would burn one pointless retry.
+    timeout_ns: int = 2_000
+    #: Multiplier applied to the timeout after each unanswered attempt.
+    backoff: int = 2
+    #: Ceiling on the per-attempt timeout (ns).
+    max_timeout_ns: int = 64_000
+    #: Attempts beyond the first before declaring livelock.
+    max_retries: int = 24
+
+    def next_timeout(self, current_ns: int) -> int:
+        """The timeout to arm after an attempt armed with ``current_ns``."""
+        return min(self.max_timeout_ns, current_ns * self.backoff)
+
+    @classmethod
+    def for_network(
+        cls, one_way_ns: int, max_skew_ns: int = 0
+    ) -> "RecoveryConfig":
+        """Derive a sane policy from network latency and fault skew.
+
+        The initial timeout covers a four-message transaction (request,
+        invalidation, acknowledgment, response) with every hop suffering
+        the worst fault-injected delay, plus slack for queueing behind a
+        serialized transaction at the directory.
+        """
+        round_ns = 4 * (one_way_ns + max_skew_ns)
+        timeout = 2 * round_ns
+        return cls(
+            timeout_ns=timeout,
+            backoff=2,
+            max_timeout_ns=32 * timeout,
+            max_retries=24,
+        )

@@ -20,14 +20,18 @@ from __future__ import annotations
 import random
 from typing import List, Optional, Sequence
 
-from ..errors import SimulationError
+from ..errors import ProtocolError, SimulationError
 from ..protocol.messages import Message, Role
+from ..protocol.recovery import RecoveryConfig
 from ..protocol.stache import DEFAULT_OPTIONS, StacheOptions
+from ..protocol.state import CacheState
 from ..trace.collector import TraceCollector
 from ..workloads.access import Access, Phase
 from ..workloads.base import Workload
 from .engine import Engine
+from .faults import FaultProfile, FaultyNetwork
 from .memory_map import Allocator, MemoryMap
+from .metrics import METRICS
 from .network import Network
 from .node import Node
 from .params import PAPER_PARAMS, SystemParams
@@ -56,6 +60,8 @@ class Machine:
         params: SystemParams = PAPER_PARAMS,
         options: StacheOptions = DEFAULT_OPTIONS,
         seed: int = 0,
+        faults: Optional[FaultProfile] = None,
+        fault_seed: int = 0,
     ) -> None:
         self.params = params
         self.options = options
@@ -63,9 +69,32 @@ class Machine:
         self.engine = Engine()
         self.memory_map = MemoryMap(params)
         self.collector = TraceCollector()
-        self.network = Network(self.engine, params, self._deliver)
+        # An *active* fault profile swaps in the unreliable interconnect
+        # and arms the protocol's recovery machinery; an inactive/absent
+        # one leaves the timing-exact reliable path completely untouched
+        # (no timeout events are ever scheduled), so fault-free runs stay
+        # bit-identical to builds without this layer.
+        self.faults = faults if faults is not None and faults.is_active else None
+        self.fault_seed = fault_seed
+        self.recovery: Optional[RecoveryConfig] = None
+        if self.faults is not None:
+            self.network = FaultyNetwork(
+                self.engine, params, self._deliver, self.faults, fault_seed
+            )
+            self.recovery = RecoveryConfig.for_network(
+                params.one_way_message_ns, self.faults.max_skew_ns
+            )
+        else:
+            self.network = Network(self.engine, params, self._deliver)
+        self.invariant_checks = 0
         self.nodes: List[Node] = [
-            Node(node_id, self.network.send, options)
+            Node(
+                node_id,
+                self.network.send,
+                options,
+                recovery=self.recovery,
+                schedule=self.engine.schedule,
+            )
             for node_id in range(params.n_nodes)
         ]
         #: Replacement log in finite-cache mode: (time, node, block).
@@ -111,6 +140,133 @@ class Machine:
             mtype=msg.mtype,
         )
         self.nodes[msg.dst].receive(msg)
+        if self.recovery is not None:
+            self._check_coherence(msg.block)
+
+    # ------------------------------------------------------------------
+    # coherence-invariant checker (armed under fault injection)
+    # ------------------------------------------------------------------
+
+    def _check_coherence(self, block: int) -> None:
+        """Assert the machine is in a *legal* state for ``block``.
+
+        Faults and recovery may delay or repeat transitions but must
+        never create an illegal state (cf. the paper's Section 4.3
+        argument for mispredictions).  Checked after every delivery:
+
+        * at most one cache holds ``block`` exclusively, and that cache
+          is the one the home directory records as owner (or is about to
+          record: a forwarding owner answers the requester before the
+          revision notice lands, so the in-flight transaction's final
+          state also legitimizes a copy);
+        * a shared copy is always known to the directory the same way;
+        * the directory entry itself is consistent (owner xor sharers).
+
+        The converse directions are deliberately *not* asserted: under
+        loss and duplication the directory may record copies a cache no
+        longer holds (lost response, duplicate invalidation) -- that is
+        legal over-approximation, never a safety violation.
+        """
+        self.invariant_checks += 1
+        home = self.memory_map.home_of(block)
+        directory = self.nodes[home].directory
+        entry = directory.entry_of(block)
+        entry.check_invariants()
+        pending = directory.pending_grant(block)
+        pending_owner = pending[0] if pending else None
+        pending_sharers = pending[1] if pending else ()
+        exclusive: Optional[int] = None
+        for node in self.nodes:
+            if node.node_id == home:
+                continue  # the home's copy *is* the directory entry
+            state = node.cache.state_of(block)
+            if state is CacheState.EXCLUSIVE:
+                if exclusive is not None:
+                    raise ProtocolError(
+                        f"block 0x{block:x} is exclusive at both "
+                        f"P{exclusive} and P{node.node_id}"
+                    )
+                exclusive = node.node_id
+                if (
+                    entry.owner != node.node_id
+                    and pending_owner != node.node_id
+                ):
+                    raise ProtocolError(
+                        f"P{node.node_id} holds block 0x{block:x} "
+                        f"exclusively but the directory records owner "
+                        f"{entry.owner}"
+                    )
+            elif state is CacheState.SHARED:
+                if (
+                    node.node_id not in entry.sharers
+                    and entry.owner != node.node_id
+                    and node.node_id not in pending_sharers
+                ):
+                    raise ProtocolError(
+                        f"P{node.node_id} holds a shared copy of block "
+                        f"0x{block:x} the directory does not know about"
+                    )
+
+    def assert_quiescent(self) -> None:
+        """Assert every transaction completed (no livelocked residue).
+
+        Called by tests and the chaos harness after a workload run: all
+        processor streams drained (``_run_phase`` already checks that),
+        no cache has an outstanding miss, and no directory is holding or
+        queueing a transaction.
+        """
+        for node in self.nodes:
+            if node.cache._outstanding:
+                blocks = sorted(node.cache._outstanding)
+                raise ProtocolError(
+                    f"P{node.node_id} finished with outstanding misses "
+                    f"for blocks {[hex(b) for b in blocks]}"
+                )
+            if node.directory._active or node.directory._queues:
+                raise ProtocolError(
+                    f"directory at P{node.node_id} finished with active "
+                    "or queued transactions"
+                )
+
+    def _fold_fault_metrics(self) -> None:
+        """Fold controller recovery counters into the global registry.
+
+        The :class:`FaultyNetwork` mirrors its ``net.fault.*`` counts
+        live; controller counters are per-instance and folded here once
+        per run so ``--metrics-json`` reports machine-wide totals.
+        """
+        totals = {
+            "proto.retry.requests": 0,
+            "proto.retry.poisoned": 0,
+            "proto.retry.invals": 0,
+            "proto.stale.responses": 0,
+            "proto.stale.acks": 0,
+            "proto.dup.invals_acked": 0,
+            "proto.dup.regrants": 0,
+            "proto.dup.requests_merged": 0,
+            "proto.pushes_rejected": 0,
+        }
+        for node in self.nodes:
+            totals["proto.retry.requests"] += node.cache.request_retries
+            totals["proto.retry.poisoned"] += node.cache.poisoned_reissues
+            totals["proto.retry.invals"] += node.directory.inval_retries
+            totals["proto.stale.responses"] += (
+                node.cache.stale_responses_dropped
+            )
+            totals["proto.stale.acks"] += node.directory.stale_acks_dropped
+            totals["proto.dup.invals_acked"] += (
+                node.cache.duplicate_invals_acked
+            )
+            totals["proto.dup.regrants"] += (
+                node.directory.duplicate_requests_regranted
+            )
+            totals["proto.dup.requests_merged"] += (
+                node.directory.duplicate_requests_merged
+            )
+            totals["proto.pushes_rejected"] += node.cache.pushes_rejected
+        totals["proto.invariant_checks"] = self.invariant_checks
+        for name, value in totals.items():
+            METRICS.inc(name, value)
 
     # ------------------------------------------------------------------
     # processor model
@@ -219,6 +375,9 @@ class Machine:
             self.collector.iteration = index
             for phase in workload.iteration(index, self._rng):
                 self._run_phase(phase)
+        if self.recovery is not None:
+            self.assert_quiescent()
+            self._fold_fault_metrics()
         return self.collector
 
 
@@ -228,7 +387,15 @@ def simulate(
     params: SystemParams = PAPER_PARAMS,
     options: StacheOptions = DEFAULT_OPTIONS,
     seed: int = 0,
+    faults: Optional[FaultProfile] = None,
+    fault_seed: int = 0,
 ) -> TraceCollector:
     """One-call convenience: build a machine, run ``workload``, return the trace."""
-    machine = Machine(params=params, options=options, seed=seed)
+    machine = Machine(
+        params=params,
+        options=options,
+        seed=seed,
+        faults=faults,
+        fault_seed=fault_seed,
+    )
     return machine.run_workload(workload, iterations=iterations)

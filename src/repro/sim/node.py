@@ -2,12 +2,13 @@
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Optional
 
 from ..protocol.cache_ctrl import CacheController
 from ..protocol.directory_ctrl import DirectoryController
 from ..protocol.messages import Message, Role
 from ..protocol.origin import OriginDirectoryController
+from ..protocol.recovery import RecoveryConfig, Scheduler
 from ..protocol.stache import StacheOptions
 
 
@@ -19,14 +20,21 @@ class Node:
         node_id: int,
         send: Callable[[Message], None],
         options: StacheOptions,
+        *,
+        recovery: Optional[RecoveryConfig] = None,
+        schedule: Optional[Scheduler] = None,
     ) -> None:
         self.node_id = node_id
-        self.cache = CacheController(node_id, send, options)
+        self.cache = CacheController(
+            node_id, send, options, recovery=recovery, schedule=schedule
+        )
         directory_cls = (
             OriginDirectoryController if options.forwarding
             else DirectoryController
         )
-        self.directory = directory_cls(node_id, send, options)
+        self.directory = directory_cls(
+            node_id, send, options, recovery=recovery, schedule=schedule
+        )
 
     def receive(self, msg: Message) -> None:
         """Dispatch a delivered message to the cache or directory module."""

@@ -37,9 +37,14 @@ _EMPTY = LatencySummary(count=0, mean_ns=0.0, p50_ns=0, p95_ns=0, max_ns=0)
 
 
 def _percentile(sorted_values: Sequence[int], fraction: float) -> int:
-    index = min(
-        len(sorted_values) - 1, int(fraction * (len(sorted_values) - 1))
-    )
+    """Nearest-rank percentile (rank rounded half up).
+
+    Flooring the rank systematically under-reports upper percentiles:
+    with 20 samples, p95 must pick the 19th index (the 20th value), not
+    the 18th, and p50 of [10, 20] is 20 under nearest-rank, not 10.
+    """
+    n = len(sorted_values)
+    index = min(n - 1, int(fraction * n + 0.5))
     return sorted_values[index]
 
 

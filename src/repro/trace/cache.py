@@ -57,12 +57,17 @@ def trace_key(
     params: SystemParams,
     options: StacheOptions,
     workload_kwargs: Optional[Dict[str, int]] = None,
+    faults: Optional[str] = None,
+    fault_seed: int = 0,
 ) -> TraceCacheKey:
     """Derive the cache key for one simulation's trace.
 
     Every field that can change the trace participates in the hash, so a
     change to *any* config field yields a different key (and therefore a
-    cache miss, never a stale hit).
+    cache miss, never a stale hit).  ``faults`` is the canonical fault
+    profile spec (see :meth:`repro.sim.faults.FaultProfile.spec`); it
+    joins the descriptor only when set, so fault-free keys -- including
+    every key minted before fault injection existed -- are unchanged.
     """
     descriptor: Dict[str, object] = {
         "format": FORMAT_VERSION,
@@ -73,6 +78,8 @@ def trace_key(
         "params": asdict(params),
         "options": asdict(options),
     }
+    if faults is not None:
+        descriptor["faults"] = {"spec": faults, "seed": fault_seed}
     canonical = json.dumps(descriptor, sort_keys=True, separators=(",", ":"))
     digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
     return TraceCacheKey(digest=digest, descriptor=descriptor)

@@ -43,16 +43,40 @@ def save_trace(events: Iterable[TraceEvent], path: Union[str, Path]) -> int:
 
 
 def iter_trace(path: Union[str, Path]) -> Iterator[TraceEvent]:
-    """Stream trace events back from a file written by :func:`save_trace`."""
+    """Stream trace events back from a file written by :func:`save_trace`.
+
+    Blank lines (including trailing ones from editors or concatenation)
+    are skipped.  Anything else that fails to parse -- a truncated final
+    line from an interrupted writer, a wrong field count, an unknown
+    role or message code -- raises :class:`TraceError` naming the file,
+    the 1-based line number, and the underlying cause, so a corrupt
+    multi-gigabyte trace is diagnosable without opening it.
+    """
     with open(path, "r", encoding="utf-8") as handle:
         for lineno, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:
                 continue
             try:
-                time, iteration, node, role, block, sender, mtype = json.loads(
-                    line
+                record = json.loads(line)
+            except ValueError as exc:
+                raise TraceError(
+                    f"{path}:{lineno}: malformed record "
+                    f"(truncated or invalid JSON: {exc})"
+                ) from exc
+            if not isinstance(record, list) or len(record) != len(FIELDS):
+                got = (
+                    f"{len(record)} fields"
+                    if isinstance(record, list)
+                    else type(record).__name__
                 )
+                raise TraceError(
+                    f"{path}:{lineno}: malformed record "
+                    f"(expected {len(FIELDS)} fields "
+                    f"{', '.join(FIELDS)}; got {got})"
+                )
+            time, iteration, node, role, block, sender, mtype = record
+            try:
                 yield TraceEvent(
                     time=time,
                     iteration=iteration,
@@ -63,7 +87,9 @@ def iter_trace(path: Union[str, Path]) -> Iterator[TraceEvent]:
                     mtype=MessageType(mtype),
                 )
             except (ValueError, KeyError, TypeError) as exc:
-                raise TraceError(f"{path}:{lineno}: malformed record") from exc
+                raise TraceError(
+                    f"{path}:{lineno}: malformed record ({exc})"
+                ) from exc
 
 
 def load_trace(path: Union[str, Path]) -> List[TraceEvent]:

@@ -1,0 +1,119 @@
+"""Tests for the worker pool: failure handling and fault propagation."""
+
+import pytest
+
+from repro.errors import ShardError
+from repro.parallel.plan import ExperimentShard, Plan, TraceShard, plan_run
+from repro.parallel.pool import run_plan
+from repro.sim.metrics import METRICS
+
+TRACES = {"table5": ("appbt",), "tables1-3-4": ()}
+
+
+def experiment_shard(name, index=0, cache_dir=None):
+    return ExperimentShard(
+        index=index,
+        name=name,
+        quick=True,
+        seed=0,
+        cache_dir=cache_dir,
+        shard_seed=index + 1,
+    )
+
+
+class TestCrashedWorkers:
+    def test_failed_shard_raises_shard_error_with_descriptor(self):
+        plan = Plan(
+            traces=(), experiments=(experiment_shard("nonexistent"),)
+        )
+        with pytest.raises(ShardError) as exc:
+            run_plan(plan, jobs=2)
+        assert len(exc.value.failures) == 1
+        shard, error = exc.value.failures[0]
+        assert shard.name == "nonexistent"
+        assert "KeyError" in error
+        assert "nonexistent" in str(exc.value)
+
+    def test_remaining_shards_still_run_and_metrics_merge(self):
+        """One bad shard must not discard the good shards' work."""
+        plan = Plan(
+            traces=(),
+            experiments=(
+                experiment_shard("nonexistent", index=0),
+                experiment_shard("tables1-3-4", index=1),
+            ),
+        )
+        METRICS.reset()
+        with pytest.raises(ShardError) as exc:
+            run_plan(plan, jobs=2)
+        # Only the bad shard failed; the good one completed and its
+        # worker-side metrics were merged before the raise.
+        assert len(exc.value.failures) == 1
+        assert METRICS.counter("shard.experiment") == 1
+        assert METRICS.counter("shard.experiment.failed") == 1
+
+    def test_failed_trace_shard_named_in_error(self, tmp_path):
+        bad_trace = TraceShard(
+            app="no-such-app",
+            iterations=4,
+            seed=0,
+            quick=True,
+            cache_dir=str(tmp_path),
+            shard_seed=1,
+        )
+        plan = Plan(traces=(bad_trace,), experiments=())
+        with pytest.raises(ShardError) as exc:
+            run_plan(plan, jobs=1)
+        shard, _ = exc.value.failures[0]
+        assert shard.app == "no-such-app"
+        assert METRICS.counter("shard.trace.failed") >= 1
+
+
+class TestFaultPropagation:
+    def test_plan_carries_fault_fields(self, tmp_path):
+        plan = plan_run(
+            ["table5"],
+            True,
+            0,
+            str(tmp_path),
+            TRACES,
+            fault_spec="drop=0.05",
+            fault_seed=9,
+        )
+        for shard in plan.traces + plan.experiments:
+            assert shard.fault_spec == "drop=0.05"
+            assert shard.fault_seed == 9
+
+    def test_faultless_plan_keeps_historical_seeds(self, tmp_path):
+        """fault_spec=None must not perturb derived shard seeds (cached
+        traces from fault-free runs stay valid)."""
+        base = plan_run(["table5"], True, 0, str(tmp_path), TRACES)
+        explicit = plan_run(
+            ["table5"],
+            True,
+            0,
+            str(tmp_path),
+            TRACES,
+            fault_spec=None,
+            fault_seed=5,
+        )
+        assert [s.shard_seed for s in base.traces] == [
+            s.shard_seed for s in explicit.traces
+        ]
+        assert [s.shard_seed for s in base.experiments] == [
+            s.shard_seed for s in explicit.experiments
+        ]
+
+    def test_fault_spec_changes_derived_seeds(self, tmp_path):
+        base = plan_run(["table5"], True, 0, str(tmp_path), TRACES)
+        faulty = plan_run(
+            ["table5"],
+            True,
+            0,
+            str(tmp_path),
+            TRACES,
+            fault_spec="drop=0.05",
+        )
+        assert [s.shard_seed for s in base.experiments] != [
+            s.shard_seed for s in faulty.experiments
+        ]

@@ -1,0 +1,208 @@
+"""Tests for the fault-injection layer (profiles and FaultyNetwork)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.figure2 import ProducerConsumerMicro
+from repro.protocol.messages import Message, MessageType
+from repro.sim.engine import Engine
+from repro.sim.faults import PRESETS, FaultProfile, FaultyNetwork
+from repro.sim.machine import simulate
+from repro.sim.metrics import METRICS
+from repro.sim.params import PAPER_PARAMS
+
+
+def make_faulty(profile, fault_seed=0):
+    engine = Engine()
+    delivered = []
+    network = FaultyNetwork(
+        engine, PAPER_PARAMS, delivered.append, profile, fault_seed
+    )
+    return engine, network, delivered
+
+
+def msg(src=0, dst=1, block=0):
+    return Message(
+        src=src, dst=dst, mtype=MessageType.GET_RO_REQUEST, block=block
+    )
+
+
+class TestFaultProfile:
+    def test_default_is_inactive(self):
+        assert not FaultProfile().is_active
+
+    def test_any_field_activates(self):
+        assert FaultProfile(drop=0.1).is_active
+        assert FaultProfile(dup=0.1).is_active
+        assert FaultProfile(reorder=0.1).is_active
+        assert FaultProfile(jitter=5).is_active
+
+    @pytest.mark.parametrize("field", ["drop", "dup", "reorder"])
+    @pytest.mark.parametrize("value", [-0.1, 1.0, 2.0])
+    def test_probabilities_must_be_unit_interval(self, field, value):
+        with pytest.raises(ConfigError):
+            FaultProfile(**{field: value})
+
+    def test_window_and_jitter_bounds(self):
+        with pytest.raises(ConfigError):
+            FaultProfile(window=0)
+        with pytest.raises(ConfigError):
+            FaultProfile(jitter=-1)
+
+    def test_max_skew_counts_reorder_window_only_when_reordering(self):
+        assert FaultProfile(jitter=10).max_skew_ns == 10
+        assert FaultProfile(reorder=0.1, window=50, jitter=10).max_skew_ns == 60
+        assert FaultProfile(drop=0.1, window=50).max_skew_ns == 0
+
+    def test_spec_roundtrip(self):
+        for profile in PRESETS.values():
+            assert FaultProfile.parse(profile.spec()) == profile
+        custom = FaultProfile(drop=0.05, reorder=0.2, window=300)
+        assert FaultProfile.parse(custom.spec()) == custom
+
+    def test_inactive_spec_is_none(self):
+        assert FaultProfile().spec() == "none"
+        assert FaultProfile.parse("none") == FaultProfile()
+
+    def test_parse_presets(self):
+        for name, profile in PRESETS.items():
+            assert FaultProfile.parse(name) == profile
+            assert FaultProfile.parse(name.upper()) == profile
+
+    def test_parse_rejects_unknown_field(self):
+        with pytest.raises(ConfigError, match="unknown fault profile field"):
+            FaultProfile.parse("drops=0.1")
+
+    def test_parse_rejects_missing_equals(self):
+        with pytest.raises(ConfigError, match="expected"):
+            FaultProfile.parse("lighty")
+
+    def test_parse_rejects_bad_value(self):
+        with pytest.raises(ConfigError, match="bad value"):
+            FaultProfile.parse("drop=lots")
+
+
+class TestFaultyNetwork:
+    def test_inactive_profile_behaves_like_wire(self):
+        engine, network, delivered = make_faulty(FaultProfile())
+        for block in (0, 64, 128):
+            network.send(msg(block=block))
+        engine.run()
+        assert [m.block for m in delivered] == [0, 64, 128]
+        assert engine.now == network.latency_ns
+        assert network.fault_counts["dropped"] == 0
+
+    def test_drop_everything(self):
+        engine, network, delivered = make_faulty(FaultProfile(drop=0.999))
+        for _ in range(200):
+            network.send(msg())
+        engine.run()
+        assert len(delivered) < 200
+        assert network.fault_counts["dropped"] + len(delivered) == 200
+
+    def test_duplicates_are_delivered_twice(self):
+        engine, network, delivered = make_faulty(FaultProfile(dup=0.999))
+        for _ in range(50):
+            network.send(msg())
+        engine.run()
+        assert len(delivered) == 50 + network.fault_counts["duplicated"]
+        assert network.fault_counts["duplicated"] > 0
+
+    def test_reorder_shuffles_but_bounded(self):
+        profile = FaultProfile(reorder=0.5, window=100)
+        engine, network, delivered = make_faulty(profile)
+        for block in range(50):
+            network.send(msg(block=block * 64))
+        engine.run()
+        assert sorted(m.block for m in delivered) == [
+            block * 64 for block in range(50)
+        ]
+        assert [m.block for m in delivered] != [
+            block * 64 for block in range(50)
+        ]
+        assert engine.now <= network.latency_ns + profile.max_skew_ns
+
+    def test_same_fault_seed_same_outcome(self):
+        outcomes = []
+        for _ in range(2):
+            engine, network, delivered = make_faulty(
+                PRESETS["moderate"], fault_seed=11
+            )
+            for block in range(100):
+                network.send(msg(block=block * 64))
+            engine.run()
+            outcomes.append(
+                ([m.block for m in delivered], dict(network.fault_counts))
+            )
+        assert outcomes[0] == outcomes[1]
+
+    def test_different_fault_seed_different_outcome(self):
+        orders = []
+        for fault_seed in (0, 1):
+            engine, network, delivered = make_faulty(
+                PRESETS["moderate"], fault_seed=fault_seed
+            )
+            for block in range(100):
+                network.send(msg(block=block * 64))
+            engine.run()
+            orders.append([m.block for m in delivered])
+        assert orders[0] != orders[1]
+
+    def test_counters_mirrored_into_metrics(self):
+        before = METRICS.counter("net.fault.sent")
+        engine, network, delivered = make_faulty(PRESETS["light"])
+        for _ in range(30):
+            network.send(msg())
+        engine.run()
+        assert METRICS.counter("net.fault.sent") - before == 30
+
+
+class TestFaultDeterminism:
+    """Whole-simulation reproducibility under faults."""
+
+    def _events(self, fault_seed):
+        collector = simulate(
+            ProducerConsumerMicro(),
+            iterations=20,
+            seed=7,
+            faults=PRESETS["moderate"],
+            fault_seed=fault_seed,
+        )
+        return collector.events
+
+    def test_identical_inputs_identical_trace(self):
+        assert self._events(3) == self._events(3)
+
+    def test_fault_seed_changes_trace(self):
+        assert self._events(0) != self._events(1)
+
+    def test_identical_inputs_identical_fault_counters(self):
+        keys = [
+            "net.fault.sent",
+            "net.fault.dropped",
+            "net.fault.duplicated",
+            "net.fault.reordered",
+            "proto.retry.requests",
+        ]
+        runs = []
+        for _ in range(2):
+            before = {key: METRICS.counter(key) for key in keys}
+            self._events(5)
+            runs.append(
+                {key: METRICS.counter(key) - before[key] for key in keys}
+            )
+        assert runs[0] == runs[1]
+        assert runs[0]["net.fault.sent"] > 0
+
+    def test_inactive_faults_match_reliable_run(self):
+        """faults=None and an all-zero profile are byte-for-byte the
+        reliable network: no timers, no seq stamping, same trace."""
+        plain = simulate(ProducerConsumerMicro(), iterations=20, seed=7)
+        nulled = simulate(
+            ProducerConsumerMicro(),
+            iterations=20,
+            seed=7,
+            faults=FaultProfile(),
+            fault_seed=99,
+        )
+        assert plain.events == nulled.events

@@ -32,6 +32,25 @@ class TestSummarize:
         summary = summarize_latencies(samples)
         assert 94 <= summary.p95_ns <= 96
 
+    def test_p95_of_20_samples_is_the_largest(self):
+        # Regression: the old formula floored the rank to index 18 of 20
+        # (int(0.95 * 19) == 18), under-reporting the tail; nearest-rank
+        # must pick index 19.
+        samples = [(i, True) for i in range(1, 21)]
+        summary = summarize_latencies(samples)
+        assert summary.p95_ns == 20
+
+    def test_p50_nearest_rank_of_two(self):
+        # Nearest-rank p50 of two samples rounds half up to the larger.
+        summary = summarize_latencies([(10, True), (20, True)])
+        assert summary.p50_ns == 20
+
+    def test_percentiles_never_exceed_max(self):
+        for n in range(1, 30):
+            samples = [(i, True) for i in range(n)]
+            summary = summarize_latencies(samples)
+            assert summary.p50_ns <= summary.p95_ns <= summary.max_ns
+
 
 class TestMachineRecording:
     @pytest.fixture(scope="class")

@@ -76,3 +76,44 @@ class TestMalformed:
         path.write_text('[1,1,1,"c",0,0,99]\n')
         with pytest.raises(TraceError):
             load_trace(path)
+
+    def test_truncated_last_line_names_path_and_lineno(self, tmp_path):
+        """A half-written final record (killed writer) is pinpointed."""
+        path = tmp_path / "trunc.jsonl"
+        save_trace(sample_events(), path)
+        with open(path, "a") as handle:
+            handle.write("[99,3,5,")  # no newline: interrupted mid-record
+        with pytest.raises(TraceError) as exc:
+            load_trace(path)
+        message = str(exc.value)
+        assert str(path) in message
+        assert ":4:" in message
+        assert "truncated or invalid JSON" in message
+
+    def test_wrong_arity_reports_field_count(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("[1,2,3]\n")
+        with pytest.raises(TraceError, match="expected 7 fields.*got 3 fields"):
+            load_trace(path)
+
+    def test_non_list_record_reports_type(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"time": 1}\n')
+        with pytest.raises(TraceError, match="got dict"):
+            load_trace(path)
+
+    def test_error_lineno_is_one_based_past_blanks(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        save_trace(sample_events()[:1], path)
+        with open(path, "a") as handle:
+            handle.write("\n\nnot json\n")
+        with pytest.raises(TraceError) as exc:
+            load_trace(path)
+        assert ":4:" in str(exc.value)
+
+    def test_trailing_blank_lines_tolerated_before_eof(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_trace(sample_events(), path)
+        with open(path, "a") as handle:
+            handle.write("\n   \n\t\n")
+        assert load_trace(path) == sample_events()
