@@ -65,3 +65,62 @@ def test_simulator_throughput(benchmark):
     machine = benchmark.pedantic(run, rounds=3, iterations=1)
     assert machine.network.messages_sent > 0
     benchmark.extra_info["messages"] = machine.network.messages_sent
+
+
+def test_obs_disabled_overhead_guard():
+    """Disabled observability must cost <= 2% of per-event simulation.
+
+    Every instrumentation site is ``if OBS.<flag>: OBS.emit(...)``, so
+    with capture off the whole layer reduces to one attribute read and
+    one branch per site.  This guard measures that check directly and
+    compares it against the simulator's per-message cost: if someone
+    adds an unguarded hook (string formatting, dict building, a call
+    into the log) the ratio blows past the budget and this test fails.
+    Both sides are best-of-N wall-clock measurements, so the 2% budget
+    has orders-of-magnitude headroom against scheduler noise.
+    """
+    import time
+
+    from repro.obs.log import OBS
+
+    assert not OBS.enabled  # the suite never leaves capture on
+
+    checks = 200_000
+
+    def guard_loop() -> int:
+        observed = 0
+        for _ in range(checks):
+            if OBS.msg:  # the exact shape of every hot-path hook
+                observed += 1
+        return observed
+
+    best_check = float("inf")
+    for _ in range(5):
+        start = time.perf_counter()
+        assert guard_loop() == 0
+        best_check = min(best_check, time.perf_counter() - start)
+    per_check = best_check / checks
+
+    def sim_run():
+        machine = Machine(seed=1)
+        machine.run_workload(
+            MolDyn(force_blocks=8, coord_blocks=8, cold_blocks=0),
+            iterations=5,
+        )
+        return machine
+
+    best_seconds, messages = None, 0
+    for _ in range(3):
+        start = time.perf_counter()
+        machine = sim_run()
+        elapsed = time.perf_counter() - start
+        if best_seconds is None or elapsed < best_seconds:
+            best_seconds = elapsed
+            messages = machine.network.messages_sent
+    per_event = best_seconds / messages
+
+    assert per_check <= 0.02 * per_event, (
+        f"disabled obs guard costs {per_check * 1e9:.1f} ns/check vs "
+        f"{per_event * 1e9:.1f} ns/simulated message "
+        f"({per_check / per_event:.1%} > 2% budget)"
+    )

@@ -1,0 +1,105 @@
+"""Microbenchmarks for the observability layer.
+
+Three questions, one per section: what does capture cost at each level
+(the whole point of levelled instrumentation), what does a single
+disabled guard check cost (the budget ``bench_core``'s guard test
+enforces), and how fast are the offline paths (histogram recording,
+timeline export) that run even when the ring buffer is off.
+"""
+
+import pytest
+
+from repro.obs.log import OBS, ObsLog
+from repro.obs.timeline import export_trace_events
+from repro.sim.machine import Machine
+from repro.sim.metrics import Metrics
+from repro.workloads.moldyn import MolDyn
+
+
+def _run_machine():
+    machine = Machine(seed=1)
+    machine.run_workload(
+        MolDyn(force_blocks=8, coord_blocks=8, cold_blocks=0),
+        iterations=5,
+    )
+    return machine
+
+
+@pytest.mark.parametrize("level", ["off", "proto", "msg", "full"])
+def test_simulation_capture_cost(benchmark, level):
+    """Machine throughput at each observability level.
+
+    Compare the ``off`` row against the others to read the capture tax
+    directly; ``off`` should be indistinguishable from a build without
+    instrumentation (enforced in ``bench_core``).
+    """
+
+    def run():
+        OBS.configure(level)
+        try:
+            return _run_machine()
+        finally:
+            OBS.disable()
+
+    machine = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert machine.network.messages_sent > 0
+    benchmark.extra_info["messages"] = machine.network.messages_sent
+
+
+def test_disabled_guard_cost(benchmark):
+    """Cost of the ``if OBS.msg:`` check when capture is off."""
+    log = ObsLog()
+
+    def run():
+        count = 0
+        for _ in range(100_000):
+            if log.msg:
+                count += 1
+        return count
+
+    assert benchmark(run) == 0
+
+
+def test_emit_throughput(benchmark):
+    """Raw emit() rate into the ring buffer at level msg."""
+    log = ObsLog()
+    log.configure("msg")
+
+    def run():
+        for t in range(10_000):
+            log.emit(t, "net", "send", 0, 0x40, {"dst": 1, "delay_ns": 80})
+
+    benchmark(run)
+    assert len(log) > 0
+
+
+def test_histogram_observe_throughput(benchmark):
+    """Histogram recording rate (always-on metric folds use this)."""
+    metrics = Metrics()
+
+    def run():
+        for value in range(10_000):
+            metrics.observe("bench.latency_ns", value)
+
+    benchmark(run)
+    assert metrics.histogram("bench.latency_ns").count > 0
+
+
+def test_timeline_export_throughput(benchmark):
+    """Exporter rate on a synthetic message-heavy event log."""
+    events = [
+        (
+            t * 10,
+            "net",
+            "send",
+            t % 16,
+            0x40 * (t % 8),
+            {"dst": (t + 1) % 16, "mtype": "GET_RO_REQUEST",
+             "delay_ns": 80},
+        )
+        for t in range(20_000)
+    ]
+    document = benchmark.pedantic(
+        export_trace_events, args=(events, 16), rounds=3, iterations=1
+    )
+    assert document["otherData"]["events"] == 20_000

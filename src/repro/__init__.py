@@ -16,7 +16,10 @@ Mukherjee & Hill, ISCA 1998.  The package provides:
   figure of the paper's evaluation;
 * :mod:`repro.parallel` -- sharded parallel execution of independent
   experiment cells over a ``spawn`` worker pool, fed by the
-  content-addressed on-disk trace cache (:mod:`repro.trace.cache`).
+  content-addressed on-disk trace cache (:mod:`repro.trace.cache`);
+* :mod:`repro.obs` -- deep observability: the structured event log,
+  Perfetto timeline export, misprediction forensics, and run
+  manifests.
 
 Quickstart::
 

@@ -76,7 +76,48 @@ def format_metrics(snapshot: dict) -> str:
                 title="Timers",
             )
         )
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        parts.append(
+            render_table(
+                ["histogram", "count", "min", "mean", "max", "buckets"],
+                [
+                    _histogram_row(name, data)
+                    for name, data in histograms.items()
+                ],
+                title="Histograms (log2 buckets: upper-edge:count)",
+            )
+        )
     return "\n\n".join(parts) if parts else "(no metrics recorded)"
+
+
+def _histogram_row(name: str, data: dict) -> List[Cell]:
+    """One ``format_metrics`` row for a histogram snapshot dict."""
+    count = data.get("count", 0)
+    mean = data.get("sum", 0.0) / count if count else 0.0
+    buckets = data.get("buckets", {})
+    rendered = " ".join(
+        f"{2 ** int(bucket)}:{buckets[bucket]}"
+        for bucket in sorted(buckets, key=int)
+    )
+    return [
+        name,
+        count,
+        _compact(data.get("min")),
+        _compact(mean),
+        _compact(data.get("max")),
+        rendered or "-",
+    ]
+
+
+def _compact(value: object) -> str:
+    """Render a histogram statistic without trailing float noise."""
+    if value is None:
+        return "-"
+    number = float(value)  # type: ignore[arg-type]
+    if number == int(number):
+        return str(int(number))
+    return f"{number:.1f}"
 
 
 def render_matrix(

@@ -3,14 +3,20 @@
 Subcommands::
 
     repro-trace simulate appbt -o appbt.jsonl --iterations 40 --seed 1
+    repro-trace simulate appbt -o appbt.jsonl --trace-events appbt_timeline.json
     repro-trace evaluate appbt.jsonl --depth 2 --filter 1
+    repro-trace explain appbt.jsonl --block 0x12340 --last 4
     repro-trace info appbt.jsonl
     repro-trace dot appbt.jsonl --role cache -o appbt_cache.dot
 
 ``simulate`` writes a JSON-lines coherence-message trace; the other
 subcommands consume one.  This decouples the expensive simulation from
 cheap repeated analyses, exactly like the paper's trace-driven
-methodology.
+methodology.  ``--trace-events`` additionally captures a structured
+event log during simulation and exports it as Chrome trace-event /
+Perfetto JSON (load it at https://ui.perfetto.dev); ``explain`` replays
+a saved trace with misprediction forensics (see
+``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -21,18 +27,32 @@ from typing import List, Optional
 
 from .analysis.arcs import measure_arcs
 from .analysis.dot import signature_graph_dot
+from .analysis.report import render_table
 from .analysis.signatures import extract_signatures
 from .analysis.traffic import summarize_traffic
 from .core.config import CosmosConfig
 from .core.evaluation import evaluate_trace
 from .errors import ReproError
+from .obs import (
+    OBS,
+    build_manifest,
+    explain_trace,
+    export_trace_events,
+    format_pattern,
+    save_trace_events,
+    validate_trace_events,
+)
 from .protocol.messages import Role
 from .protocol.stache import StacheOptions
 from .sim.faults import PRESETS, FaultProfile
 from .sim.machine import simulate
 from .sim.metrics import METRICS, dump_metrics_json
+from .sim.params import PAPER_PARAMS
 from .trace.io import load_trace, save_trace
 from .workloads.registry import BENCHMARK_NAMES, make_workload
+
+#: Observability levels selectable from the command line.
+OBS_LEVEL_CHOICES = ("proto", "msg", "pred", "full")
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -46,19 +66,58 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         profile = FaultProfile.parse(args.fault_profile)
         if profile.is_active:
             faults = profile
-    with METRICS.timer("trace.simulate"):
-        collector = simulate(
-            workload,
-            iterations=args.iterations,
-            seed=args.seed,
-            options=options,
-            faults=faults,
-            fault_seed=args.fault_seed,
-        )
-    METRICS.inc("trace.simulated")
-    count = save_trace(collector.events, args.output)
-    print(f"wrote {count} events to {args.output}")
+    if args.trace_events:
+        OBS.configure(args.obs_level)
+    try:
+        with METRICS.timer("trace.simulate"):
+            collector = simulate(
+                workload,
+                iterations=args.iterations,
+                seed=args.seed,
+                options=options,
+                faults=faults,
+                fault_seed=args.fault_seed,
+            )
+        METRICS.inc("trace.simulated")
+        count = save_trace(collector.events, args.output)
+        print(f"wrote {count} events to {args.output}")
+        if args.trace_events:
+            _export_timeline(args)
+    finally:
+        if args.trace_events:
+            OBS.disable()
     return 0
+
+
+def _export_timeline(args: argparse.Namespace) -> None:
+    """Write the captured event log as trace-event JSON (simulate)."""
+    manifest = build_manifest(
+        "repro-trace simulate",
+        app=args.app,
+        iterations=args.iterations,
+        seed=args.seed,
+        fault_profile=args.fault_profile,
+        fault_seed=args.fault_seed,
+        forwarding=args.forwarding,
+        half_migratory=not args.no_half_migratory,
+        obs_level=args.obs_level,
+    )
+    document = export_trace_events(
+        OBS.events(),
+        PAPER_PARAMS.n_nodes,
+        manifest=manifest,
+        dropped=OBS.dropped,
+    )
+    errors = validate_trace_events(document)
+    if errors:
+        raise ReproError(
+            "timeline export failed validation: " + "; ".join(errors[:5])
+        )
+    save_trace_events(document, args.trace_events)
+    print(
+        f"wrote {document['otherData']['events']} timeline events to "
+        f"{args.trace_events} ({OBS.dropped} dropped)"
+    )
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
@@ -79,6 +138,79 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
             f"{result.overhead.overhead_percent:.1f}% of a "
             f"{config.block_bytes}-byte block"
         )
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    events = load_trace(args.trace)
+    config = CosmosConfig(
+        depth=args.depth,
+        filter_max_count=args.filter,
+        macroblock_bytes=args.macroblock,
+    )
+    report = explain_trace(events, config, per_block=args.per_block)
+    if args.block is not None:
+        try:
+            block = int(args.block, 0)
+        except ValueError:
+            raise ReproError(
+                f"bad block address {args.block!r}; expected decimal or "
+                "0x-prefixed hex"
+            ) from None
+        print(report.format_block(block, last=args.last))
+        return 0
+    # No block selected: rank what went wrong across the whole trace.
+    print(
+        f"{config.describe()} over {len(events)} events: "
+        f"{report.total_mispredicts} mispredictions in "
+        f"{report.total_refs} references"
+    )
+    worst_blocks = sorted(
+        report.tallies.items(),
+        key=lambda item: (
+            -item[1].mispredictions,
+            item[0][0],
+            item[0][1].value,
+            item[0][2],
+        ),
+    )[: args.top]
+    rows = [
+        [
+            f"0x{block:x}",
+            f"P{node}/{role}",
+            tally.refs,
+            tally.mispredictions,
+            f"{tally.accuracy:.1%}",
+        ]
+        for (node, role, block), tally in worst_blocks
+        if tally.mispredictions
+    ]
+    if rows:
+        print()
+        print(
+            render_table(
+                ["block", "module", "refs", "mispredicts", "accuracy"],
+                rows,
+                title="Worst (module, block) pairs",
+            )
+        )
+    pattern_rows = [
+        [str(role), format_pattern(pattern) or "(empty)", mispredicts, refs]
+        for role, pattern, mispredicts, refs in report.top_patterns(args.top)
+    ]
+    if pattern_rows:
+        print()
+        print(
+            render_table(
+                ["role", "history pattern", "mispredicts", "refs"],
+                pattern_rows,
+                title="History patterns ranked by mispredictions",
+            )
+        )
+    print(
+        "\nrun with --block <addr> for per-block capture rings "
+        "(MHR, PHT entry, noise filter)"
+    )
     return 0
 
 
@@ -148,6 +280,25 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="seed for the fault-injection RNG (default 0)",
     )
+    sim.add_argument(
+        "--trace-events",
+        metavar="PATH",
+        default=None,
+        help=(
+            "also capture a structured event log and export it as "
+            "Chrome trace-event / Perfetto JSON to PATH"
+        ),
+    )
+    sim.add_argument(
+        "--obs-level",
+        choices=OBS_LEVEL_CHOICES,
+        default="msg",
+        help=(
+            "capture depth for --trace-events: proto (state transitions, "
+            "retries, faults), msg (+ sends/deliveries), pred/full "
+            "(+ predictor events); default msg"
+        ),
+    )
     sim.set_defaults(func=_cmd_simulate)
 
     ev = sub.add_parser("evaluate", help="score Cosmos on a saved trace")
@@ -158,6 +309,43 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--macroblock", type=int, default=None,
                     help="group blocks into macroblocks of this many bytes")
     ev.set_defaults(func=_cmd_evaluate)
+
+    exp = sub.add_parser(
+        "explain", help="misprediction forensics for a saved trace"
+    )
+    exp.add_argument("trace")
+    exp.add_argument(
+        "--block",
+        default=None,
+        help=(
+            "block address (decimal or 0x-hex) to show capture rings "
+            "for; omit for a whole-trace ranking"
+        ),
+    )
+    exp.add_argument("--depth", type=int, default=1)
+    exp.add_argument("--filter", type=int, default=0,
+                     help="noise-filter saturating-counter maximum")
+    exp.add_argument("--macroblock", type=int, default=None,
+                     help="group blocks into macroblocks of this many bytes")
+    exp.add_argument(
+        "--per-block",
+        type=int,
+        default=8,
+        help="capture-ring depth per (node, module, block); default 8",
+    )
+    exp.add_argument(
+        "--last",
+        type=int,
+        default=None,
+        help="with --block: show only the newest N captured records",
+    )
+    exp.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="rows in the whole-trace rankings; default 10",
+    )
+    exp.set_defaults(func=_cmd_explain)
 
     info = sub.add_parser("info", help="traffic characterization of a trace")
     info.add_argument("trace")
@@ -189,7 +377,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 1
     if args.metrics_json:
         dump_metrics_json(
-            METRICS.snapshot(), args.metrics_json, command=args.command
+            METRICS.snapshot(),
+            args.metrics_json,
+            command=args.command,
+            manifest=build_manifest(f"repro-trace {args.command}"),
         )
         print(f"metrics written to {args.metrics_json}")
     return status

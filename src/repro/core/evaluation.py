@@ -21,7 +21,9 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
+from ..obs.log import OBS
 from ..protocol.messages import MessageType, Role
+from ..sim.metrics import METRICS
 from ..trace.events import TraceEvent
 from .config import CosmosConfig
 from .memory import MemoryOverhead
@@ -193,6 +195,25 @@ def evaluate_trace(
             predictors[key] = predictor
         observation = predictor.observe(event.block, event.tuple)
         hit = observation.hit
+        if OBS.pred:
+            predicted = observation.predicted
+            OBS.emit(
+                event.time,
+                "pred",
+                "observe",
+                event.node,
+                event.block,
+                {
+                    "role": str(event.role),
+                    "hit": hit,
+                    "predicted": (
+                        f"P{predicted[0]} {predicted[1].name}"
+                        if predicted is not None
+                        else None
+                    ),
+                    "actual": f"P{event.sender} {event.mtype.name}",
+                },
+            )
         overall.add(hit)
         by_role[event.role].add(hit)
         if track_arcs:
@@ -203,6 +224,14 @@ def evaluate_trace(
             last_type[arc_block] = event.mtype
 
     flush_checkpoints(None)
+
+    # Distribution of per-block PHT sizes across the whole bank -- the
+    # storage skew behind Table 7's totals (one end-of-replay fold).
+    for predictor in predictors.values():
+        pht_sizes = getattr(predictor, "pht_sizes", None)
+        if pht_sizes is not None:
+            for size in pht_sizes():
+                METRICS.observe("pred.pht.block_entries", size)
 
     overhead = _measure_bank_overhead(predictors)
     return EvaluationResult(

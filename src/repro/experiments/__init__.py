@@ -24,6 +24,7 @@ from .hardware import (
     run_hardware,
 )
 from .integration import IntegrationResult, run_integration
+from .mispredict import MispredictProfileResult, run_mispredict_profile
 from .paper_data import (
     PAPER_FIGURE5_EXAMPLE,
     PAPER_TABLE5,
@@ -75,6 +76,7 @@ __all__ = [
     "HardwareResult",
     "IntegrationResult",
     "MigratoryMicro",
+    "MispredictProfileResult",
     "PAPER_FIGURE5_EXAMPLE",
     "PAPER_TABLE5",
     "PAPER_TABLE6",
@@ -109,6 +111,7 @@ __all__ = [
     "run_figures6_7",
     "run_hardware",
     "run_integration",
+    "run_mispredict_profile",
     "run_protocol_comparison",
     "run_replacement_study",
     "run_scaling",

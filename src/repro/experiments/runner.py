@@ -32,6 +32,13 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..obs import (
+    OBS,
+    build_manifest,
+    export_trace_events,
+    save_trace_events,
+    validate_trace_events,
+)
 from ..protocol.messages import format_table1
 from ..sim.metrics import METRICS, dump_metrics_json
 from ..sim.params import PAPER_PARAMS
@@ -41,6 +48,7 @@ from ..sim.faults import PRESETS, FaultProfile
 from .bounds import run_bounds
 from .common import configure_faults, configure_trace_cache
 from .faults import run_fault_study
+from .mispredict import run_mispredict_profile
 from .figure2 import run_figure2
 from .figure5 import run_figure5
 from .figure8 import run_figure8
@@ -115,6 +123,9 @@ EXPERIMENTS: Dict[str, Callable[[bool, int], str]] = {
     "faults": lambda quick, seed: run_fault_study(
         quick=quick, seed=seed
     ).format(),
+    "mispredict-profile": lambda quick, seed: run_mispredict_profile(
+        quick=quick, seed=seed
+    ).format(),
 }
 
 #: Workloads each experiment replays through the shared trace cache.
@@ -137,6 +148,7 @@ EXPERIMENT_TRACES.update(
         "bounds": tuple(BENCHMARK_NAMES),
         "integration": tuple(BENCHMARK_NAMES),
         "hardware": ("moldyn",),
+        "mispredict-profile": tuple(BENCHMARK_NAMES),
     }
 )
 
@@ -366,6 +378,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="dump counters/timers/per-shard throughput as JSON to PATH",
     )
     parser.add_argument(
+        "--trace-events",
+        metavar="PATH",
+        default=None,
+        help=(
+            "capture a structured event log during the run and export it "
+            "as Chrome trace-event / Perfetto JSON to PATH (forces "
+            "--sequential: the log is an in-process ring buffer)"
+        ),
+    )
+    parser.add_argument(
+        "--obs-level",
+        choices=("proto", "msg", "pred", "full"),
+        default="msg",
+        help=(
+            "capture depth for --trace-events: proto, msg, or pred/full "
+            "(default msg)"
+        ),
+    )
+    parser.add_argument(
         "--html",
         metavar="PATH",
         default=None,
@@ -400,6 +431,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             fault_spec = profile.spec()
 
     jobs = 1 if args.sequential else max(1, args.jobs)
+    if args.trace_events and jobs > 1:
+        print(
+            "note: --trace-events captures an in-process event log; "
+            "forcing --sequential",
+            file=sys.stderr,
+        )
+        jobs = 1
     cache_dir = _resolve_cache_dir(args, jobs)
 
     printed = 0
@@ -414,18 +452,54 @@ def main(argv: Optional[List[str]] = None) -> int:
         printed += 1
 
     METRICS.reset()
+    if args.trace_events:
+        OBS.configure(args.obs_level)
     wall_start = time.perf_counter()
-    sections, shard_stats = run_experiments(
-        names,
-        quick=args.quick,
-        seed=args.seed,
-        jobs=jobs,
-        cache_dir=cache_dir,
-        on_section=_print_section,
-        fault_spec=fault_spec,
-        fault_seed=args.fault_seed,
-    )
-    wall_seconds = time.perf_counter() - wall_start
+    try:
+        sections, shard_stats = run_experiments(
+            names,
+            quick=args.quick,
+            seed=args.seed,
+            jobs=jobs,
+            cache_dir=cache_dir,
+            on_section=_print_section,
+            fault_spec=fault_spec,
+            fault_seed=args.fault_seed,
+        )
+        wall_seconds = time.perf_counter() - wall_start
+
+        if args.trace_events:
+            manifest = build_manifest(
+                "repro-experiments",
+                experiments=names,
+                quick=args.quick,
+                seed=args.seed,
+                fault_profile=fault_spec,
+                fault_seed=args.fault_seed,
+                obs_level=args.obs_level,
+            )
+            document = export_trace_events(
+                OBS.events(),
+                PAPER_PARAMS.n_nodes,
+                manifest=manifest,
+                dropped=OBS.dropped,
+            )
+            errors = validate_trace_events(document)
+            if errors:
+                print(
+                    "timeline export failed validation: "
+                    + "; ".join(errors[:5]),
+                    file=sys.stderr,
+                )
+                return 1
+            save_trace_events(document, args.trace_events)
+            print(
+                f"\nwrote {document['otherData']['events']} timeline "
+                f"events to {args.trace_events} ({OBS.dropped} dropped)"
+            )
+    finally:
+        if args.trace_events:
+            OBS.disable()
 
     if args.html:
         with open(args.html, "w", encoding="utf-8") as handle:
@@ -444,6 +518,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             experiments=names,
             fault_profile=fault_spec,
             fault_seed=args.fault_seed,
+            manifest=build_manifest(
+                "repro-experiments",
+                experiments=names,
+                quick=args.quick,
+                seed=args.seed,
+                jobs=jobs,
+                fault_profile=fault_spec,
+                fault_seed=args.fault_seed,
+            ),
         )
         print(f"\nmetrics written to {args.metrics_json}")
     return 0

@@ -1,0 +1,76 @@
+"""repro.obs: the deep observability layer.
+
+Four cooperating pieces, all off by default and all zero-cost-when-off:
+
+* :mod:`repro.obs.log` -- the structured event log: a process-global,
+  levelled, ring-buffered :data:`OBS` that the simulator, protocol
+  controllers, fault injector, and evaluation loop emit into.  Disabled
+  sites cost one boolean attribute check (guarded ``if OBS.msg: ...``),
+  enforced at <= 2% overhead by ``benchmarks/bench_core.py``.
+* :mod:`repro.obs.timeline` -- renders the event log as Chrome
+  trace-event / Perfetto JSON (``--trace-events``): one lane per node
+  (cache + directory threads) plus network message/fault/retry lanes.
+* :mod:`repro.obs.forensics` -- misprediction capture rings: the MHR
+  pattern, matched PHT entry, and noise-filter state behind every recent
+  misprediction (``repro-trace explain``, the ``mispredict-profile``
+  experiment).
+* :mod:`repro.obs.manifest` -- deterministic run manifests attached to
+  metrics JSON, timeline exports, and trace-cache entries so every
+  artifact names the run that produced it.
+
+See ``docs/observability.md`` for the end-to-end story.
+"""
+
+# Only ``.log`` (dependency-free) is imported eagerly.  Everything else
+# resolves lazily via PEP 562: the hot-path modules (network, faults,
+# controllers) import ``OBS`` from this package, while ``.forensics``
+# pulls in the predictor/trace/sim stack -- importing it here eagerly
+# would close an import cycle back through those very hot-path modules.
+from .log import DEFAULT_CAPACITY, LEVELS, OBS, ObsLog
+
+_LAZY = {
+    "ForensicsReport": ".forensics",
+    "MispredictRecord": ".forensics",
+    "explain_trace": ".forensics",
+    "format_pattern": ".forensics",
+    "format_tuple": ".forensics",
+    "OBS_SCHEMA_VERSION": ".manifest",
+    "build_manifest": ".manifest",
+    "export_trace_events": ".timeline",
+    "save_trace_events": ".timeline",
+    "validate_trace_events": ".timeline",
+}
+
+
+def __getattr__(name: str):
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    from importlib import import_module
+
+    value = getattr(import_module(target, __name__), name)
+    globals()[name] = value  # cache: __getattr__ runs once per name
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "ForensicsReport",
+    "LEVELS",
+    "MispredictRecord",
+    "OBS",
+    "OBS_SCHEMA_VERSION",
+    "ObsLog",
+    "build_manifest",
+    "explain_trace",
+    "export_trace_events",
+    "format_pattern",
+    "format_tuple",
+    "save_trace_events",
+    "validate_trace_events",
+]

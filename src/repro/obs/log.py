@@ -1,0 +1,191 @@
+"""The structured event log: cheap, levelled, ring-buffered.
+
+One process-global :class:`ObsLog` (``OBS``) collects structured events
+from the simulator, the protocol controllers, the fault injector, and the
+predictor evaluation loop.  The design constraint is that **disabled
+observability must stay within measurement noise of no observability at
+all** (the guard in ``benchmarks/bench_core.py`` enforces <= 2%), so the
+hot paths never call into this module unconditionally.  Instead every
+instrumentation site is written as::
+
+    if OBS.msg:            # one attribute read of a plain bool
+        OBS.emit(...)      # only paid when that level is enabled
+
+The per-category booleans (``proto``, ``msg``, ``pred``) are precomputed
+by :meth:`ObsLog.configure` from a single numeric level, so the disabled
+path costs exactly one attribute load and one branch -- the Python
+equivalent of compiling the hook out.
+
+Levels (cumulative)::
+
+    off    nothing recorded
+    proto  protocol state transitions, retries, poisons, network faults
+    msg    + every message send and delivery
+    pred   + predictor predict/train outcomes during trace replay
+
+Events are plain tuples ``(time_ns, category, name, node, block, args)``
+appended to a bounded ring (``collections.deque`` with ``maxlen``): a
+long run keeps the *most recent* window, which is the window you want
+when a run ends in an invariant violation or an accuracy collapse.  The
+``dropped`` counter records how much history scrolled off, so exports
+are honest about truncation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+#: One log record: (time_ns, category, name, node, block, args-dict).
+ObsEvent = Tuple[int, str, str, int, int, Optional[dict]]
+
+#: Level names in ascending order of verbosity.
+LEVEL_OFF = 0
+LEVEL_PROTO = 1
+LEVEL_MSG = 2
+LEVEL_PRED = 3
+
+LEVELS: Dict[str, int] = {
+    "off": LEVEL_OFF,
+    "proto": LEVEL_PROTO,
+    "msg": LEVEL_MSG,
+    "pred": LEVEL_PRED,
+    # "full" reads better in CLI help; it is exactly the deepest level.
+    "full": LEVEL_PRED,
+}
+
+#: Default ring capacity: enough for the tail of a quick-scale run of
+#: every experiment without unbounded growth on paper-scale runs.
+DEFAULT_CAPACITY = 262_144
+
+
+def _zero_clock() -> int:
+    return 0
+
+
+class ObsLog:
+    """A levelled, ring-buffered structured event log."""
+
+    __slots__ = (
+        "enabled",
+        "proto",
+        "msg",
+        "pred",
+        "level",
+        "capacity",
+        "dropped",
+        "_ring",
+        "_clock",
+    )
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.proto = False
+        self.msg = False
+        self.pred = False
+        self.level = LEVEL_OFF
+        self.capacity = DEFAULT_CAPACITY
+        self.dropped = 0
+        self._ring: Deque[ObsEvent] = deque(maxlen=self.capacity)
+        self._clock: Callable[[], int] = _zero_clock
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+
+    def configure(
+        self, level: object, capacity: Optional[int] = None
+    ) -> None:
+        """Set the capture level (name or number) and optionally resize.
+
+        Reconfiguring clears the ring: mixing events captured at
+        different levels would make the timeline lie about gaps.
+        """
+        if isinstance(level, str):
+            try:
+                numeric = LEVELS[level.strip().lower()]
+            except KeyError:
+                raise ValueError(
+                    f"unknown observability level {level!r}; expected one "
+                    f"of {sorted(LEVELS)}"
+                ) from None
+        else:
+            numeric = int(level)  # type: ignore[arg-type]
+            if numeric not in (LEVEL_OFF, LEVEL_PROTO, LEVEL_MSG, LEVEL_PRED):
+                raise ValueError(f"unknown observability level {numeric}")
+        self.level = numeric
+        self.enabled = numeric > LEVEL_OFF
+        self.proto = numeric >= LEVEL_PROTO
+        self.msg = numeric >= LEVEL_MSG
+        self.pred = numeric >= LEVEL_PRED
+        if capacity is not None:
+            if capacity < 1:
+                raise ValueError("observability ring capacity must be >= 1")
+            self.capacity = capacity
+        self._ring = deque(maxlen=self.capacity)
+        self.dropped = 0
+
+    def disable(self) -> None:
+        """Turn capture off and drop the buffered events."""
+        self.configure(LEVEL_OFF)
+
+    def set_clock(self, clock: Optional[Callable[[], int]]) -> None:
+        """Install the simulated-time source (the engine's ``now``).
+
+        Sites that emit without an explicit time (protocol controllers
+        have no engine reference) read this clock.  ``None`` restores
+        the zero clock.
+        """
+        self._clock = clock if clock is not None else _zero_clock
+
+    @property
+    def now(self) -> int:
+        """Current simulated time according to the installed clock."""
+        return self._clock()
+
+    # ------------------------------------------------------------------
+    # recording / reading
+    # ------------------------------------------------------------------
+
+    def emit(
+        self,
+        time_ns: int,
+        category: str,
+        name: str,
+        node: int,
+        block: int,
+        args: Optional[dict] = None,
+    ) -> None:
+        """Append one event.  Callers must have checked a level flag."""
+        ring = self._ring
+        if len(ring) == self.capacity:
+            self.dropped += 1
+        ring.append((time_ns, category, name, node, block, args))
+
+    def emit_now(
+        self,
+        category: str,
+        name: str,
+        node: int,
+        block: int,
+        args: Optional[dict] = None,
+    ) -> None:
+        """:meth:`emit` stamped with the installed clock's current time."""
+        self.emit(self._clock(), category, name, node, block, args)
+
+    def events(self) -> List[ObsEvent]:
+        """The buffered events, oldest first."""
+        return list(self._ring)
+
+    def clear(self) -> None:
+        """Drop buffered events (capacity and level unchanged)."""
+        self._ring.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+
+#: The process-global log.  Instrumentation sites guard on its level
+#: flags; entry points (CLI, experiment runner, tests) configure it.
+OBS = ObsLog()

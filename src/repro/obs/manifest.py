@@ -1,0 +1,54 @@
+"""Run manifests: make every artifact attributable.
+
+A metrics JSON or a timeline export is only evidence if you can say
+*which run* produced it: what seeds, what parameters, what fault
+profile, what code.  :func:`build_manifest` collects exactly that into a
+small JSON-able dict that ``--metrics-json`` embeds under ``"manifest"``,
+the timeline exporter embeds under ``"otherData"``, and the trace cache
+stores in each entry's header (the cache *key* is untouched, so existing
+caches keep matching).
+
+Manifests are deliberately deterministic -- no wall-clock timestamps, no
+hostnames -- so identical runs produce identical artifacts and the
+parallel==sequential byte-identity guarantees extend to them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, is_dataclass
+from typing import Optional
+
+from .._version import __version__
+
+#: Bump when the shape of obs artifacts (manifest fields, timeline
+#: structure, forensics records) changes meaning.
+OBS_SCHEMA_VERSION = 1
+
+
+def _plain(value: object) -> object:
+    """Dataclasses (params, options, profiles) flatten to sorted dicts."""
+    if is_dataclass(value) and not isinstance(value, type):
+        return dict(sorted(asdict(value).items()))
+    return value
+
+
+def build_manifest(command: str, **fields: object) -> dict:
+    """Describe one run: versions plus every reproduction-relevant input.
+
+    ``command`` names the entry point (``repro-trace simulate``,
+    ``repro-experiments``, ...).  Keyword fields are included verbatim
+    (dataclasses are flattened); ``None`` values are dropped so absent
+    configuration reads as absent rather than as ``null`` noise.
+    """
+    manifest: dict = {
+        "schema_version": OBS_SCHEMA_VERSION,
+        "package": "repro",
+        "package_version": __version__,
+        "command": command,
+    }
+    for name in sorted(fields):
+        value = fields[name]
+        if value is None:
+            continue
+        manifest[name] = _plain(value)
+    return manifest

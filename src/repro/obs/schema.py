@@ -1,0 +1,166 @@
+"""A small JSON-Schema subset validator (no third-party dependency).
+
+The timeline exporter's output format is pinned by a checked-in schema
+(``docs/trace_event.schema.json``) that tests and the CI observability
+job validate emitted documents against.  The container deliberately has
+no ``jsonschema`` package, so this module implements the subset the
+schema actually uses:
+
+``type`` (including type lists), ``properties``, ``required``,
+``additionalProperties`` (boolean or schema), ``items``, ``enum``,
+``minimum``, ``minItems``, and ``$defs``/``$ref`` (local refs only).
+
+Anything outside that subset raises :class:`SchemaError` rather than
+being silently ignored -- a schema feature the validator does not
+understand must not masquerade as a passing check.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from ..errors import ReproError
+
+
+class SchemaError(ReproError):
+    """The schema itself uses a construct this validator cannot enforce."""
+
+
+_KNOWN_KEYWORDS = {
+    "$schema",
+    "$id",
+    "$defs",
+    "$ref",
+    "title",
+    "description",
+    "type",
+    "properties",
+    "required",
+    "additionalProperties",
+    "items",
+    "enum",
+    "minimum",
+    "minItems",
+}
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float))
+    and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def load_schema(path: Union[str, Path]) -> dict:
+    """Load a schema document from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def validate(instance: object, schema: dict) -> List[str]:
+    """Validate ``instance`` against ``schema``; return error strings.
+
+    An empty list means the instance conforms.  Errors are path-prefixed
+    (``$.traceEvents[3].pid: ...``) so failures point at the offending
+    element of a large document.
+    """
+    errors: List[str] = []
+    _validate(instance, schema, schema, "$", errors)
+    return errors
+
+
+def _resolve(schema: dict, root: dict) -> dict:
+    ref = schema.get("$ref")
+    if ref is None:
+        return schema
+    if not ref.startswith("#/"):
+        raise SchemaError(f"only local $ref supported, got {ref!r}")
+    target: object = root
+    for part in ref[2:].split("/"):
+        if not isinstance(target, dict) or part not in target:
+            raise SchemaError(f"unresolvable $ref {ref!r}")
+        target = target[part]
+    if not isinstance(target, dict):
+        raise SchemaError(f"$ref {ref!r} does not point at a schema object")
+    return target
+
+
+def _validate(
+    instance: object,
+    schema: dict,
+    root: dict,
+    path: str,
+    errors: List[str],
+) -> None:
+    if len(errors) >= 50:
+        return
+    schema = _resolve(schema, root)
+    unknown = set(schema) - _KNOWN_KEYWORDS
+    if unknown:
+        raise SchemaError(
+            f"schema at {path} uses unsupported keyword(s) "
+            f"{sorted(unknown)}; extend repro.obs.schema or simplify "
+            "the schema"
+        )
+
+    expected = schema.get("type")
+    if expected is not None:
+        names = expected if isinstance(expected, list) else [expected]
+        checks = []
+        for name in names:
+            check = _TYPE_CHECKS.get(name)
+            if check is None:
+                raise SchemaError(f"unknown type {name!r} at {path}")
+            checks.append(check)
+        if not any(check(instance) for check in checks):
+            errors.append(
+                f"{path}: expected type {'/'.join(names)}, got "
+                f"{type(instance).__name__}"
+            )
+            return
+
+    enum = schema.get("enum")
+    if enum is not None and instance not in enum:
+        errors.append(f"{path}: {instance!r} not in enum {enum}")
+
+    minimum = schema.get("minimum")
+    if (
+        minimum is not None
+        and isinstance(instance, (int, float))
+        and not isinstance(instance, bool)
+        and instance < minimum
+    ):
+        errors.append(f"{path}: {instance} is below minimum {minimum}")
+
+    if isinstance(instance, dict):
+        properties: Dict[str, dict] = schema.get("properties", {})
+        for name in schema.get("required", ()):
+            if name not in instance:
+                errors.append(f"{path}: missing required property {name!r}")
+        additional = schema.get("additionalProperties", True)
+        for name, value in instance.items():
+            subschema = properties.get(name)
+            if subschema is not None:
+                _validate(value, subschema, root, f"{path}.{name}", errors)
+            elif additional is False:
+                errors.append(f"{path}: unexpected property {name!r}")
+            elif isinstance(additional, dict):
+                _validate(value, additional, root, f"{path}.{name}", errors)
+
+    if isinstance(instance, list):
+        min_items = schema.get("minItems")
+        if min_items is not None and len(instance) < min_items:
+            errors.append(
+                f"{path}: expected at least {min_items} items, "
+                f"got {len(instance)}"
+            )
+        items = schema.get("items")
+        if isinstance(items, dict):
+            for index, value in enumerate(instance):
+                _validate(value, items, root, f"{path}[{index}]", errors)

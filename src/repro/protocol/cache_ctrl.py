@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
 from ..errors import ProtocolError
+from ..obs.log import OBS
 from .messages import Message, MessageType
 from .recovery import RecoveryConfig, Scheduler
 from .stache import DEFAULT_OPTIONS, StacheOptions
@@ -102,6 +103,9 @@ class CacheController:
         self.stale_responses_dropped = 0
         self.duplicate_invals_acked = 0
         self.pushes_rejected = 0
+        #: Backoff armed by each timeout retry (ns); folded into the
+        #: ``proto.retry.backoff_ns`` histogram by the machine.
+        self.retry_backoffs_ns: list = []
 
     def configure_finite(
         self,
@@ -143,7 +147,7 @@ class CacheController:
             self.state_of(victim) is CacheState.SHARED
             and victim not in self._outstanding
         ):
-            self._states[victim] = CacheState.INVALID
+            self._set_state(victim, CacheState.INVALID)
             self.replacements += 1
             self._resident[index] = block
             if self._on_replacement is not None:
@@ -155,6 +159,20 @@ class CacheController:
     def state_of(self, block: int) -> CacheState:
         """Current stable state of ``block`` in this cache."""
         return self._states.get(block, CacheState.INVALID)
+
+    def _set_state(self, block: int, new_state: CacheState) -> None:
+        """Single choke point for stable-state writes (observability)."""
+        if OBS.proto:
+            old = self._states.get(block, CacheState.INVALID)
+            if old is not new_state:
+                OBS.emit_now(
+                    "proto",
+                    "cache-state",
+                    self.node_id,
+                    block,
+                    {"from": old.value, "to": new_state.value},
+                )
+        self._states[block] = new_state
 
     def has_outstanding(self, block: int) -> bool:
         return block in self._outstanding
@@ -247,6 +265,15 @@ class CacheController:
             )
         self.request_retries += 1
         txn.timeout_ns = self._recovery.next_timeout(txn.timeout_ns)
+        self.retry_backoffs_ns.append(txn.timeout_ns)
+        if OBS.proto:
+            OBS.emit_now(
+                "proto",
+                "retry",
+                self.node_id,
+                block,
+                {"attempt": txn.retries, "timeout_ns": txn.timeout_ns},
+            )
         self._issue(block, txn)
 
     def _poison_outstanding(self, block: int) -> None:
@@ -265,6 +292,14 @@ class CacheController:
         txn = self._outstanding.get(block)
         if txn is not None:
             self.poisoned_reissues += 1
+            if OBS.proto:
+                OBS.emit_now(
+                    "proto",
+                    "poison",
+                    self.node_id,
+                    block,
+                    {"stale_seq": txn.seq},
+                )
             self._issue(block, txn)
 
     # ------------------------------------------------------------------
@@ -295,7 +330,7 @@ class CacheController:
                 f"node {self.node_id} received a data response for block "
                 f"0x{block:x} with no outstanding transaction"
             )
-        self._states[block] = new_state
+        self._set_state(block, new_state)
         txn.done_cb()
 
     def _on_get_ro_response(self, msg: Message) -> None:
@@ -313,7 +348,7 @@ class CacheController:
             # copy; the next local read will hit.
             if self.state_of(msg.block) is CacheState.INVALID:
                 self._allocate_slot(msg.block)
-                self._states[msg.block] = CacheState.SHARED
+                self._set_state(msg.block, CacheState.SHARED)
                 self.pushed_blocks_accepted += 1
             return
         if txn is not None and txn.is_write and self.allow_pushed_data:
@@ -362,7 +397,7 @@ class CacheController:
                 f"node {self.node_id} got inval_ro_request for block "
                 f"0x{msg.block:x} in state {state}"
             )
-        self._states[msg.block] = CacheState.INVALID
+        self._set_state(msg.block, CacheState.INVALID)
         self._ack(msg, MessageType.INVAL_RO_RESPONSE)
         self._poison_outstanding(msg.block)
 
@@ -379,7 +414,7 @@ class CacheController:
                 f"node {self.node_id} got inval_rw_request for block "
                 f"0x{msg.block:x} in state {state}"
             )
-        self._states[msg.block] = CacheState.INVALID
+        self._set_state(msg.block, CacheState.INVALID)
         self._ack(msg, MessageType.INVAL_RW_RESPONSE)
         self._poison_outstanding(msg.block)
 
@@ -403,7 +438,7 @@ class CacheController:
                 f"node {self.node_id} got downgrade_request for block "
                 f"0x{msg.block:x} in state {state}"
             )
-        self._states[msg.block] = CacheState.SHARED
+        self._set_state(msg.block, CacheState.SHARED)
         self._ack(msg, MessageType.DOWNGRADE_RESPONSE)
         self._poison_outstanding(msg.block)
 
@@ -442,7 +477,7 @@ class CacheController:
             # both the response and the revision (the originals may be the
             # very messages the network lost).
             if state is CacheState.EXCLUSIVE:
-                self._states[msg.block] = CacheState.SHARED
+                self._set_state(msg.block, CacheState.SHARED)
             else:
                 self.duplicate_invals_acked += 1
             self._respond_forwarded(msg, MessageType.GET_RO_RESPONSE)
@@ -453,7 +488,7 @@ class CacheController:
                 f"node {self.node_id} got fwd_get_ro_request for block "
                 f"0x{msg.block:x} in state {state}"
             )
-        self._states[msg.block] = CacheState.SHARED
+        self._set_state(msg.block, CacheState.SHARED)
         self._respond_forwarded(msg, MessageType.GET_RO_RESPONSE)
 
     def _on_fwd_get_rw_request(self, msg: Message) -> None:
@@ -461,7 +496,7 @@ class CacheController:
         if self._recovery is not None:
             if state is not CacheState.EXCLUSIVE:
                 self.duplicate_invals_acked += 1
-            self._states[msg.block] = CacheState.INVALID
+            self._set_state(msg.block, CacheState.INVALID)
             self._respond_forwarded(msg, MessageType.GET_RW_RESPONSE)
             self._poison_outstanding(msg.block)
             return
@@ -470,7 +505,7 @@ class CacheController:
                 f"node {self.node_id} got fwd_get_rw_request for block "
                 f"0x{msg.block:x} in state {state}"
             )
-        self._states[msg.block] = CacheState.INVALID
+        self._set_state(msg.block, CacheState.INVALID)
         self._respond_forwarded(msg, MessageType.GET_RW_RESPONSE)
 
     _HANDLERS = {

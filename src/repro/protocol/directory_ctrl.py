@@ -31,6 +31,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Deque, Dict, Optional, Set
 
 from ..errors import ProtocolError
+from ..obs.log import OBS
 from .messages import Message, MessageType
 from .recovery import RecoveryConfig, Scheduler
 from .stache import DEFAULT_OPTIONS, StacheOptions
@@ -128,6 +129,9 @@ class DirectoryController:
         self.stale_acks_dropped = 0
         self.duplicate_requests_regranted = 0
         self.duplicate_requests_merged = 0
+        #: Backoff armed by each collection-round retry (ns); folded into
+        #: the ``proto.retry.backoff_ns`` histogram by the machine.
+        self.retry_backoffs_ns: list = []
 
     def entry_of(self, block: int) -> DirEntry:
         """The directory entry for ``block`` (created on first use)."""
@@ -446,7 +450,16 @@ class DirectoryController:
             txn.pending_msg[dst] = msg
             self._send(msg)
             self.inval_retries += 1
+            if OBS.proto:
+                OBS.emit_now(
+                    "proto",
+                    "inval-retry",
+                    self.node_id,
+                    block,
+                    {"dst": dst, "attempt": txn.retries},
+                )
         txn.timeout_ns = self._recovery.next_timeout(txn.timeout_ns)
+        self.retry_backoffs_ns.append(txn.timeout_ns)
         self._arm_timeout(block, txn)
 
     # ------------------------------------------------------------------
@@ -486,6 +499,21 @@ class DirectoryController:
 
     def _finish(self, block: int, txn: _Txn) -> None:
         entry = self.entry_of(block)
+        if OBS.proto:
+            old_state = entry.state
+            new_state = (
+                DirState.EXCLUSIVE
+                if txn.final_owner is not None
+                else DirState.SHARED if txn.final_sharers else DirState.IDLE
+            )
+            if old_state is not new_state:
+                OBS.emit_now(
+                    "proto",
+                    "dir-state",
+                    self.node_id,
+                    block,
+                    {"from": old_state.value, "to": new_state.value},
+                )
         entry.owner = txn.final_owner
         entry.sharers = txn.final_sharers
         if self._options.check_invariants:

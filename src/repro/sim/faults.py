@@ -25,6 +25,7 @@ from dataclasses import dataclass, field, fields
 from typing import Callable, Dict
 
 from ..errors import ConfigError
+from ..obs.log import OBS
 from ..protocol.messages import Message
 from .engine import Engine
 from .metrics import METRICS
@@ -180,14 +181,24 @@ class FaultyNetwork:
         self.fault_counts[name] += 1
         METRICS.inc(f"net.fault.{name}")
 
-    def _delay_for(self) -> int:
+    def _delay_for(self, msg: Message) -> int:
         """One delivery delay: base latency, jitter, maybe a reorder bump."""
         delay = self._latency
         if self.profile.jitter:
             delay += self._rng.randrange(0, self.profile.jitter + 1)
         if self.profile.reorder and self._rng.random() < self.profile.reorder:
-            delay += self._rng.randrange(1, self.profile.window + 1)
+            bump = self._rng.randrange(1, self.profile.window + 1)
+            delay += bump
             self._count("reordered")
+            if OBS.proto:
+                OBS.emit(
+                    self._engine.now,
+                    "net",
+                    "reorder",
+                    msg.src,
+                    msg.block,
+                    {"dst": msg.dst, "extra_ns": bump},
+                )
         return delay
 
     def send(self, msg: Message) -> None:
@@ -196,11 +207,45 @@ class FaultyNetwork:
         self._count("sent")
         if self.profile.drop and self._rng.random() < self.profile.drop:
             self._count("dropped")
+            if OBS.proto:
+                OBS.emit(
+                    self._engine.now,
+                    "net",
+                    "drop",
+                    msg.src,
+                    msg.block,
+                    {"dst": msg.dst, "mtype": msg.mtype.name},
+                )
             return
-        self._engine.schedule(self._delay_for(), self._deliver_one, msg)
+        delay = self._delay_for(msg)
+        if OBS.msg:
+            OBS.emit(
+                self._engine.now,
+                "net",
+                "send",
+                msg.src,
+                msg.block,
+                {
+                    "dst": msg.dst,
+                    "mtype": msg.mtype.name,
+                    "delay_ns": delay,
+                },
+            )
+            METRICS.observe("net.msg.latency_ns", delay)
+        self._engine.schedule(delay, self._deliver_one, msg)
         if self.profile.dup and self._rng.random() < self.profile.dup:
             self._count("duplicated")
-            self._engine.schedule(self._delay_for(), self._deliver_one, msg)
+            dup_delay = self._delay_for(msg)
+            if OBS.proto:
+                OBS.emit(
+                    self._engine.now,
+                    "net",
+                    "dup",
+                    msg.src,
+                    msg.block,
+                    {"dst": msg.dst, "extra_delay_ns": dup_delay},
+                )
+            self._engine.schedule(dup_delay, self._deliver_one, msg)
 
     def _deliver_one(self, msg: Message) -> None:
         self._count("delivered")

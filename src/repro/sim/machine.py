@@ -21,6 +21,7 @@ import random
 from typing import List, Optional, Sequence
 
 from ..errors import ProtocolError, SimulationError
+from ..obs.log import OBS
 from ..protocol.messages import Message, Role
 from ..protocol.recovery import RecoveryConfig
 from ..protocol.stache import DEFAULT_OPTIONS, StacheOptions
@@ -119,6 +120,10 @@ class Machine:
         self.accesses_issued = 0
         #: (latency_ns, was_coherence_miss) per completed shared access.
         self.access_latencies: List[tuple] = []
+        # Give timestamp-less emitters (protocol controllers) a clock.
+        # OBS is process-global, so the most recently built machine owns
+        # it -- fine for the sequential capture runs observability uses.
+        OBS.set_clock(lambda: self.engine.now)
 
     def _make_replacement_hook(self, node_id: int):
         def hook(block: int) -> None:
@@ -131,6 +136,20 @@ class Machine:
     # ------------------------------------------------------------------
 
     def _deliver(self, msg: Message) -> None:
+        if OBS.msg:
+            OBS.emit(
+                self.engine.now,
+                "net",
+                "deliver",
+                msg.dst,
+                msg.block,
+                {
+                    "src": msg.src,
+                    "mtype": msg.mtype.name,
+                    "role": str(msg.role_at_receiver),
+                },
+            )
+            METRICS.observe("sim.queue.depth", self.engine.pending())
         self.collector.record(
             time=self.engine.now,
             node=msg.dst,
@@ -267,6 +286,11 @@ class Machine:
         totals["proto.invariant_checks"] = self.invariant_checks
         for name, value in totals.items():
             METRICS.inc(name, value)
+        for node in self.nodes:
+            for backoff_ns in node.cache.retry_backoffs_ns:
+                METRICS.observe("proto.retry.backoff_ns", backoff_ns)
+            for backoff_ns in node.directory.retry_backoffs_ns:
+                METRICS.observe("proto.retry.backoff_ns", backoff_ns)
 
     # ------------------------------------------------------------------
     # processor model
@@ -378,6 +402,10 @@ class Machine:
         if self.recovery is not None:
             self.assert_quiescent()
             self._fold_fault_metrics()
+        # One end-of-run fold, not a hot-path hook: the access-latency
+        # distribution goes to ``--metrics-json`` even with OBS off.
+        for latency_ns, _was_miss in self.access_latencies:
+            METRICS.observe("sim.access.latency_ns", latency_ns)
         return self.collector
 
 

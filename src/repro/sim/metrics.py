@@ -1,16 +1,26 @@
-"""Lightweight run-time metrics: counters and wall-time timers.
+"""Lightweight run-time metrics: counters, wall-time timers, histograms.
 
 The parallel experiment runner and the on-disk trace cache both need to
 answer "where did the time go?" without dragging in a profiler.  This
 module keeps one process-global :class:`Metrics` registry (``METRICS``)
-of named counters and accumulating timers.  Worker processes each have
-their own registry (they are separate interpreters); the pool ships each
-worker's :meth:`Metrics.snapshot` back with its result and the parent
-folds them together with :meth:`Metrics.merge`, so ``--metrics-json``
-reports totals across every shard.
+of named counters, accumulating timers, and log-bucketed histograms.
+Worker processes each have their own registry (they are separate
+interpreters); the pool ships each worker's :meth:`Metrics.snapshot`
+back with its result and the parent folds them together with
+:meth:`Metrics.merge`, so ``--metrics-json`` reports totals across every
+shard.  All three kinds merge commutatively and associatively -- fold
+order never changes the result (property-tested in
+``tests/sim/test_metrics.py``).
+
+Histograms bucket values by powers of two (bucket ``k`` counts values in
+``(2^(k-1), 2^k]``, with a dedicated bucket for values <= 0), which keeps
+them tiny, mergeable by bucket-wise addition, and honest over the 4+
+decades a latency distribution spans.  Distribution-shaped quantities --
+message latency, queue depth, retry backoff, per-block PHT size -- go
+here; see ``docs/observability.md`` for which sites record what.
 
 Conventions for names: dotted lowercase, ``<layer>.<event>`` --
-``trace.cache.hit``, ``trace.simulate``, ``shard.experiment``.
+``trace.cache.hit``, ``trace.simulate``, ``sim.access.latency_ns``.
 """
 
 from __future__ import annotations
@@ -21,14 +31,108 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Union
 
+#: Top-level snapshot sections; ``dump_metrics_json`` refuses ``extra``
+#: keys that would clobber them.
+RESERVED_KEYS = frozenset({"counters", "timers", "histograms"})
+
+
+def _bucket_of(value: Union[int, float]) -> int:
+    """The histogram bucket index for ``value``.
+
+    Bucket ``k`` (k >= 1) holds values in ``(2^(k-1), 2^k]``; bucket 0
+    holds everything <= 1 (including zero and negatives, which real
+    latency/depth streams produce at the edges).
+    """
+    if value <= 1:
+        return 0
+    return int(value - 1).bit_length()
+
+
+class Histogram:
+    """A log-bucketed (power-of-two) distribution summary."""
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        #: bucket index -> count; sparse.
+        self.buckets: Dict[int, int] = {}
+
+    def observe(self, value: Union[int, float]) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        bucket = _bucket_of(value)
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile: the upper edge of the bucket the
+        rank falls in (exact to within the bucket's factor of two)."""
+        if not self.count:
+            return 0.0
+        rank = max(1, int(q * self.count + 0.5))
+        seen = 0
+        for bucket in sorted(self.buckets):
+            seen += self.buckets[bucket]
+            if seen >= rank:
+                return float(2**bucket) if bucket else 1.0
+        return float(self.max if self.max is not None else 0.0)
+
+    def snapshot(self) -> dict:
+        """JSON-able summary; bucket keys become strings (JSON objects)."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "buckets": {
+                str(bucket): count
+                for bucket, count in sorted(self.buckets.items())
+            },
+        }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold another histogram's :meth:`snapshot` into this one.
+
+        Tolerates partial snapshots the way timer merge tolerates a
+        missing ``count``: absent fields contribute nothing.
+        """
+        self.count += snapshot.get("count", 0)
+        self.total += snapshot.get("sum", 0.0)
+        for edge in ("min", "max"):
+            theirs = snapshot.get(edge)
+            if theirs is None:
+                continue
+            ours = getattr(self, edge)
+            if ours is None:
+                setattr(self, edge, theirs)
+            elif edge == "min":
+                self.min = min(ours, theirs)
+            else:
+                self.max = max(ours, theirs)
+        for bucket, count in snapshot.get("buckets", {}).items():
+            index = int(bucket)
+            self.buckets[index] = self.buckets.get(index, 0) + count
+
 
 class Metrics:
-    """A registry of named counters and accumulating wall-time timers."""
+    """A registry of named counters, timers, and histograms."""
 
     def __init__(self) -> None:
         self._counters: Dict[str, int] = {}
         #: name -> [total_seconds, invocation_count]
         self._timers: Dict[str, List[float]] = {}
+        self._histograms: Dict[str, Histogram] = {}
 
     # ------------------------------------------------------------------
     # recording
@@ -48,12 +152,29 @@ class Metrics:
 
     @contextmanager
     def timer(self, name: str) -> Iterator[None]:
-        """Time a ``with`` block into timer ``name``."""
+        """Time a ``with`` block into timer ``name``.
+
+        A body that raises still records its elapsed time (failed work
+        is not free), but additionally bumps an ``<name>.error`` counter
+        so failed and successful invocations are distinguishable in the
+        snapshot.
+        """
         start = time.perf_counter()
         try:
             yield
+        except BaseException:
+            self.inc(f"{name}.error")
+            raise
         finally:
             self.add_time(name, time.perf_counter() - start)
+
+    def observe(self, name: str, value: Union[int, float]) -> None:
+        """Record one sample into histogram ``name``."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = Histogram()
+            self._histograms[name] = histogram
+        histogram.observe(value)
 
     # ------------------------------------------------------------------
     # reading
@@ -65,15 +186,29 @@ class Metrics:
     def seconds(self, name: str) -> float:
         return self._timers.get(name, [0.0, 0])[0]
 
+    def histogram(self, name: str) -> Optional[Histogram]:
+        return self._histograms.get(name)
+
     def snapshot(self) -> Dict[str, dict]:
-        """A JSON-able copy: counters plus per-timer seconds and count."""
-        return {
+        """A JSON-able copy: counters, timers, and histograms.
+
+        The ``histograms`` key is present only when at least one
+        histogram was recorded, keeping pre-histogram consumers (and
+        old snapshots fed to :meth:`merge`) working unchanged.
+        """
+        snapshot: Dict[str, dict] = {
             "counters": dict(sorted(self._counters.items())),
             "timers": {
                 name: {"seconds": entry[0], "count": entry[1]}
                 for name, entry in sorted(self._timers.items())
             },
         }
+        if self._histograms:
+            snapshot["histograms"] = {
+                name: histogram.snapshot()
+                for name, histogram in sorted(self._histograms.items())
+            }
+        return snapshot
 
     def merge(self, snapshot: Dict[str, dict]) -> None:
         """Fold another registry's :meth:`snapshot` into this one."""
@@ -81,19 +216,41 @@ class Metrics:
             self.inc(name, value)
         for name, entry in snapshot.get("timers", {}).items():
             self.add_time(name, entry["seconds"], entry.get("count", 1))
+        for name, data in snapshot.get("histograms", {}).items():
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = Histogram()
+                self._histograms[name] = histogram
+            histogram.merge(data)
 
     def reset(self) -> None:
         self._counters.clear()
         self._timers.clear()
+        self._histograms.clear()
 
 
 def dump_metrics_json(
     snapshot: Dict[str, dict], path: Union[str, Path], **extra: object
 ) -> None:
-    """Write a metrics snapshot (plus ``extra`` top-level keys) as JSON."""
+    """Write a metrics snapshot (plus ``extra`` top-level keys) as JSON.
+
+    ``extra`` keys that would clobber the snapshot's own sections
+    (:data:`RESERVED_KEYS`) are rejected -- a silent collision would
+    overwrite the very data being dumped.  The output path's parent
+    directories are created as needed.
+    """
+    collisions = RESERVED_KEYS.intersection(extra)
+    if collisions:
+        raise ValueError(
+            f"extra key(s) {sorted(collisions)} collide with metric "
+            "snapshot sections; pick different top-level names"
+        )
     payload = dict(snapshot)
     payload.update(extra)
-    with open(path, "w", encoding="utf-8") as handle:
+    target = Path(path)
+    if str(target.parent) not in ("", "."):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    with open(target, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
 

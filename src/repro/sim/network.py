@@ -13,8 +13,10 @@ from __future__ import annotations
 
 from typing import Callable
 
+from ..obs.log import OBS
 from ..protocol.messages import Message
 from .engine import Engine
+from .metrics import METRICS
 from .params import SystemParams
 
 
@@ -39,4 +41,18 @@ class Network:
     def send(self, msg: Message) -> None:
         """Inject ``msg``; it is delivered ``latency_ns`` later."""
         self.messages_sent += 1
+        if OBS.msg:
+            OBS.emit(
+                self._engine.now,
+                "net",
+                "send",
+                msg.src,
+                msg.block,
+                {
+                    "dst": msg.dst,
+                    "mtype": msg.mtype.name,
+                    "delay_ns": self._latency,
+                },
+            )
+            METRICS.observe("net.msg.latency_ns", self._latency)
         self._engine.schedule(self._latency, self._deliver, msg)

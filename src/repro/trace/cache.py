@@ -31,6 +31,7 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
+from ..obs.manifest import build_manifest
 from ..sim.metrics import METRICS
 from ..sim.params import SystemParams
 from ..protocol.stache import StacheOptions
@@ -153,6 +154,12 @@ class TraceCache:
                 "count": len(events),
                 "sha256": hashlib.sha256(payload).hexdigest(),
                 "descriptor": key.descriptor,
+                # Attribution only: the cache key is derived from the
+                # descriptor alone, so adding/changing the manifest never
+                # invalidates (or fails to invalidate) an entry.
+                "manifest": build_manifest(
+                    "trace-cache-store", digest=key.digest
+                ),
             }
             fd, tmp_name = tempfile.mkstemp(
                 dir=path.parent, prefix=f".{key.digest[:8]}.", suffix=".tmp"

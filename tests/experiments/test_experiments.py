@@ -6,6 +6,7 @@ from repro.experiments import (
     clear_trace_cache,
     get_trace,
     run_figure2,
+    run_mispredict_profile,
     run_figure5,
     run_figure8,
     run_figures6_7,
@@ -117,6 +118,24 @@ class TestFigureExperiments:
         dsi_scores = {s.predictor: s for s in result.scores["dsi-micro"]}
         assert dsi_scores["dsi"].precision > 0.9
         assert dsi_scores["cosmos-d1"].accuracy > dsi_scores["dsi"].accuracy
+
+
+class TestMispredictProfile:
+    def test_structure_and_format(self):
+        result = run_mispredict_profile(apps=("moldyn",), quick=True, top=3)
+        assert set(result.reports) == {"moldyn"}
+        report = result.reports["moldyn"]
+        assert report.total_refs > 0
+        assert len(report.top_patterns(3)) <= 3
+        text = result.format()
+        assert "Misprediction forensics profile" in text
+        assert "moldyn:" in text
+        assert "history pattern" in text
+
+    def test_deterministic_output(self):
+        a = run_mispredict_profile(apps=("moldyn",), quick=True)
+        b = run_mispredict_profile(apps=("moldyn",), quick=True)
+        assert a.format() == b.format()
 
 
 class TestSensitivityAndIntegration:

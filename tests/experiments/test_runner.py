@@ -37,6 +37,37 @@ class TestCLI:
         assert "Depth of MHR" in out
         assert "regenerated" in out
 
+    def test_mispredict_profile_registered(self, capsys):
+        assert "mispredict-profile" in EXPERIMENTS
+        assert main(["--quick", "mispredict-profile"]) == 0
+        out = capsys.readouterr().out
+        assert "Misprediction forensics profile" in out
+        assert "history pattern" in out
+
+
+class TestTraceEvents:
+    def test_trace_events_forces_sequential(self, tmp_path, capsys):
+        import json
+
+        timeline = tmp_path / "timeline.json"
+        code = main(
+            ["figure5", "--jobs", "4", "--trace-events", str(timeline)]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "forcing --sequential" in captured.err
+        assert "timeline events" in captured.out
+        document = json.loads(timeline.read_text())
+        manifest = document["otherData"]["manifest"]
+        assert manifest["command"] == "repro-experiments"
+        assert manifest["experiments"] == ["figure5"]
+
+    def test_obs_disabled_after_run(self, tmp_path):
+        from repro.obs import OBS
+
+        main(["figure5", "--trace-events", str(tmp_path / "tl.json")])
+        assert not OBS.enabled
+
 
 class TestHtmlReport:
     def test_html_written(self, tmp_path, capsys):

@@ -1,0 +1,176 @@
+"""Tests for misprediction forensics (repro.obs.forensics)."""
+
+from repro.core.config import CosmosConfig
+from repro.core.evaluation import evaluate_trace
+from repro.obs.forensics import (
+    MispredictRecord,
+    explain_trace,
+    format_pattern,
+    format_tuple,
+)
+from repro.protocol.messages import MessageType, Role
+from repro.trace.events import TraceEvent
+
+GET_RO = MessageType.GET_RO_REQUEST
+GET_RW = MessageType.GET_RW_REQUEST
+UPGRADE = MessageType.UPGRADE_REQUEST
+
+
+def event(time, node, role, block, sender, mtype, iteration=0):
+    return TraceEvent(
+        time=time,
+        iteration=iteration,
+        node=node,
+        role=role,
+        block=block,
+        sender=sender,
+        mtype=mtype,
+    )
+
+
+def alternating_trace(length=20, block=0x40):
+    """P1 and P2 alternate request types at one directory: after warmup a
+    depth-1 Cosmos predicts this stream perfectly."""
+    events = []
+    for i in range(length):
+        sender = 1 if i % 2 == 0 else 2
+        mtype = GET_RO if i % 2 == 0 else GET_RW
+        events.append(event(i * 10, 0, Role.DIRECTORY, block, sender, mtype))
+    return events
+
+
+def noisy_trace(length=30, block=0x80):
+    """Alternating stream with a periodic intruder that forces misses."""
+    events = alternating_trace(length, block)
+    for i in range(4, length, 5):
+        events[i] = event(i * 10, 0, Role.DIRECTORY, block, 3, UPGRADE)
+    return events
+
+
+class TestFormatting:
+    def test_format_tuple(self):
+        assert format_tuple((3, GET_RO)) == "<P3, get_ro_request>"
+        assert format_tuple(None) == "<none>"
+
+    def test_format_pattern(self):
+        pattern = ((1, GET_RO), (2, GET_RW))
+        assert format_pattern(pattern) == (
+            "<P1, get_ro_request> <P2, get_rw_request>"
+        )
+        assert format_pattern(()) == ""
+
+    def test_record_format_mentions_all_fields(self):
+        record = MispredictRecord(
+            time=50,
+            iteration=2,
+            node=1,
+            role=Role.CACHE,
+            block=0x40,
+            mhr=((1, GET_RO),),
+            predicted=(2, GET_RW),
+            actual=(3, UPGRADE),
+            counter=1,
+        )
+        text = record.format()
+        assert "t=50" in text
+        assert "it=2" in text
+        assert "<P1, get_ro_request>" in text
+        assert "predicted <P2, get_rw_request>" in text
+        assert "actual <P3, upgrade_request>" in text
+        assert "filter=1" in text
+
+
+class TestExplainTrace:
+    def test_counts_match_the_evaluation_harness(self):
+        """The forensic replay scores exactly like evaluate_trace."""
+        events = noisy_trace()
+        config = CosmosConfig(depth=1)
+        report = explain_trace(events, config)
+        result = evaluate_trace(events, config, track_arcs=False)
+        assert report.total_refs == result.overall.refs
+        total_hits = sum(t.hits for t in report.tallies.values())
+        assert total_hits == result.overall.hits
+
+    def test_perfect_stream_has_no_mispredictions(self):
+        report = explain_trace(alternating_trace(), CosmosConfig(depth=1))
+        assert report.total_refs == 20
+        assert report.total_mispredicts == 0
+        assert report.rings == {}
+
+    def test_noisy_stream_captures_records(self):
+        report = explain_trace(noisy_trace(), CosmosConfig(depth=1))
+        assert report.total_mispredicts > 0
+        key = (0, Role.DIRECTORY, 0x80)
+        assert key in report.rings
+        record = report.rings[key][-1]
+        assert record.block == 0x80
+        assert record.predicted != record.actual
+        assert len(record.mhr) == 1  # depth-1 MHR
+
+    def test_capture_ring_is_bounded(self):
+        report = explain_trace(
+            noisy_trace(length=60), CosmosConfig(depth=1), per_block=2
+        )
+        for ring in report.rings.values():
+            assert len(ring) <= 2
+        # ...but the totals still count every misprediction.
+        assert report.total_mispredicts > 2
+
+    def test_blocks_and_modules(self):
+        events = alternating_trace(block=0x40) + alternating_trace(block=0x80)
+        report = explain_trace(events, CosmosConfig(depth=1))
+        assert report.blocks() == [0x40, 0x80]
+        assert report.modules_for(0x40) == [(0, Role.DIRECTORY, 0x40)]
+        assert report.modules_for(0x999) == []
+
+    def test_default_config(self):
+        report = explain_trace(alternating_trace())
+        assert report.config.depth == CosmosConfig().depth
+
+    def test_replay_folds_pht_size_histogram(self):
+        from repro.sim.metrics import METRICS
+
+        before = METRICS.histogram("pred.pht.block_entries")
+        before_count = before.count if before else 0
+        explain_trace(alternating_trace(), CosmosConfig(depth=1))
+        after = METRICS.histogram("pred.pht.block_entries")
+        assert after is not None
+        assert after.count > before_count
+
+
+class TestTopPatterns:
+    def test_ranked_and_deterministic(self):
+        report = explain_trace(noisy_trace(), CosmosConfig(depth=1))
+        rows = report.top_patterns(5)
+        assert rows
+        counts = [row[2] for row in rows]
+        assert counts == sorted(counts, reverse=True)
+        assert rows == report.top_patterns(5)  # stable on re-query
+        for role, pattern, mispredicts, refs in rows:
+            assert role is Role.DIRECTORY
+            assert refs >= mispredicts > 0
+
+    def test_role_filter(self):
+        report = explain_trace(noisy_trace(), CosmosConfig(depth=1))
+        assert report.top_patterns(5, role=Role.CACHE) == []
+        assert report.top_patterns(5, role=Role.DIRECTORY)
+
+
+class TestFormatBlock:
+    def test_known_block(self):
+        report = explain_trace(noisy_trace(), CosmosConfig(depth=1))
+        text = report.format_block(0x80)
+        assert "forensics for block 0x80" in text
+        assert "P0/directory" in text
+        assert "misprediction(s), oldest first" in text
+        assert "predicted" in text and "actual" in text
+
+    def test_last_limits_shown_records(self):
+        report = explain_trace(noisy_trace(length=60), CosmosConfig(depth=1))
+        text = report.format_block(0x80, last=1)
+        assert "last 1 misprediction(s)" in text
+
+    def test_unknown_block(self):
+        report = explain_trace(noisy_trace(), CosmosConfig(depth=1))
+        text = report.format_block(0xDEAD)
+        assert "no module ever received a message" in text

@@ -1,0 +1,158 @@
+"""Tests for the structured event log (repro.obs.log)."""
+
+import pytest
+
+from repro.obs.log import DEFAULT_CAPACITY, LEVELS, OBS, ObsLog
+
+
+class TestConfigure:
+    def test_fresh_log_is_off(self):
+        log = ObsLog()
+        assert not log.enabled
+        assert not log.proto and not log.msg and not log.pred
+        assert log.capacity == DEFAULT_CAPACITY
+        assert len(log) == 0
+
+    def test_level_flags_are_cumulative(self):
+        log = ObsLog()
+        log.configure("proto")
+        assert (log.proto, log.msg, log.pred) == (True, False, False)
+        log.configure("msg")
+        assert (log.proto, log.msg, log.pred) == (True, True, False)
+        log.configure("pred")
+        assert (log.proto, log.msg, log.pred) == (True, True, True)
+
+    def test_full_is_an_alias_for_pred(self):
+        log = ObsLog()
+        log.configure("full")
+        assert log.level == LEVELS["pred"]
+        assert log.pred
+
+    def test_numeric_levels(self):
+        log = ObsLog()
+        log.configure(2)
+        assert log.msg and not log.pred
+
+    def test_level_name_is_normalized(self):
+        log = ObsLog()
+        log.configure("  MSG ")
+        assert log.msg
+
+    def test_unknown_level_name_raises(self):
+        with pytest.raises(ValueError, match="unknown observability level"):
+            ObsLog().configure("verbose")
+
+    def test_unknown_numeric_level_raises(self):
+        with pytest.raises(ValueError):
+            ObsLog().configure(7)
+
+    def test_bad_capacity_raises(self):
+        with pytest.raises(ValueError, match="capacity"):
+            ObsLog().configure("msg", capacity=0)
+
+    def test_reconfigure_clears_ring_and_dropped(self):
+        log = ObsLog()
+        log.configure("msg", capacity=2)
+        log.emit(0, "net", "send", 0, 0x40)
+        log.emit(1, "net", "send", 0, 0x40)
+        log.emit(2, "net", "send", 0, 0x40)
+        assert log.dropped == 1
+        log.configure("msg")
+        assert len(log) == 0
+        assert log.dropped == 0
+
+    def test_disable(self):
+        log = ObsLog()
+        log.configure("full")
+        log.emit(0, "pred", "observe", 1, 0x80)
+        log.disable()
+        assert not log.enabled
+        assert len(log) == 0
+
+
+class TestEmit:
+    def test_emit_stores_plain_tuples(self):
+        log = ObsLog()
+        log.configure("msg")
+        log.emit(5, "net", "send", 3, 0x100, {"dst": 7})
+        assert log.events() == [(5, "net", "send", 3, 0x100, {"dst": 7})]
+
+    def test_args_default_to_none(self):
+        log = ObsLog()
+        log.configure("proto")
+        log.emit(1, "proto", "retry", 0, 0x40)
+        assert log.events()[0][5] is None
+
+    def test_ring_keeps_most_recent_and_counts_drops(self):
+        log = ObsLog()
+        log.configure("msg", capacity=3)
+        for t in range(5):
+            log.emit(t, "net", "send", 0, 0)
+        assert log.dropped == 2
+        assert [event[0] for event in log.events()] == [2, 3, 4]
+
+    def test_clear_keeps_level_and_capacity(self):
+        log = ObsLog()
+        log.configure("msg", capacity=2)
+        log.emit(0, "net", "send", 0, 0)
+        log.emit(1, "net", "send", 0, 0)
+        log.emit(2, "net", "send", 0, 0)
+        log.clear()
+        assert len(log) == 0
+        assert log.dropped == 0
+        assert log.msg
+        assert log.capacity == 2
+
+
+class TestClock:
+    def test_default_clock_is_zero(self):
+        log = ObsLog()
+        assert log.now == 0
+
+    def test_emit_now_uses_installed_clock(self):
+        log = ObsLog()
+        log.configure("proto")
+        ticks = iter([100, 200])
+        log.set_clock(lambda: next(ticks))
+        log.emit_now("proto", "cache-state", 0, 0x40, {"from": "invalid"})
+        log.emit_now("proto", "cache-state", 0, 0x40, {"from": "shared"})
+        assert [event[0] for event in log.events()] == [100, 200]
+
+    def test_set_clock_none_restores_zero(self):
+        log = ObsLog()
+        log.set_clock(lambda: 42)
+        assert log.now == 42
+        log.set_clock(None)
+        assert log.now == 0
+
+
+class TestGlobal:
+    def test_global_log_exists_and_defaults_off(self):
+        assert isinstance(OBS, ObsLog)
+        # Test isolation depends on the global staying off between runs.
+        assert not OBS.enabled
+
+
+class TestLazyPackage:
+    def test_lazy_exports_resolve(self):
+        import repro.obs as obs
+
+        # Only .log is imported eagerly; the rest resolve on first touch.
+        assert obs.OBS is OBS
+        assert callable(obs.export_trace_events)
+        assert callable(obs.explain_trace)
+        assert callable(obs.build_manifest)
+        assert isinstance(obs.OBS_SCHEMA_VERSION, int)
+
+    def test_unknown_attribute_raises(self):
+        import repro.obs as obs
+
+        with pytest.raises(AttributeError):
+            obs.nonexistent_name
+
+    def test_dir_lists_lazy_names(self):
+        import repro.obs as obs
+
+        listing = dir(obs)
+        assert "explain_trace" in listing
+        assert "save_trace_events" in listing

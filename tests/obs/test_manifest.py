@@ -1,0 +1,143 @@
+"""Tests for run manifests and the mini JSON-Schema validator."""
+
+import pytest
+
+from repro._version import __version__
+from repro.obs.manifest import OBS_SCHEMA_VERSION, build_manifest
+from repro.obs.schema import SchemaError, validate
+from repro.sim.params import PAPER_PARAMS
+
+
+class TestBuildManifest:
+    def test_core_fields(self):
+        manifest = build_manifest("repro-trace simulate")
+        assert manifest["schema_version"] == OBS_SCHEMA_VERSION
+        assert manifest["package"] == "repro"
+        assert manifest["package_version"] == __version__
+        assert manifest["command"] == "repro-trace simulate"
+
+    def test_deterministic(self):
+        # No wall-clock, no hostnames: identical inputs, identical output.
+        a = build_manifest("cmd", seed=3, app="moldyn")
+        b = build_manifest("cmd", app="moldyn", seed=3)
+        assert a == b
+
+    def test_none_fields_are_dropped(self):
+        manifest = build_manifest("cmd", fault_profile=None, seed=0)
+        assert "fault_profile" not in manifest
+        assert manifest["seed"] == 0
+
+    def test_fields_are_sorted(self):
+        manifest = build_manifest("cmd", zebra=1, alpha=2)
+        keys = list(manifest)
+        assert keys.index("alpha") < keys.index("zebra")
+
+    def test_dataclasses_flatten_to_sorted_dicts(self):
+        manifest = build_manifest("cmd", params=PAPER_PARAMS)
+        params = manifest["params"]
+        assert isinstance(params, dict)
+        assert list(params) == sorted(params)
+        assert params["n_nodes"] == PAPER_PARAMS.n_nodes
+
+    def test_json_serializable(self):
+        import json
+
+        text = json.dumps(build_manifest("cmd", params=PAPER_PARAMS, seed=1))
+        assert "schema_version" in text
+
+
+class TestValidateTypes:
+    def test_type_match_and_mismatch(self):
+        assert validate(3, {"type": "integer"}) == []
+        assert validate(True, {"type": "integer"})  # bool is not integer
+        assert validate("x", {"type": "integer"})
+        assert validate(3.5, {"type": "number"}) == []
+        assert validate(None, {"type": "null"}) == []
+
+    def test_type_lists(self):
+        schema = {"type": ["integer", "null"]}
+        assert validate(3, schema) == []
+        assert validate(None, schema) == []
+        assert validate("x", schema)
+
+    def test_errors_are_path_prefixed(self):
+        schema = {
+            "type": "object",
+            "properties": {
+                "a": {"type": "array", "items": {"type": "integer"}}
+            },
+        }
+        errors = validate({"a": [1, "two"]}, schema)
+        assert errors == ["$.a[1]: expected type integer, got str"]
+
+
+class TestValidateObjects:
+    def test_required(self):
+        schema = {"type": "object", "required": ["ph", "pid"]}
+        errors = validate({"ph": "i"}, schema)
+        assert errors == ["$: missing required property 'pid'"]
+
+    def test_additional_properties_false(self):
+        schema = {
+            "type": "object",
+            "properties": {"a": {"type": "integer"}},
+            "additionalProperties": False,
+        }
+        assert validate({"a": 1}, schema) == []
+        assert validate({"a": 1, "b": 2}, schema) == [
+            "$: unexpected property 'b'"
+        ]
+
+    def test_additional_properties_schema(self):
+        schema = {
+            "type": "object",
+            "additionalProperties": {"type": "integer"},
+        }
+        assert validate({"x": 1}, schema) == []
+        assert validate({"x": "s"}, schema)
+
+    def test_enum_and_minimum(self):
+        assert validate("i", {"enum": ["M", "i", "X"]}) == []
+        assert validate("Q", {"enum": ["M", "i", "X"]})
+        assert validate(5, {"type": "integer", "minimum": 0}) == []
+        assert validate(-1, {"type": "integer", "minimum": 0})
+
+    def test_min_items(self):
+        schema = {"type": "array", "minItems": 1}
+        assert validate([], schema)
+        assert validate([1], schema) == []
+
+
+class TestValidateRefs:
+    def test_local_ref_resolution(self):
+        schema = {
+            "$defs": {"count": {"type": "integer", "minimum": 0}},
+            "type": "object",
+            "properties": {"n": {"$ref": "#/$defs/count"}},
+        }
+        assert validate({"n": 3}, schema) == []
+        assert validate({"n": -1}, schema) == ["$.n: -1 is below minimum 0"]
+
+    def test_remote_ref_raises(self):
+        with pytest.raises(SchemaError, match="only local"):
+            validate({}, {"$ref": "https://example.com/schema"})
+
+    def test_unresolvable_ref_raises(self):
+        with pytest.raises(SchemaError, match="unresolvable"):
+            validate({}, {"$defs": {}, "$ref": "#/$defs/missing"})
+
+
+class TestSchemaStrictness:
+    def test_unsupported_keyword_raises(self):
+        # An unknown keyword must not silently pass as "valid".
+        with pytest.raises(SchemaError, match="unsupported keyword"):
+            validate(3, {"type": "integer", "multipleOf": 2})
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(SchemaError, match="unknown type"):
+            validate(3, {"type": "decimal"})
+
+    def test_error_count_is_bounded(self):
+        schema = {"type": "array", "items": {"type": "integer"}}
+        errors = validate(["x"] * 200, schema)
+        assert len(errors) <= 50

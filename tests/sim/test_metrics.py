@@ -2,7 +2,18 @@
 
 import json
 
-from repro.sim.metrics import METRICS, Metrics, dump_metrics_json
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.metrics import (
+    METRICS,
+    RESERVED_KEYS,
+    Histogram,
+    Metrics,
+    dump_metrics_json,
+    _bucket_of,
+)
 
 
 class TestCounters:
@@ -36,6 +47,24 @@ class TestTimers:
             pass
         assert metrics.snapshot()["timers"]["t"]["count"] == 1
 
+    def test_timer_counts_errors(self):
+        """A raising body bumps ``<name>.error`` so failures are visible."""
+        metrics = Metrics()
+        with metrics.timer("t"):
+            pass
+        with pytest.raises(ValueError):
+            with metrics.timer("t"):
+                raise ValueError("boom")
+        assert metrics.counter("t.error") == 1
+        assert metrics.snapshot()["timers"]["t"]["count"] == 2
+
+    def test_timer_error_counter_absent_on_success(self):
+        metrics = Metrics()
+        with metrics.timer("t"):
+            pass
+        assert metrics.counter("t.error") == 0
+        assert "t.error" not in metrics.snapshot()["counters"]
+
     def test_add_time_direct(self):
         metrics = Metrics()
         metrics.add_time("t", 1.5)
@@ -68,12 +97,185 @@ class TestSnapshotMerge:
         metrics.merge({})
         assert metrics.snapshot() == {"counters": {}, "timers": {}}
 
+    def test_merge_timer_missing_count_defaults_to_one(self):
+        metrics = Metrics()
+        metrics.merge({"timers": {"t": {"seconds": 2.0}}})
+        snap = metrics.snapshot()["timers"]["t"]
+        assert snap["seconds"] == 2.0
+        assert snap["count"] == 1
+
+    def test_merge_overlapping_timer_names(self):
+        parent, worker = Metrics(), Metrics()
+        parent.add_time("t", 1.0, count=2)
+        worker.add_time("t", 3.0, count=4)
+        parent.merge(worker.snapshot())
+        snap = parent.snapshot()["timers"]["t"]
+        assert snap["seconds"] == 4.0
+        assert snap["count"] == 6
+
+    def test_merge_is_commutative_for_counters(self):
+        a, b = Metrics(), Metrics()
+        a.inc("x", 2)
+        b.inc("x", 3)
+        b.inc("y", 1)
+        ab, ba = Metrics(), Metrics()
+        ab.merge(a.snapshot())
+        ab.merge(b.snapshot())
+        ba.merge(b.snapshot())
+        ba.merge(a.snapshot())
+        assert ab.snapshot() == ba.snapshot()
+
     def test_reset(self):
         metrics = Metrics()
         metrics.inc("a")
         metrics.add_time("t", 1.0)
         metrics.reset()
         assert metrics.snapshot() == {"counters": {}, "timers": {}}
+
+
+class TestHistograms:
+    def test_bucket_edges(self):
+        # Bucket k holds (2^(k-1), 2^k]; bucket 0 holds <= 1.
+        assert _bucket_of(-5) == 0
+        assert _bucket_of(0) == 0
+        assert _bucket_of(1) == 0
+        assert _bucket_of(2) == 1
+        assert _bucket_of(3) == 2
+        assert _bucket_of(4) == 2
+        assert _bucket_of(5) == 3
+        assert _bucket_of(1024) == 10
+        assert _bucket_of(1025) == 11
+
+    def test_observe_and_stats(self):
+        hist = Histogram()
+        for value in (1, 2, 4, 100):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.total == 107
+        assert hist.min == 1
+        assert hist.max == 100
+        assert hist.mean == 107 / 4
+
+    def test_quantile_upper_edge(self):
+        hist = Histogram()
+        for value in (3, 3, 3, 100):
+            hist.observe(value)
+        # Median lands in the bucket containing 3 -> upper edge 4.
+        assert hist.quantile(0.5) == 4.0
+        assert hist.quantile(1.0) == 128.0
+
+    def test_empty_histogram(self):
+        hist = Histogram()
+        assert hist.mean == 0.0
+        assert hist.quantile(0.5) == 0.0
+        snap = hist.snapshot()
+        assert snap == {
+            "count": 0, "sum": 0.0, "min": None, "max": None, "buckets": {},
+        }
+
+    def test_snapshot_keys_are_strings(self):
+        hist = Histogram()
+        hist.observe(5)
+        snap = hist.snapshot()
+        assert list(snap["buckets"]) == ["3"]
+        assert snap["buckets"]["3"] == 1
+
+    def test_merge_folds_buckets_and_edges(self):
+        left, right = Histogram(), Histogram()
+        left.observe(2)
+        right.observe(2)
+        right.observe(1000)
+        left.merge(right.snapshot())
+        assert left.count == 3
+        assert left.min == 2
+        assert left.max == 1000
+        assert left.buckets[_bucket_of(2)] == 2
+
+    def test_merge_partial_snapshot(self):
+        hist = Histogram()
+        hist.observe(4)
+        hist.merge({})  # absent fields contribute nothing
+        assert hist.count == 1 and hist.min == 4 and hist.max == 4
+
+    def test_metrics_observe_and_snapshot(self):
+        metrics = Metrics()
+        assert metrics.histogram("h") is None
+        metrics.observe("h", 3)
+        metrics.observe("h", 7)
+        snap = metrics.snapshot()
+        assert snap["histograms"]["h"]["count"] == 2
+        assert metrics.histogram("h").count == 2
+
+    def test_snapshot_omits_histograms_key_when_empty(self):
+        metrics = Metrics()
+        metrics.inc("a")
+        assert "histograms" not in metrics.snapshot()
+
+    def test_merge_histograms_across_registries(self):
+        parent, worker = Metrics(), Metrics()
+        parent.observe("h", 1)
+        worker.observe("h", 100)
+        worker.observe("other", 5)
+        parent.merge(worker.snapshot())
+        assert parent.histogram("h").count == 2
+        assert parent.histogram("h").max == 100
+        assert parent.histogram("other").count == 1
+
+    @given(
+        st.lists(
+            st.lists(
+                st.one_of(
+                    st.integers(min_value=-10, max_value=10**9),
+                    st.floats(
+                        min_value=-10.0,
+                        max_value=1e9,
+                        allow_nan=False,
+                        allow_infinity=False,
+                    ),
+                ),
+                max_size=20,
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_merge_order_independent(self, shards):
+        """Folding shard snapshots in any order gives the same result."""
+        snapshots = []
+        for shard in shards:
+            hist = Histogram()
+            for value in shard:
+                hist.observe(value)
+            snapshots.append(hist.snapshot())
+
+        def assert_equivalent(left: dict, right: dict) -> None:
+            # Float addition is order-sensitive in the last bits, so the
+            # running sum is compared with tolerance; counts, buckets,
+            # and edges must match exactly.
+            assert left["count"] == right["count"]
+            assert left["min"] == right["min"]
+            assert left["max"] == right["max"]
+            assert left["buckets"] == right["buckets"]
+            assert left["sum"] == pytest.approx(right["sum"])
+
+        forward, backward = Histogram(), Histogram()
+        for snap in snapshots:
+            forward.merge(snap)
+        for snap in reversed(snapshots):
+            backward.merge(snap)
+        assert_equivalent(forward.snapshot(), backward.snapshot())
+
+        # Associativity: pre-fold a pair, then fold the rest.
+        if len(snapshots) >= 2:
+            paired = Histogram()
+            paired.merge(snapshots[0])
+            paired.merge(snapshots[1])
+            grouped = Histogram()
+            grouped.merge(paired.snapshot())
+            for snap in snapshots[2:]:
+                grouped.merge(snap)
+            assert_equivalent(grouped.snapshot(), forward.snapshot())
 
 
 class TestDump:
@@ -86,6 +288,32 @@ class TestDump:
         assert data["counters"]["runs"] == 1
         assert data["jobs"] == 4
         assert data["shards"] == []
+
+    def test_dump_rejects_reserved_extra_keys(self, tmp_path):
+        path = tmp_path / "m.json"
+        with pytest.raises(ValueError, match="counters"):
+            dump_metrics_json(Metrics().snapshot(), path, counters={})
+        assert not path.exists()
+
+    def test_dump_rejects_all_reserved_keys(self, tmp_path):
+        for key in RESERVED_KEYS:
+            with pytest.raises(ValueError):
+                dump_metrics_json(
+                    Metrics().snapshot(), tmp_path / "m.json", **{key: 1}
+                )
+
+    def test_dump_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "m.json"
+        dump_metrics_json(Metrics().snapshot(), path)
+        assert json.loads(path.read_text())["counters"] == {}
+
+    def test_dump_includes_histograms(self, tmp_path):
+        metrics = Metrics()
+        metrics.observe("h", 9)
+        path = tmp_path / "m.json"
+        dump_metrics_json(metrics.snapshot(), path)
+        data = json.loads(path.read_text())
+        assert data["histograms"]["h"]["count"] == 1
 
     def test_global_registry_exists(self):
         assert isinstance(METRICS, Metrics)
@@ -106,3 +334,15 @@ class TestFormatMetrics:
         from repro.analysis.report import format_metrics
 
         assert "no metrics" in format_metrics({})
+
+    def test_format_metrics_renders_histograms(self):
+        from repro.analysis.report import format_metrics
+
+        metrics = Metrics()
+        metrics.observe("net.msg.latency_ns", 80)
+        metrics.observe("net.msg.latency_ns", 80)
+        text = format_metrics(metrics.snapshot())
+        assert "Histograms" in text
+        assert "net.msg.latency_ns" in text
+        # Two samples in the (64, 128] bucket render as "128:2".
+        assert "128:2" in text

@@ -73,6 +73,95 @@ class TestEvaluate:
         assert "error" in capsys.readouterr().err
 
 
+class TestTraceEvents:
+    def test_simulate_exports_valid_timeline(self, tmp_path, capsys):
+        import json
+        from pathlib import Path
+
+        from repro.obs.schema import load_schema, validate
+
+        trace = tmp_path / "t.jsonl"
+        timeline = tmp_path / "timeline.json"
+        code = main(
+            ["simulate", "moldyn", "-o", str(trace), "--iterations", "2",
+             "--trace-events", str(timeline), "--obs-level", "full"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "timeline events" in out
+        document = json.loads(timeline.read_text())
+        assert document["otherData"]["events"] > 0
+        manifest = document["otherData"]["manifest"]
+        assert manifest["command"] == "repro-trace simulate"
+        assert manifest["app"] == "moldyn"
+        assert manifest["obs_level"] == "full"
+        schema = load_schema(
+            Path(__file__).resolve().parents[1]
+            / "docs" / "trace_event.schema.json"
+        )
+        assert validate(document, schema) == []
+
+    def test_obs_disabled_after_run(self, tmp_path):
+        from repro.obs import OBS
+
+        main(
+            ["simulate", "moldyn", "-o", str(tmp_path / "t.jsonl"),
+             "--iterations", "2", "--trace-events",
+             str(tmp_path / "tl.json")]
+        )
+        assert not OBS.enabled
+        assert len(OBS) == 0
+
+    def test_metrics_json_has_manifest_and_histograms(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        metrics = tmp_path / "m.json"
+        code = main(
+            ["--metrics-json", str(metrics), "simulate", "moldyn",
+             "-o", str(tmp_path / "t.jsonl"), "--iterations", "2"]
+        )
+        assert code == 0
+        data = json.loads(metrics.read_text())
+        assert data["manifest"]["command"] == "repro-trace simulate"
+        # Always-on end-of-run folds record these without any obs level.
+        assert data["histograms"]["sim.access.latency_ns"]["count"] > 0
+
+
+class TestExplain:
+    def test_summary_ranking(self, trace_file, capsys):
+        assert main(["explain", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "mispredictions in" in out
+        assert "Worst (module, block) pairs" in out
+        assert "History patterns ranked by mispredictions" in out
+        assert "--block" in out  # the hint line
+
+    def test_block_forensics(self, trace_file, capsys):
+        assert main(["explain", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        # Grab a block address from the ranking table and drill into it.
+        import re
+
+        match = re.search(r"0x[0-9a-f]+", out)
+        assert match
+        block = match.group(0)
+        assert main(["explain", str(trace_file), "--block", block]) == 0
+        out = capsys.readouterr().out
+        assert f"forensics for block {block}" in out
+
+    def test_unknown_block_is_reported(self, trace_file, capsys):
+        assert (
+            main(["explain", str(trace_file), "--block", "0xdeadbeef"]) == 0
+        )
+        assert "no module ever received" in capsys.readouterr().out
+
+    def test_bad_block_address(self, trace_file, capsys):
+        assert main(["explain", str(trace_file), "--block", "zap"]) == 1
+        assert "bad block address" in capsys.readouterr().err
+
+
 class TestInfo:
     def test_traffic_summary(self, trace_file, capsys):
         assert main(["info", str(trace_file)]) == 0

@@ -42,6 +42,7 @@ class TestPublicAPI:
         import repro.analysis
         import repro.core
         import repro.experiments
+        import repro.obs
         import repro.predictors
         import repro.protocol
         import repro.sim
