@@ -1,0 +1,117 @@
+"""Benchmark: checkpointing overhead and watchdog guard cost.
+
+The robustness bar: checkpointing at the documented cadence (every
+~half-run for a paper-scale workload; see docs/robustness.md) must spend
+at most 5% of wall time inside the checkpoint machinery, and an armed
+watchdog's chunked engine driving must be indistinguishable from
+``engine.run()``.
+
+The checkpoint guard is computed from the run's own
+``checkpoint.capture`` / ``checkpoint.save`` timers divided by the
+run's wall time -- a same-run ratio, immune to the cross-run variance
+that makes wall-to-wall comparisons of second-long runs flaky in CI.
+The watchdog guard compares wall times (there is no timer: the guard's
+entire point is costing nothing) with best-of-N timing and a noise
+allowance.
+"""
+
+import time
+
+from conftest import SEED
+
+from repro.experiments.common import iterations_for, workload_for
+from repro.sim.checkpoint import simulate_with_checkpoints
+from repro.sim.machine import simulate
+from repro.sim.metrics import METRICS
+from repro.sim.watchdog import DEFAULT_WATCHDOG, Watchdog
+
+APP = "moldyn"
+#: The documented paper-scale cadence: a couple of checkpoints per run,
+#: each costing tens of milliseconds against seconds of simulation.
+EVERY = 30
+MAX_OVERHEAD = 0.05
+ROUNDS = 3
+
+
+def test_checkpoint_overhead(benchmark, tmp_path):
+    workload = workload_for(APP, quick=False)
+    iterations = iterations_for(APP, quick=False)
+    plain = simulate(workload, iterations=iterations, seed=SEED)
+
+    METRICS.reset()
+
+    def checkpointed():
+        start = time.perf_counter()
+        collector = simulate_with_checkpoints(
+            workload,
+            iterations=iterations,
+            seed=SEED,
+            checkpoint_dir=tmp_path,
+            every=EVERY,
+        )
+        return time.perf_counter() - start, collector
+
+    wall_s, collector = benchmark.pedantic(
+        checkpointed, rounds=1, iterations=1
+    )
+    assert list(collector.events) == list(plain.events)
+
+    timers = METRICS.snapshot()["timers"]
+    spent = sum(
+        timers.get(name, {}).get("seconds", 0.0)
+        for name in ("checkpoint.capture", "checkpoint.save")
+    )
+    saves = timers.get("checkpoint.save", {}).get("count", 0)
+    assert saves == iterations // EVERY
+    overhead = spent / wall_s
+    benchmark.extra_info["wall_s"] = round(wall_s, 4)
+    benchmark.extra_info["checkpoint_s"] = round(spent, 4)
+    benchmark.extra_info["checkpoints"] = saves
+    benchmark.extra_info["overhead_pct"] = round(100 * overhead, 2)
+    assert overhead <= MAX_OVERHEAD, (
+        f"checkpoint machinery took {100 * overhead:.1f}% of the run "
+        f"({spent:.3f}s of {wall_s:.3f}s across {saves} checkpoints; "
+        f"budget {100 * MAX_OVERHEAD:.0f}% at every={EVERY})"
+    )
+
+
+def test_watchdog_overhead(benchmark):
+    workload = workload_for(APP, quick=True)
+    iterations = iterations_for(APP, quick=True)
+
+    def best_of(fn):
+        best = float("inf")
+        result = None
+        for _ in range(ROUNDS):
+            start = time.perf_counter()
+            result = fn()
+            best = min(best, time.perf_counter() - start)
+        return best, result
+
+    plain_s, plain = best_of(
+        lambda: simulate(workload, iterations=iterations, seed=SEED)
+    )
+    guarded_s, guarded = benchmark.pedantic(
+        lambda: best_of(
+            lambda: simulate(
+                workload,
+                iterations=iterations,
+                seed=SEED,
+                watchdog=Watchdog(DEFAULT_WATCHDOG),
+            )
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert list(guarded.events) == list(plain.events)
+
+    overhead = guarded_s / plain_s - 1.0
+    benchmark.extra_info["plain_s"] = round(plain_s, 4)
+    benchmark.extra_info["guarded_s"] = round(guarded_s, 4)
+    benchmark.extra_info["overhead_pct"] = round(100 * overhead, 2)
+    # Allowance is 3x the budget: the runs are ~100ms and CI timing
+    # noise alone exceeds 5%; the watchdog's real cost is ~0%.
+    assert overhead <= MAX_OVERHEAD * 3, (
+        f"watchdog guard cost {100 * overhead:.1f}% "
+        f"(allowance {100 * MAX_OVERHEAD * 3:.0f}%)"
+    )

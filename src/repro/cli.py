@@ -4,6 +4,8 @@ Subcommands::
 
     repro-trace simulate appbt -o appbt.jsonl --iterations 40 --seed 1
     repro-trace simulate appbt -o appbt.jsonl --trace-events appbt_timeline.json
+    repro-trace simulate appbt -o appbt.jsonl --checkpoint-dir ckpts/
+    repro-trace resume ckpts/checkpoint-0020.ckpt -o appbt.jsonl
     repro-trace evaluate appbt.jsonl --depth 2 --filter 1
     repro-trace explain appbt.jsonl --block 0x12340 --last 4
     repro-trace info appbt.jsonl
@@ -17,6 +19,12 @@ event log during simulation and exports it as Chrome trace-event /
 Perfetto JSON (load it at https://ui.perfetto.dev); ``explain`` replays
 a saved trace with misprediction forensics (see
 ``docs/observability.md``).
+
+``--checkpoint-dir`` snapshots the whole machine at iteration
+boundaries (versioned, checksummed files -- see ``docs/robustness.md``)
+and ``resume`` finishes an interrupted simulation from one, producing a
+byte-identical trace.  ``--watchdog`` guards a run against livelock:
+instead of hanging, a stuck phase aborts with a forensic bundle.
 """
 
 from __future__ import annotations
@@ -31,8 +39,11 @@ from .analysis.report import render_table
 from .analysis.signatures import extract_signatures
 from .analysis.traffic import summarize_traffic
 from .core.config import CosmosConfig
+from .core.corruption import CorruptionInjector, CorruptionProfile
 from .core.evaluation import evaluate_trace
+from .core.predictor import CosmosPredictor
 from .errors import ReproError
+from .ioutil import atomic_write_text
 from .obs import (
     OBS,
     build_manifest,
@@ -44,15 +55,45 @@ from .obs import (
 )
 from .protocol.messages import Role
 from .protocol.stache import StacheOptions
+from .sim.checkpoint import resume_simulation, simulate_with_checkpoints
 from .sim.faults import PRESETS, FaultProfile
 from .sim.machine import simulate
 from .sim.metrics import METRICS, dump_metrics_json
 from .sim.params import PAPER_PARAMS
+from .sim.watchdog import DEFAULT_WATCHDOG, Watchdog, WatchdogConfig
 from .trace.io import load_trace, save_trace
 from .workloads.registry import BENCHMARK_NAMES, make_workload
 
 #: Observability levels selectable from the command line.
 OBS_LEVEL_CHOICES = ("proto", "msg", "pred", "full")
+
+
+def _watchdog_from_args(args: argparse.Namespace) -> Optional[Watchdog]:
+    """Build the run's watchdog (``None`` when not requested).
+
+    ``--watchdog-bundle`` implies ``--watchdog``: asking where to write
+    the forensics is asking for the forensics.
+    """
+    if not (args.watchdog or args.watchdog_bundle is not None):
+        return None
+    config = DEFAULT_WATCHDOG
+    if (
+        args.watchdog_seconds is not None
+        or args.watchdog_events is not None
+    ):
+        config = WatchdogConfig(
+            wall_clock_s=(
+                args.watchdog_seconds
+                if args.watchdog_seconds is not None
+                else DEFAULT_WATCHDOG.wall_clock_s
+            ),
+            max_events=(
+                args.watchdog_events
+                if args.watchdog_events is not None
+                else DEFAULT_WATCHDOG.max_events
+            ),
+        )
+    return Watchdog(config, bundle_path=args.watchdog_bundle)
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -66,26 +107,64 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         profile = FaultProfile.parse(args.fault_profile)
         if profile.is_active:
             faults = profile
+    watchdog = _watchdog_from_args(args)
     if args.trace_events:
         OBS.configure(args.obs_level)
     try:
         with METRICS.timer("trace.simulate"):
-            collector = simulate(
-                workload,
-                iterations=args.iterations,
-                seed=args.seed,
-                options=options,
-                faults=faults,
-                fault_seed=args.fault_seed,
-            )
+            if args.checkpoint_dir is not None:
+                collector = simulate_with_checkpoints(
+                    workload,
+                    iterations=args.iterations,
+                    seed=args.seed,
+                    options=options,
+                    faults=faults,
+                    fault_seed=args.fault_seed,
+                    checkpoint_dir=args.checkpoint_dir,
+                    every=args.checkpoint_every,
+                    watchdog=watchdog,
+                )
+            else:
+                collector = simulate(
+                    workload,
+                    iterations=args.iterations,
+                    seed=args.seed,
+                    options=options,
+                    faults=faults,
+                    fault_seed=args.fault_seed,
+                    watchdog=watchdog,
+                )
         METRICS.inc("trace.simulated")
         count = save_trace(collector.events, args.output)
         print(f"wrote {count} events to {args.output}")
+        if args.checkpoint_dir is not None:
+            print(f"checkpoints written under {args.checkpoint_dir}")
         if args.trace_events:
             _export_timeline(args)
     finally:
         if args.trace_events:
             OBS.disable()
+    return 0
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    """Finish a simulation from a checkpoint file.
+
+    The checkpoint carries its own configuration (workload, options,
+    fault profile, RNG streams), so nothing needs re-specifying; the
+    resulting trace is byte-identical to an uninterrupted run's.
+    """
+    watchdog = _watchdog_from_args(args)
+    with METRICS.timer("trace.resume"):
+        collector = resume_simulation(
+            args.checkpoint,
+            checkpoint_dir=args.checkpoint_dir,
+            every=args.checkpoint_every,
+            watchdog=watchdog,
+        )
+    count = save_trace(collector.events, args.output)
+    print(f"resumed from {args.checkpoint}")
+    print(f"wrote {count} events to {args.output}")
     return 0
 
 
@@ -127,7 +206,34 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         filter_max_count=args.filter,
         macroblock_bytes=args.macroblock,
     )
-    result = evaluate_trace(events, config, track_arcs=False)
+    corruption = None
+    if args.corrupt is not None:
+        corruption = CorruptionProfile.from_faults(
+            FaultProfile.parse(args.corrupt)
+        )
+        if corruption is None:
+            raise ReproError(
+                "--corrupt needs a flip= and/or loss= rate, e.g. "
+                "'flip=0.01,loss=0.002'"
+            )
+    created: List[CosmosPredictor] = []
+    if corruption is not None:
+        # One independent error stream per predictor module, seeded in
+        # first-reference order (deterministic: the trace fixes it).
+        def factory() -> CosmosPredictor:
+            injector = CorruptionInjector(
+                corruption,
+                seed=args.corrupt_seed * 1_000_003 + len(created),
+            )
+            predictor = CosmosPredictor(config, corruption=injector)
+            created.append(predictor)
+            return predictor
+
+        result = evaluate_trace(
+            events, config, predictor_factory=factory, track_arcs=False
+        )
+    else:
+        result = evaluate_trace(events, config, track_arcs=False)
     print(f"{config.describe()} over {len(events)} events:")
     print(f"  cache     {result.cache_accuracy:7.1%}")
     print(f"  directory {result.directory_accuracy:7.1%}")
@@ -137,6 +243,14 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
             f"  memory    ratio {result.overhead.ratio:.1f}, "
             f"{result.overhead.overhead_percent:.1f}% of a "
             f"{config.block_bytes}-byte block"
+        )
+    if created:
+        flips = sum(p.corrupt_flips for p in created)
+        losses = sum(p.corrupt_losses for p in created)
+        detected = sum(p.corrupt_detected for p in created)
+        print(
+            f"  corruption: {flips} bit flips, {losses} entry losses "
+            f"injected; {detected} caught by parity and relearned"
         )
     return 0
 
@@ -229,12 +343,70 @@ def _cmd_dot(args: argparse.Namespace) -> int:
         arcs, role, signature=signature, title=f"{args.trace} ({args.role})"
     )
     if args.output:
-        with open(args.output, "w", encoding="utf-8") as handle:
-            handle.write(dot + "\n")
+        atomic_write_text(args.output, dot + "\n")
         print(f"wrote {args.output}")
     else:
         print(dot)
     return 0
+
+
+def _add_checkpoint_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "write a checksummed machine checkpoint under DIR at "
+            "iteration boundaries; resume one with 'repro-trace resume'"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="checkpoint every N iterations (default 1)",
+    )
+
+
+def _add_watchdog_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--watchdog",
+        action="store_true",
+        help=(
+            "guard the run against livelock/deadlock: abort with a "
+            "forensic bundle instead of hanging"
+        ),
+    )
+    parser.add_argument(
+        "--watchdog-bundle",
+        metavar="PATH",
+        default=None,
+        help=(
+            "also write the forensic bundle as JSON to PATH when the "
+            "watchdog trips (implies --watchdog)"
+        ),
+    )
+    parser.add_argument(
+        "--watchdog-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help=(
+            "wall-clock budget per simulation phase (default "
+            f"{DEFAULT_WATCHDOG.wall_clock_s:g}s)"
+        ),
+    )
+    parser.add_argument(
+        "--watchdog-events",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "event budget per simulation phase (default "
+            f"{DEFAULT_WATCHDOG.max_events})"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -299,7 +471,19 @@ def build_parser() -> argparse.ArgumentParser:
             "(+ predictor events); default msg"
         ),
     )
+    _add_checkpoint_options(sim)
+    _add_watchdog_options(sim)
     sim.set_defaults(func=_cmd_simulate)
+
+    res = sub.add_parser(
+        "resume",
+        help="finish an interrupted simulation from a checkpoint file",
+    )
+    res.add_argument("checkpoint", help="a checkpoint-NNNN.ckpt file")
+    res.add_argument("-o", "--output", required=True)
+    _add_checkpoint_options(res)
+    _add_watchdog_options(res)
+    res.set_defaults(func=_cmd_resume)
 
     ev = sub.add_parser("evaluate", help="score Cosmos on a saved trace")
     ev.add_argument("trace")
@@ -308,6 +492,22 @@ def build_parser() -> argparse.ArgumentParser:
                     help="noise-filter saturating-counter maximum")
     ev.add_argument("--macroblock", type=int, default=None,
                     help="group blocks into macroblocks of this many bytes")
+    ev.add_argument(
+        "--corrupt",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "inject seeded predictor-SRAM soft errors during the "
+            "replay: 'flip=0.01,loss=0.002' (per-observation rates); "
+            "parity-protected entries are dropped and relearned"
+        ),
+    )
+    ev.add_argument(
+        "--corrupt-seed",
+        type=int,
+        default=0,
+        help="seed for the corruption-injection RNG (default 0)",
+    )
     ev.set_defaults(func=_cmd_evaluate)
 
     exp = sub.add_parser(

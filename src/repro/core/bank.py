@@ -14,6 +14,7 @@ from typing import Dict, Iterator, Optional, Tuple
 from ..protocol.messages import Role
 from ..trace.events import TraceEvent
 from .config import CosmosConfig
+from .corruption import CorruptionInjector, CorruptionProfile
 from .predictor import CosmosPredictor, Observation
 
 
@@ -24,9 +25,16 @@ class PredictorBank:
         self,
         config: Optional[CosmosConfig] = None,
         share_roles: bool = False,
+        corruption: Optional[CorruptionProfile] = None,
+        corruption_seed: int = 0,
     ) -> None:
         self.config = config if config is not None else CosmosConfig()
         self.share_roles = share_roles
+        self.corruption = (
+            corruption if corruption is not None and corruption.is_active
+            else None
+        )
+        self.corruption_seed = corruption_seed
         self._predictors: Dict[Tuple[int, Role], CosmosPredictor] = {}
 
     def _key(self, node: int, role: Role) -> Tuple[int, Role]:
@@ -34,12 +42,32 @@ class PredictorBank:
             return (node, Role.CACHE)  # canonical key for the merged bank
         return (node, role)
 
+    def _injector_for(self, key: Tuple[int, Role]) -> CorruptionInjector:
+        """One deterministic, independent error stream per module.
+
+        The seed mixes the bank seed with the module identity (not the
+        creation order), so a module's error sequence is stable no
+        matter which modules a trace happens to touch first.
+        """
+        node, role = key
+        seed = (
+            self.corruption_seed * 1_000_003
+            + node * 16
+            + (0 if role is Role.CACHE else 1)
+        )
+        return CorruptionInjector(self.corruption, seed)
+
     def predictor_for(self, node: int, role: Role) -> CosmosPredictor:
         """The predictor attached to the given module (created on demand)."""
         key = self._key(node, role)
         predictor = self._predictors.get(key)
         if predictor is None:
-            predictor = CosmosPredictor(self.config)
+            injector = (
+                self._injector_for(key)
+                if self.corruption is not None
+                else None
+            )
+            predictor = CosmosPredictor(self.config, corruption=injector)
             self._predictors[key] = predictor
         return predictor
 
@@ -63,3 +91,46 @@ class PredictorBank:
     def pht_entries(self) -> int:
         """Machine-wide PHT entry count (Table 7 numerator)."""
         return sum(p.pht_entries for p in self._predictors.values())
+
+    @property
+    def corrupt_injected(self) -> int:
+        """Machine-wide injected corruption events (flips + losses)."""
+        return sum(
+            p.corrupt_flips + p.corrupt_losses
+            for p in self._predictors.values()
+        )
+
+    @property
+    def corrupt_detected(self) -> int:
+        """Machine-wide parity-detected (and dropped) corrupt entries."""
+        return sum(p.corrupt_detected for p in self._predictors.values())
+
+    # ------------------------------------------------------------------
+    # checkpoint support
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Capture every predictor in the bank as plain data."""
+        return {
+            "predictors": [
+                {
+                    "node": node,
+                    "role": role.value,
+                    "state": predictor.snapshot_state(),
+                }
+                for (node, role), predictor in self._predictors.items()
+            ],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a bank captured by :meth:`snapshot_state`.
+
+        The bank must have been constructed with the same config,
+        role-sharing, and corruption arming as the captured one.
+        """
+        self._predictors = {}
+        for record in state["predictors"]:
+            predictor = self.predictor_for(
+                record["node"], Role(record["role"])
+            )
+            predictor.restore_state(record["state"])

@@ -1,0 +1,201 @@
+"""Seeded corruption of predictor state, and its detection.
+
+Cosmos state lives in SRAM next to each cache/directory module; unlike
+the protocol state it shadows, a predictor table is *advisory* -- a
+corrupted entry can cost accuracy but must never cost correctness.  This
+module models soft errors in that SRAM and the cheap defenses a real
+implementation would carry:
+
+* **bit flips** -- a random bit of a stored ``<sender, type>`` tuple
+  flips (we flip in the 12-bit sender field of the paper's Table 7
+  encoding, so the corrupted entry stays well-formed and the error is
+  only catchable by redundancy, not by decode failure);
+* **entry loss** -- a whole block's history (its MHR and PHT) vanishes,
+  modeling a scrubbed-on-error or power-gated table.
+
+Defense is one parity bit per stored tuple, written on store and checked
+on use: a single-bit flip makes the check fail, the entry is dropped and
+the predictor relearns it -- graceful degradation instead of silently
+serving wrong predictions forever.  A confirmed prediction (stored tuple
+equals the newly observed tuple) re-derives the parity, so entries also
+self-heal through training.  Losses are undetectable by construction
+(the entry is simply gone) and relearned the same way a cold entry is
+learned.
+
+The parity-tracking structures are subclasses
+(:class:`ParityMessageHistoryRegister`,
+:class:`ParityPHTEntry`) chosen by the predictor only when corruption is
+armed, so fault-free runs execute exactly the original code.
+
+Injection is driven by a :class:`CorruptionInjector` holding a private
+``random.Random``, one per predictor module, so corrupted evaluations
+replay deterministically (seed derivation lives in
+:class:`~repro.core.bank.PredictorBank`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..errors import ConfigError
+from .mhr import MessageHistoryRegister
+from .pht import PHTEntry
+from .tuples import SENDER_BITS, MessageTuple, pack
+
+
+def tuple_parity(tup: MessageTuple) -> int:
+    """Even parity over the tuple's 16-bit hardware encoding (0 or 1)."""
+    word = pack(tup)
+    parity = 0
+    while word:
+        parity ^= word & 1
+        word >>= 1
+    return parity
+
+
+def flip_sender_bit(tup: MessageTuple, bit: int) -> MessageTuple:
+    """``tup`` with bit ``bit`` of its sender field inverted."""
+    if not 0 <= bit < SENDER_BITS:
+        raise ConfigError(
+            f"sender bit index {bit} out of range [0, {SENDER_BITS})"
+        )
+    sender, mtype = tup
+    return (sender ^ (1 << bit), mtype)
+
+
+@dataclass(frozen=True)
+class CorruptionProfile:
+    """Per-observation corruption probabilities for one predictor."""
+
+    #: Probability one stored bit flips, per observation.
+    flip: float = 0.0
+    #: Probability one whole MHT entry is lost, per observation.
+    loss: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("flip", "loss"):
+            value = getattr(self, name)
+            if not 0.0 <= value < 1.0:
+                raise ConfigError(
+                    f"corruption probability {name}={value} must be in [0, 1)"
+                )
+
+    @property
+    def is_active(self) -> bool:
+        return bool(self.flip or self.loss)
+
+    @classmethod
+    def from_faults(cls, faults) -> Optional["CorruptionProfile"]:
+        """The corruption axis of a :class:`~repro.sim.faults.FaultProfile`
+        (``None`` when the profile does not corrupt predictor state)."""
+        if faults is None or not faults.corrupts_predictor:
+            return None
+        return cls(flip=faults.flip, loss=faults.loss)
+
+
+class CorruptionInjector:
+    """Draws corruption events for one predictor module.
+
+    Each module owns one injector with its own seeded stream, mirroring
+    how each module's SRAM suffers independent soft errors; a shared
+    stream would make one module's errors depend on another's traffic.
+    """
+
+    def __init__(self, profile: CorruptionProfile, seed: int = 0) -> None:
+        self.profile = profile
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self.injected_flips = 0
+        self.injected_losses = 0
+
+    def draw_loss(self) -> bool:
+        return bool(
+            self.profile.loss and self._rng.random() < self.profile.loss
+        )
+
+    def draw_flip(self) -> bool:
+        return bool(
+            self.profile.flip and self._rng.random() < self.profile.flip
+        )
+
+    def choose(self, sequence):
+        """Pick the victim entry/slot/bit uniformly."""
+        return self._rng.choice(sequence)
+
+    def flip_bit(self) -> int:
+        return self._rng.randrange(SENDER_BITS)
+
+    # ------------------------------------------------------------------
+    # checkpoint support
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        return {
+            "rng": self._rng.getstate(),
+            "injected_flips": self.injected_flips,
+            "injected_losses": self.injected_losses,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._rng.setstate(state["rng"])
+        self.injected_flips = state["injected_flips"]
+        self.injected_losses = state["injected_losses"]
+
+
+class ParityMessageHistoryRegister(MessageHistoryRegister):
+    """An MHR that stores one parity bit per held tuple."""
+
+    __slots__ = ("_parity",)
+
+    def __init__(self, depth: int) -> None:
+        super().__init__(depth)
+        self._parity: Tuple[int, ...] = ()
+
+    def shift(self, tup: MessageTuple) -> None:
+        super().shift(tup)
+        parity = tuple_parity(tup)
+        if len(self._parity) < len(self._history):
+            self._parity = self._parity + (parity,)
+        else:
+            self._parity = self._parity[1:] + (parity,)
+
+    def corrupt_slot(self, index: int, bit: int) -> None:
+        """Flip one sender bit of slot ``index`` (parity left stale)."""
+        history = list(self._history)
+        history[index] = flip_sender_bit(history[index], bit)
+        self._history = tuple(history)
+
+    def validate(self) -> bool:
+        """Whether every held tuple still matches its stored parity."""
+        return all(
+            tuple_parity(tup) == parity
+            for tup, parity in zip(self._history, self._parity)
+        )
+
+
+class ParityPHTEntry(PHTEntry):
+    """A PHT entry that stores one parity bit for its prediction."""
+
+    __slots__ = ("parity",)
+
+    def __init__(self, prediction: MessageTuple) -> None:
+        super().__init__(prediction)
+        self.parity = tuple_parity(prediction)
+
+    def update(self, actual: MessageTuple, max_count: int) -> None:
+        super().update(actual, max_count)
+        # The prediction now equals ``actual`` either because it was just
+        # replaced or because it was confirmed; both re-derive the value
+        # from fresh data, so the parity is rewritten (self-healing).
+        if self.prediction == actual:
+            self.parity = tuple_parity(self.prediction)
+
+    def corrupt(self, bit: int) -> None:
+        """Flip one sender bit of the prediction (parity left stale)."""
+        self.prediction = flip_sender_bit(self.prediction, bit)
+
+    @property
+    def valid(self) -> bool:
+        return tuple_parity(self.prediction) == self.parity

@@ -17,8 +17,13 @@ from typing import Dict, Optional, Tuple
 
 from ..protocol.messages import MessageType
 from .config import CosmosConfig
+from .corruption import (
+    CorruptionInjector,
+    ParityMessageHistoryRegister,
+    ParityPHTEntry,
+)
 from .mhr import MessageHistoryRegister
-from .pht import PatternHistoryTable
+from .pht import PHTEntry, PatternHistoryTable
 from .tuples import MessageTuple
 
 
@@ -44,7 +49,11 @@ class Observation:
 class CosmosPredictor:
     """Two-level adaptive predictor for one cache or directory module."""
 
-    def __init__(self, config: Optional[CosmosConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[CosmosConfig] = None,
+        corruption: Optional[CorruptionInjector] = None,
+    ) -> None:
         # A ``config=CosmosConfig()`` default would be evaluated once at
         # class-definition time and shared by every default-constructed
         # predictor; build a fresh instance per predictor instead.
@@ -55,11 +64,24 @@ class CosmosPredictor:
         self._macro = config.macroblock_bytes
         self._capacity = config.mht_capacity
         self._confidence = config.confidence_threshold
+        # Corruption-tolerant mode swaps in parity-tracking structures;
+        # with ``corruption=None`` the original classes (and code paths)
+        # run unchanged.
+        self._corruption = corruption
+        if corruption is not None:
+            self._mhr_cls: type = ParityMessageHistoryRegister
+            self._entry_cls: type = ParityPHTEntry
+        else:
+            self._mhr_cls = MessageHistoryRegister
+            self._entry_cls = PHTEntry
         # Statistics
         self.predictions = 0
         self.hits = 0
         self.no_prediction = 0
         self.capacity_evictions = 0
+        self.corrupt_flips = 0
+        self.corrupt_losses = 0
+        self.corrupt_detected = 0
 
     def _key(self, block: int) -> int:
         """Table index for ``block``: the block itself, or its macroblock."""
@@ -77,12 +99,27 @@ class CosmosPredictor:
         mhr = self._mht.get(block)
         if mhr is None:
             return None
+        if self._corruption is not None and not mhr.validate():
+            # Parity caught a flipped history bit: the register contents
+            # are untrustworthy, so drop them and relearn.  The block's
+            # PHT survives -- its patterns were trained from pre-flip
+            # history and stay as good as any learned knowledge.
+            self.corrupt_detected += 1
+            self._mht.pop(block, None)
+            return None
         pattern = mhr.pattern()
         if pattern is None:
             return None
         pht = self._phts.get(block)
         if pht is None:
             return None
+        if self._corruption is not None:
+            entry = pht.entry(pattern)
+            if entry is not None and not entry.valid:
+                # Flipped prediction: drop the single entry and relearn.
+                self.corrupt_detected += 1
+                pht.drop(pattern)
+                return None
         if self._confidence == 0:
             return pht.predict(pattern)
         found = pht.predict_with_confidence(pattern)
@@ -96,7 +133,7 @@ class CosmosPredictor:
         block = self._key(block)
         mhr = self._mht.get(block)
         if mhr is None:
-            mhr = MessageHistoryRegister(self.config.depth)
+            mhr = self._mhr_cls(self.config.depth)
             self._mht[block] = mhr
             if self._capacity is not None and len(self._mht) > self._capacity:
                 # Hardware-bounded table: evict the least recently used
@@ -112,7 +149,9 @@ class CosmosPredictor:
             if pht is None:
                 # PHTs are allocated lazily: a block whose reference count
                 # never exceeds the MHR depth never gets one (Table 7).
-                pht = PatternHistoryTable(self.config.filter_max_count)
+                pht = PatternHistoryTable(
+                    self.config.filter_max_count, entry_cls=self._entry_cls
+                )
                 self._phts[block] = pht
             pht.train(pattern, actual)
         mhr.shift(actual)
@@ -130,8 +169,52 @@ class CosmosPredictor:
         self._mht.pop(key, None)
         self._phts.pop(key, None)
 
+    def _inject_corruption(self) -> None:
+        """Maybe corrupt this module's SRAM before the next use.
+
+        Drawn once per observation: soft-error arrival is proportional
+        to time, and observations are this predictor's clock.  Victims
+        (entry, slot/pattern, bit) are chosen uniformly from live state,
+        so a bigger table absorbs proportionally more of the flux --
+        matching how real SRAM error rates scale with capacity.
+        """
+        injector = self._corruption
+        if not self._mht:
+            return
+        if injector.draw_loss():
+            victim = injector.choose(list(self._mht))
+            self._mht.pop(victim, None)
+            self._phts.pop(victim, None)
+            self.corrupt_losses += 1
+            injector.injected_losses += 1
+        if not self._mht:
+            return
+        if injector.draw_flip():
+            target = injector.choose(list(self._mht))
+            mhr = self._mht[target]
+            pht = self._phts.get(target)
+            # Choose uniformly among the block's stored tuples: each MHR
+            # slot and each PHT entry's prediction is one 16-bit word.
+            slots = len(mhr)
+            entries = (
+                [pattern for pattern, _ in pht.items()] if pht else []
+            )
+            total = slots + len(entries)
+            if total == 0:
+                return
+            pick = injector.choose(range(total))
+            bit = injector.flip_bit()
+            if pick < slots:
+                mhr.corrupt_slot(pick, bit)
+            else:
+                pht.entry(entries[pick - slots]).corrupt(bit)
+            self.corrupt_flips += 1
+            injector.injected_flips += 1
+
     def observe(self, block: int, actual: MessageTuple) -> Observation:
         """Predict, score against ``actual``, then train.  One message."""
+        if self._corruption is not None:
+            self._inject_corruption()
         predicted = self.predict(block)
         if predicted is None:
             self.no_prediction += 1
@@ -174,3 +257,91 @@ class CosmosPredictor:
         """Hits over *all* references (no-predictions count as misses)."""
         total = self.predictions + self.no_prediction
         return self.hits / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    # checkpoint support
+    # ------------------------------------------------------------------
+
+    _STAT_FIELDS = (
+        "predictions",
+        "hits",
+        "no_prediction",
+        "capacity_evictions",
+        "corrupt_flips",
+        "corrupt_losses",
+        "corrupt_detected",
+    )
+
+    def snapshot_state(self) -> dict:
+        """Capture MHT/PHT contents and statistics as plain data.
+
+        MHT order is preserved (it *is* the LRU order capacity eviction
+        walks), and parity bits ride along when the parity-tracking
+        structures are in use, so a restored predictor behaves
+        bit-identically -- including which corrupted entries are still
+        latent.
+        """
+        mht = []
+        for block, mhr in self._mht.items():
+            record = {"block": block, "history": mhr.snapshot()}
+            if isinstance(mhr, ParityMessageHistoryRegister):
+                record["parity"] = mhr._parity
+            mht.append(record)
+        phts = {}
+        for block, pht in self._phts.items():
+            entries = []
+            for pattern, entry in pht.items():
+                item = {
+                    "pattern": pattern,
+                    "prediction": entry.prediction,
+                    "counter": entry.counter,
+                }
+                if isinstance(entry, ParityPHTEntry):
+                    item["parity"] = entry.parity
+                entries.append(item)
+            phts[block] = entries
+        state = {
+            "mht": mht,
+            "phts": phts,
+            "stats": {
+                name: getattr(self, name) for name in self._STAT_FIELDS
+            },
+        }
+        if self._corruption is not None:
+            state["corruption"] = self._corruption.snapshot_state()
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        """Restore state captured by :meth:`snapshot_state`.
+
+        The predictor must have been constructed with the same config
+        and the same corruption arming as the captured one.
+        """
+        self._mht = OrderedDict()
+        for record in state["mht"]:
+            mhr = self._mhr_cls(self.config.depth)
+            for tup in record["history"]:
+                mhr.shift(tup)
+            if "parity" in record and isinstance(
+                mhr, ParityMessageHistoryRegister
+            ):
+                # Replay-computed parity is always consistent; restore
+                # the captured bits so latent corruption stays latent.
+                mhr._parity = tuple(record["parity"])
+            self._mht[record["block"]] = mhr
+        self._phts = {}
+        for block, entries in state["phts"].items():
+            pht = PatternHistoryTable(
+                self.config.filter_max_count, entry_cls=self._entry_cls
+            )
+            for item in entries:
+                entry = self._entry_cls(item["prediction"])
+                entry.counter = item["counter"]
+                if "parity" in item and isinstance(entry, ParityPHTEntry):
+                    entry.parity = item["parity"]
+                pht._entries[item["pattern"]] = entry
+            self._phts[block] = pht
+        for name in self._STAT_FIELDS:
+            setattr(self, name, state["stats"][name])
+        if self._corruption is not None and "corruption" in state:
+            self._corruption.restore_state(state["corruption"])

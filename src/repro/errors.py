@@ -36,6 +36,42 @@ class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent state."""
 
 
+class CheckpointError(ReproError):
+    """A simulation checkpoint could not be written, read, or applied.
+
+    Raised for version/magic mismatches, checksum failures (bit rot or a
+    torn write that somehow survived the atomic-rename discipline), and
+    attempts to restore a checkpoint into an incompatible configuration
+    (different machine parameters or workload fingerprint).
+    """
+
+
+class WatchdogError(SimulationError):
+    """The simulation watchdog declared the run stuck and aborted it.
+
+    Carries a forensic ``bundle`` (a JSON-able dict: pending engine
+    events, per-block protocol state, recent observability events, and
+    the triggering budget) so a hung run under CI dies with a diagnosis
+    attached instead of a timeout.
+    """
+
+    def __init__(self, message: str, bundle=None) -> None:
+        super().__init__(message)
+        self.bundle = bundle if bundle is not None else {}
+
+
+class RunInterrupted(ReproError):
+    """A sharded run was interrupted (SIGINT/SIGTERM) before completing.
+
+    Completed shards were already flushed to the run journal; ``run_dir``
+    names the directory to pass to ``repro-experiments --resume``.
+    """
+
+    def __init__(self, message: str, run_dir=None) -> None:
+        super().__init__(message)
+        self.run_dir = run_dir
+
+
 class ShardError(ReproError):
     """One or more parallel worker shards failed.
 

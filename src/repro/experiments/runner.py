@@ -27,11 +27,14 @@ from __future__ import annotations
 import argparse
 import html as html_module
 import os
+import signal
 import sys
 import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..errors import ReproError, RunInterrupted, ShardError
+from ..ioutil import atomic_write_text
 from ..obs import (
     OBS,
     build_manifest,
@@ -47,6 +50,7 @@ from ..workloads.registry import BENCHMARK_NAMES, format_table4
 from ..sim.faults import PRESETS, FaultProfile
 from .bounds import run_bounds
 from .common import configure_faults, configure_trace_cache
+from .corruption import run_corruption_study
 from .faults import run_fault_study
 from .mispredict import run_mispredict_profile
 from .figure2 import run_figure2
@@ -123,6 +127,9 @@ EXPERIMENTS: Dict[str, Callable[[bool, int], str]] = {
     "faults": lambda quick, seed: run_fault_study(
         quick=quick, seed=seed
     ).format(),
+    "corruption": lambda quick, seed: run_corruption_study(
+        quick=quick, seed=seed
+    ).format(),
     "mispredict-profile": lambda quick, seed: run_mispredict_profile(
         quick=quick, seed=seed
     ).format(),
@@ -149,6 +156,7 @@ EXPERIMENT_TRACES.update(
         "integration": tuple(BENCHMARK_NAMES),
         "hardware": ("moldyn",),
         "mispredict-profile": tuple(BENCHMARK_NAMES),
+        "corruption": tuple(BENCHMARK_NAMES),
     }
 )
 
@@ -165,6 +173,8 @@ def run_experiments(
     on_section: Optional[Callable[[Section], None]] = None,
     fault_spec: Optional[str] = None,
     fault_seed: int = 0,
+    run_dir: Optional[str] = None,
+    resume_dir: Optional[str] = None,
 ) -> Tuple[List[Section], List[dict]]:
     """Run ``names`` sequentially (``jobs <= 1``) or on a worker pool.
 
@@ -176,22 +186,55 @@ def run_experiments(
     ``(sections, shard_stats)`` where ``shard_stats`` holds one
     JSON-able accounting dict per shard (simulation shards included) for
     ``--metrics-json``.
+
+    ``run_dir`` journals every shard completion under that directory
+    (forcing the pool path even for ``jobs=1``) so an interrupted or
+    killed run can be resumed; ``resume_dir`` resumes such a run,
+    rebuilding the journaled plan exactly and re-executing only the
+    shards with no recorded success -- the merged output is
+    byte-identical to an uninterrupted run.  The two are mutually
+    exclusive; with ``resume_dir`` set, ``names``/``quick``/``seed``/
+    fault arguments are taken from the journal, not the caller.
     """
     sections: List[Section] = []
     shard_stats: List[dict] = []
-    if jobs > 1:
-        from ..parallel import plan_run, run_plan
+    if jobs > 1 or run_dir is not None or resume_dir is not None:
+        from ..parallel import RunJournal, plan_run, run_plan
 
-        plan = plan_run(
-            names,
-            quick,
-            seed,
-            cache_dir,
-            EXPERIMENT_TRACES,
-            fault_spec=fault_spec,
-            fault_seed=fault_seed,
-        )
-        sections, outcomes = run_plan(plan, jobs)
+        journal = None
+        if resume_dir is not None:
+            if run_dir is not None:
+                raise ValueError("run_dir and resume_dir are exclusive")
+            journal = RunJournal.load(resume_dir)
+            plan = journal.plan()
+        else:
+            plan = plan_run(
+                names,
+                quick,
+                seed,
+                cache_dir,
+                EXPERIMENT_TRACES,
+                fault_spec=fault_spec,
+                fault_seed=fault_seed,
+            )
+            if run_dir is not None:
+                journal = RunJournal.create(
+                    run_dir,
+                    plan,
+                    meta={
+                        "names": list(names),
+                        "quick": quick,
+                        "seed": seed,
+                        "cache_dir": cache_dir,
+                        "fault_spec": fault_spec,
+                        "fault_seed": fault_seed,
+                    },
+                )
+        try:
+            sections, outcomes = run_plan(plan, jobs, journal=journal)
+        finally:
+            if journal is not None:
+                journal.close()
         shard_stats = [
             {
                 "kind": outcome.kind,
@@ -402,9 +445,40 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="also write a self-contained HTML report to PATH",
     )
+    parser.add_argument(
+        "--run-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "journal every shard completion under DIR (fsync'd, so even "
+            "kill -9 loses only in-flight work) and write the final "
+            "report there; an interrupted run resumes with --resume DIR"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        metavar="DIR",
+        default=None,
+        help=(
+            "resume an interrupted --run-dir run: re-executes only the "
+            "shards with no journaled success and merges byte-identical "
+            "output (experiment names/seeds come from DIR's plan.json)"
+        ),
+    )
     args = parser.parse_args(argv)
 
-    if args.list or not args.experiments:
+    if args.run_dir and args.resume:
+        print("--run-dir and --resume are mutually exclusive", file=sys.stderr)
+        return 2
+    if args.resume and args.experiments:
+        print(
+            "--resume replays the journaled plan; do not also name "
+            "experiments",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.list or (not args.experiments and not args.resume):
         print("available experiments:")
         for name in EXPERIMENTS:
             print(f"  {name}")
@@ -431,6 +505,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             fault_spec = profile.spec()
 
     jobs = 1 if args.sequential else max(1, args.jobs)
+    if args.trace_events and (args.run_dir or args.resume):
+        print(
+            "--trace-events captures an in-process event log; it cannot "
+            "combine with the journaled worker-pool path "
+            "(--run-dir/--resume)",
+            file=sys.stderr,
+        )
+        return 2
     if args.trace_events and jobs > 1:
         print(
             "note: --trace-events captures an in-process event log; "
@@ -455,17 +537,50 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.trace_events:
         OBS.configure(args.obs_level)
     wall_start = time.perf_counter()
+
+    def _sigterm(signum: int, frame: object) -> None:
+        # A polite kill should behave like Ctrl-C: the pool cancels
+        # in-flight shards, the journal keeps everything acknowledged,
+        # and the exit message names the resume command.
+        raise KeyboardInterrupt
+
+    previous_sigterm = signal.signal(signal.SIGTERM, _sigterm)
     try:
-        sections, shard_stats = run_experiments(
-            names,
-            quick=args.quick,
-            seed=args.seed,
-            jobs=jobs,
-            cache_dir=cache_dir,
-            on_section=_print_section,
-            fault_spec=fault_spec,
-            fault_seed=args.fault_seed,
-        )
+        try:
+            sections, shard_stats = run_experiments(
+                names,
+                quick=args.quick,
+                seed=args.seed,
+                jobs=jobs,
+                cache_dir=cache_dir,
+                on_section=_print_section,
+                fault_spec=fault_spec,
+                fault_seed=args.fault_seed,
+                run_dir=args.run_dir,
+                resume_dir=args.resume,
+            )
+        except RunInterrupted as exc:
+            print(f"\n{exc}", file=sys.stderr)
+            print(
+                f"resume with: repro-experiments --resume {exc.run_dir}",
+                file=sys.stderr,
+            )
+            return 130
+        except KeyboardInterrupt:
+            print(
+                "\ninterrupted (no --run-dir: no shard journal, "
+                "nothing to resume)",
+                file=sys.stderr,
+            )
+            return 130
+        except ShardError as exc:
+            print(f"\n{exc}", file=sys.stderr)
+            return 1
+        except ReproError as exc:
+            # e.g. --resume on a directory with no journal, or --run-dir
+            # on one that already holds a plan: usage errors, not crashes.
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         wall_seconds = time.perf_counter() - wall_start
 
         if args.trace_events:
@@ -498,12 +613,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"events to {args.trace_events} ({OBS.dropped} dropped)"
             )
     finally:
+        signal.signal(signal.SIGTERM, previous_sigterm)
         if args.trace_events:
             OBS.disable()
 
+    report_dir = args.run_dir or args.resume
+    if report_dir is not None:
+        report_path = Path(report_dir) / "report.txt"
+        atomic_write_text(report_path, report_text(sections) + "\n")
+        print(f"\nreport written to {report_path}")
     if args.html:
-        with open(args.html, "w", encoding="utf-8") as handle:
-            handle.write(render_html_report(sections))
+        atomic_write_text(args.html, render_html_report(sections))
         print(f"\nHTML report written to {args.html}")
     if args.metrics_json:
         dump_metrics_json(

@@ -267,11 +267,14 @@ def validate_trace_events(payload: object) -> List[str]:
 def save_trace_events(
     payload: dict, path: Union[str, Path]
 ) -> Path:
-    """Write a timeline document as JSON; creates parent directories."""
-    target = Path(path)
-    if target.parent and not target.parent.exists():
-        target.parent.mkdir(parents=True, exist_ok=True)
-    with open(target, "w", encoding="utf-8") as handle:
+    """Atomically write a timeline document as JSON.
+
+    Parent directories are created as needed; a crash mid-write leaves
+    the previous file (or no file), never a truncated document.
+    """
+    from ..ioutil import atomic_write
+
+    with atomic_write(path) as handle:
         json.dump(payload, handle, indent=1, sort_keys=True)
         handle.write("\n")
-    return target
+    return Path(path)

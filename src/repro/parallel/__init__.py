@@ -14,8 +14,13 @@ one.
   (one shard per unique simulation, written to the on-disk trace cache)
   followed by one shard per experiment.
 * :mod:`repro.parallel.pool` -- the worker pool and the ordered merge.
+* :mod:`repro.parallel.journal` -- the durable run journal behind
+  ``--run-dir`` / ``--resume``: fsync'd per-shard completion records
+  that survive ``kill -9`` and let a resumed run re-execute only the
+  missing or failed shards.
 """
 
+from .journal import RunJournal, shard_digest
 from .plan import ExperimentShard, Plan, TraceShard, plan_run
 from .pool import ShardOutcome, run_plan
 from .seeds import derive_seed
@@ -23,9 +28,11 @@ from .seeds import derive_seed
 __all__ = [
     "ExperimentShard",
     "Plan",
+    "RunJournal",
     "ShardOutcome",
     "TraceShard",
     "derive_seed",
     "plan_run",
     "run_plan",
+    "shard_digest",
 ]

@@ -14,13 +14,14 @@ from __future__ import annotations
 import os
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from multiprocessing import get_context
 from typing import Dict, List, Optional, Tuple, Union
 
-from ..errors import ShardError
+from ..errors import RunInterrupted, ShardError
 from ..sim.metrics import METRICS
+from .journal import RunJournal
 from .plan import ExperimentShard, Plan, TraceShard
 
 _Shard = Union[TraceShard, ExperimentShard]
@@ -143,7 +144,9 @@ def _run_shard(shard: _Shard) -> ShardOutcome:
 
 
 def _drain(
-    pool: ProcessPoolExecutor, shards: Tuple[_Shard, ...]
+    pool: ProcessPoolExecutor,
+    shards: Tuple[_Shard, ...],
+    journal: Optional[RunJournal] = None,
 ) -> List[Tuple[_Shard, ShardOutcome]]:
     """Run ``shards`` and collect every outcome, crashed workers included.
 
@@ -151,21 +154,45 @@ def _drain(
     worker that dies without returning at all (killed process, broken
     pool) surfaces here as a future exception, converted to an error
     outcome with no metrics so the stage still drains completely.
+
+    With a ``journal``, shards whose successful outcome is already
+    journaled are not re-submitted (their recorded outcome is spliced
+    back in), and every fresh outcome is durably recorded the moment it
+    completes -- completion order, not submission order, so a kill
+    arriving mid-stage preserves every finished shard.  Results are
+    still returned in submission order.
     """
-    pairs = [(shard, pool.submit(_run_shard, shard)) for shard in shards]
-    results: List[Tuple[_Shard, ShardOutcome]] = []
-    for shard, future in pairs:
-        try:
-            results.append((shard, future.result()))
-        except Exception as exc:  # worker died before shipping a result
-            results.append(
-                (shard, _failure_outcome(shard, f"{type(exc).__name__}: {exc}"))
-            )
-    return results
+    results: List[Optional[Tuple[_Shard, ShardOutcome]]] = [None] * len(shards)
+    pending: Dict[object, Tuple[int, _Shard]] = {}
+    for position, shard in enumerate(shards):
+        record = journal.outcome_record(shard) if journal is not None else None
+        if record is not None:
+            results[position] = (shard, ShardOutcome(**record))
+            METRICS.inc("journal.shards_skipped")
+            continue
+        future = pool.submit(_run_shard, shard)
+        pending[future] = (position, shard)
+    try:
+        for future in as_completed(pending):
+            position, shard = pending[future]
+            try:
+                outcome = future.result()
+            except Exception as exc:  # worker died before shipping a result
+                outcome = _failure_outcome(
+                    shard, f"{type(exc).__name__}: {exc}"
+                )
+            if journal is not None:
+                journal.record(shard, outcome)
+            results[position] = (shard, outcome)
+    except KeyboardInterrupt:
+        for future in pending:
+            future.cancel()
+        raise
+    return [pair for pair in results if pair is not None]
 
 
 def run_plan(
-    plan: Plan, jobs: int
+    plan: Plan, jobs: int, journal: Optional[RunJournal] = None
 ) -> Tuple[List[Tuple[str, str, float]], List[ShardOutcome]]:
     """Execute ``plan`` on ``jobs`` workers.
 
@@ -179,18 +206,38 @@ def run_plan(
     drained and every worker's metrics (including a failed worker's
     partial metrics) are merged first, then a :class:`ShardError`
     carrying the failed shard descriptors is raised.
+
+    A ``journal`` (see :mod:`repro.parallel.journal`) makes the run
+    resumable: journaled shards are skipped, fresh completions are
+    fsync'd as they land, and an interrupt (Ctrl-C / SIGTERM converted
+    to :class:`KeyboardInterrupt`) abandons in-flight work and raises
+    :class:`~repro.errors.RunInterrupted` naming the run directory.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
-    with ProcessPoolExecutor(
+    pool = ProcessPoolExecutor(
         max_workers=jobs, mp_context=get_context("spawn")
-    ) as pool:
+    )
+    try:
         # Stage 1: warm the trace cache.  A barrier here keeps stage 2
         # workers from racing to re-simulate the same workload.
         with METRICS.timer("parallel.stage.traces"):
-            trace_results = _drain(pool, plan.traces)
+            trace_results = _drain(pool, plan.traces, journal)
         with METRICS.timer("parallel.stage.experiments"):
-            experiment_results = _drain(pool, plan.experiments)
+            experiment_results = _drain(pool, plan.experiments, journal)
+    except KeyboardInterrupt:
+        # Abandon queued and running shards without waiting for them;
+        # everything already finished is safe in the journal.
+        pool.shutdown(wait=False, cancel_futures=True)
+        if journal is not None:
+            journal.close()
+            raise RunInterrupted(
+                "run interrupted; completed shards are journaled in "
+                f"{journal.run_dir}",
+                run_dir=str(journal.run_dir),
+            ) from None
+        raise
+    pool.shutdown()
     for _, outcome in trace_results + experiment_results:
         METRICS.merge(outcome.metrics)
     failures = [
@@ -208,6 +255,11 @@ def run_plan(
             lines.append(f"  {shard!r}: {last}")
         lines.append("first failure traceback:")
         lines.append(failures[0][1].error.rstrip())
+        if journal is not None:
+            lines.append(
+                "completed shards are journaled; re-run only the "
+                f"failures with: repro-experiments --resume {journal.run_dir}"
+            )
         raise ShardError(
             "\n".join(lines),
             failures=[

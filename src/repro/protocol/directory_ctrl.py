@@ -25,7 +25,6 @@ directory additionally survives an unreliable network:
 
 from __future__ import annotations
 
-import itertools
 from collections import deque
 from dataclasses import dataclass, field, replace
 from typing import Callable, Deque, Dict, Optional, Set
@@ -115,7 +114,7 @@ class DirectoryController:
         self._options = options
         self._recovery = recovery
         self._schedule = schedule
-        self._seq_counter = itertools.count(1)
+        self._next_seq = 1
         self._entries: Dict[int, DirEntry] = {}
         self._active: Dict[int, _Txn] = {}
         self._queues: Dict[int, Deque[_Request]] = {}
@@ -132,6 +131,68 @@ class DirectoryController:
         #: Backoff armed by each collection-round retry (ns); folded into
         #: the ``proto.retry.backoff_ns`` histogram by the machine.
         self.retry_backoffs_ns: list = []
+
+    def _take_seq(self) -> int:
+        seq = self._next_seq
+        self._next_seq += 1
+        return seq
+
+    # ------------------------------------------------------------------
+    # checkpoint support
+    # ------------------------------------------------------------------
+
+    #: Plain-data statistics captured verbatim into checkpoints.
+    _STAT_FIELDS = (
+        "transactions",
+        "local_hits",
+        "invalidations_sent",
+        "inval_retries",
+        "stale_acks_dropped",
+        "duplicate_requests_regranted",
+        "duplicate_requests_merged",
+    )
+
+    def snapshot_state(self) -> dict:
+        """Capture this directory's quiescent state as plain data.
+
+        Only legal with no active or queued transactions: in-flight
+        collections hold live callbacks and armed timers that a
+        between-phases checkpoint never sees.
+        """
+        if self._active or self._queues:
+            raise ProtocolError(
+                f"cannot snapshot directory at node {self.node_id} with "
+                "active or queued transactions"
+            )
+        return {
+            "next_seq": self._next_seq,
+            "entries": {
+                block: {
+                    "owner": entry.owner,
+                    "sharers": sorted(entry.sharers),
+                }
+                for block, entry in self._entries.items()
+            },
+            "retry_backoffs_ns": list(self.retry_backoffs_ns),
+            "stats": {
+                name: getattr(self, name) for name in self._STAT_FIELDS
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore state captured by :meth:`snapshot_state`."""
+        self._next_seq = state["next_seq"]
+        self._entries = {
+            block: DirEntry(
+                sharers=set(data["sharers"]), owner=data["owner"]
+            )
+            for block, data in state["entries"].items()
+        }
+        self._active = {}
+        self._queues = {}
+        self.retry_backoffs_ns = list(state["retry_backoffs_ns"])
+        for name in self._STAT_FIELDS:
+            setattr(self, name, state["stats"][name])
 
     def entry_of(self, block: int) -> DirEntry:
         """The directory entry for ``block`` (created on first use)."""
@@ -319,7 +380,7 @@ class DirectoryController:
         recovery bookkeeping when enabled."""
         seq: Optional[int] = None
         if self._recovery is not None:
-            seq = next(self._seq_counter)
+            seq = self._take_seq()
         msg = Message(
             src=self.node_id, dst=dst, mtype=mtype, block=block, seq=seq
         )
@@ -444,7 +505,7 @@ class DirectoryController:
                 f"block 0x{block:x}: livelock on the unreliable network"
             )
         for dst in sorted(txn.pending_acks):
-            seq = next(self._seq_counter)
+            seq = self._take_seq()
             msg = replace(txn.pending_msg[dst], seq=seq)
             txn.pending_seq[dst] = seq
             txn.pending_msg[dst] = msg

@@ -57,6 +57,9 @@ class OriginDirectoryController(DirectoryController):
         )
         self.forwards = 0
 
+    #: Checkpoints additionally capture the forwarding counter.
+    _STAT_FIELDS = DirectoryController._STAT_FIELDS + ("forwards",)
+
     def handle_message(self, msg: Message) -> None:
         if msg.mtype is MessageType.REVISION:
             self._on_ack(msg)
@@ -76,7 +79,7 @@ class OriginDirectoryController(DirectoryController):
         self.forwards += 1
         seq: Optional[int] = None
         if self._recovery is not None:
-            seq = next(self._seq_counter)
+            seq = self._take_seq()
         msg = Message(
             src=self.node_id,
             dst=entry.owner,

@@ -1,0 +1,364 @@
+"""Checkpoint/restore of quiescent simulations.
+
+A :class:`~repro.sim.machine.Machine` is checkpointable exactly at
+iteration boundaries: the event queue is empty, no cache has an
+outstanding miss, and no directory holds an active transaction, so the
+whole machine reduces to plain data -- scheduler clock and sequence
+counter, per-node protocol state, the trace collected so far, and the
+think-time/fault RNG streams.  :func:`capture` gathers that into a
+:class:`Checkpoint`; :func:`restore` rebuilds a machine that continues
+*bit-for-bit* where the captured one stopped: a run resumed from
+checkpoint N produces byte-identical traces and (deterministic) metrics
+to an uninterrupted run.
+
+On disk a checkpoint is two pickle frames, following the layout of
+:mod:`repro.trace.cache`: a small header (format version, a CRC-32 of
+the payload, a configuration fingerprint) and the pickled body.  Writes
+are atomic (temp file + ``os.replace``), so a checkpoint either
+exists completely or not at all; loads verify the checksum and raise
+:class:`~repro.errors.CheckpointError` on any mismatch -- a restored run
+must never continue from silently corrupted state.
+
+Drivers: :func:`simulate_with_checkpoints` runs a workload writing a
+checkpoint every N iterations; :func:`resume_simulation` picks up from a
+checkpoint file and finishes the run.  Both are surfaced through the
+CLI: ``repro-trace simulate --checkpoint-dir DIR`` and
+``repro-trace resume DIR/checkpoint-NNNN.ckpt``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+import zlib
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+from ..errors import CheckpointError
+from ..ioutil import atomic_write
+from ..obs.manifest import build_manifest
+from ..protocol.stache import DEFAULT_OPTIONS, StacheOptions
+from ..trace.collector import TraceCollector
+from ..workloads.base import Workload
+from .faults import FaultProfile
+from .machine import Machine
+from .metrics import METRICS
+from .params import PAPER_PARAMS, SystemParams
+
+#: Bump when the snapshot schema or the simulator's semantics change:
+#: old checkpoints then refuse to load instead of resuming wrongly.
+FORMAT_VERSION = 1
+
+_HEADER_MAGIC = "repro-checkpoint"
+
+
+def config_fingerprint(
+    params: SystemParams,
+    options: StacheOptions,
+    seed: int,
+    faults: Optional[FaultProfile],
+    fault_seed: int,
+) -> str:
+    """Hash of everything that must match for a resume to be sound.
+
+    A checkpoint restored into a machine built with different parameters
+    would silently diverge from the uninterrupted run; the fingerprint
+    turns that into a loud :class:`~repro.errors.CheckpointError`.
+    """
+    descriptor = {
+        "format": FORMAT_VERSION,
+        "params": asdict(params),
+        "options": asdict(options),
+        "seed": seed,
+        "faults": faults.spec() if faults is not None else None,
+        "fault_seed": fault_seed,
+    }
+    canonical = json.dumps(descriptor, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class Checkpoint:
+    """One quiescent machine, ready to be serialized or resumed."""
+
+    params: SystemParams
+    options: StacheOptions
+    seed: int
+    faults: Optional[FaultProfile]
+    fault_seed: int
+    #: The first iteration the resumed run should execute (1-based).
+    next_iteration: int
+    total_iterations: int
+    machine_state: dict
+    #: The workload object *after* ``setup`` ran -- workloads are plain
+    #: data (block layouts, sizes), so pickling one preserves the memory
+    #: layout the captured run was using.
+    workload: Workload
+    #: ``METRICS.snapshot()`` at capture time, so a resumed run's final
+    #: metrics equal the uninterrupted run's (timers keep accumulating
+    #: real wall time and are exempt from the byte-identity guarantee).
+    metrics: dict
+
+    @property
+    def fingerprint(self) -> str:
+        return config_fingerprint(
+            self.params, self.options, self.seed, self.faults, self.fault_seed
+        )
+
+
+def capture(
+    machine: Machine,
+    workload: Workload,
+    next_iteration: int,
+    total_iterations: int,
+) -> Checkpoint:
+    """Capture ``machine`` at a quiescent point into a :class:`Checkpoint`.
+
+    Raises :class:`~repro.errors.SimulationError` /
+    :class:`~repro.errors.ProtocolError` if the machine is not actually
+    quiescent (pending events, outstanding misses, active transactions).
+    """
+    with METRICS.timer("checkpoint.capture"):
+        return Checkpoint(
+            params=machine.params,
+            options=machine.options,
+            seed=machine.seed,
+            faults=machine.faults,
+            fault_seed=machine.fault_seed,
+            next_iteration=next_iteration,
+            total_iterations=total_iterations,
+            machine_state=machine.snapshot_state(),
+            workload=workload,
+            metrics=METRICS.snapshot(),
+        )
+
+
+def restore(
+    checkpoint: Checkpoint,
+    watchdog=None,
+) -> Tuple[Machine, Workload]:
+    """Rebuild the captured machine; returns ``(machine, workload)``.
+
+    The machine is constructed from the checkpoint's own configuration
+    and then overwritten with the captured state, so the caller never
+    has to re-supply (and possibly mismatch) parameters.
+    """
+    machine = Machine(
+        params=checkpoint.params,
+        options=checkpoint.options,
+        seed=checkpoint.seed,
+        faults=checkpoint.faults,
+        fault_seed=checkpoint.fault_seed,
+        watchdog=watchdog,
+    )
+    machine.restore_state(checkpoint.machine_state)
+    return machine, checkpoint.workload
+
+
+# ----------------------------------------------------------------------
+# on-disk format
+# ----------------------------------------------------------------------
+
+
+def save_checkpoint(
+    checkpoint: Checkpoint, path: Union[str, Path]
+) -> Path:
+    """Atomically write ``checkpoint`` to ``path``; returns the path."""
+    body = {
+        "params": checkpoint.params,
+        "options": checkpoint.options,
+        "seed": checkpoint.seed,
+        "faults": checkpoint.faults,
+        "fault_seed": checkpoint.fault_seed,
+        "next_iteration": checkpoint.next_iteration,
+        "total_iterations": checkpoint.total_iterations,
+        "machine_state": checkpoint.machine_state,
+        "workload": checkpoint.workload,
+        "metrics": checkpoint.metrics,
+    }
+    with METRICS.timer("checkpoint.save"):
+        payload = pickle.dumps(body, protocol=pickle.HIGHEST_PROTOCOL)
+        header = {
+            "magic": _HEADER_MAGIC,
+            "format": FORMAT_VERSION,
+            # CRC-32, not a cryptographic hash: the threat model is
+            # truncation and bit rot, and sha256 over a multi-MiB
+            # payload would dominate the cost of saving a checkpoint.
+            "checksum": f"crc32:{zlib.crc32(payload):08x}",
+            "fingerprint": checkpoint.fingerprint,
+            "next_iteration": checkpoint.next_iteration,
+            "total_iterations": checkpoint.total_iterations,
+            # Attribution only; never participates in validation.
+            "manifest": build_manifest("checkpoint-save"),
+        }
+        # No fsync: atomic rename keeps every crash of the *process*
+        # safe (the page cache survives kill -9), and the checksum turns
+        # an OS-crash torn write into a clean load error rather than a
+        # silent bad resume.  The run journal, whose records are
+        # acknowledgments, does fsync (see repro.parallel.journal).
+        with atomic_write(path, "wb") as handle:
+            pickle.dump(header, handle)
+            handle.write(payload)
+    METRICS.inc("checkpoint.saved")
+    return Path(path)
+
+
+def read_checkpoint_header(path: Union[str, Path]) -> dict:
+    """The header frame alone (cheap: does not load the machine state)."""
+    target = Path(path)
+    if not target.exists():
+        raise CheckpointError(f"no checkpoint at {target}")
+    try:
+        with open(target, "rb") as handle:
+            header = pickle.load(handle)
+    except Exception as exc:
+        raise CheckpointError(
+            f"unreadable checkpoint header in {target}: {exc}"
+        ) from exc
+    if not isinstance(header, dict) or header.get("magic") != _HEADER_MAGIC:
+        raise CheckpointError(f"{target} is not a repro checkpoint")
+    return header
+
+
+def load_checkpoint(path: Union[str, Path]) -> Checkpoint:
+    """Load and verify a checkpoint written by :func:`save_checkpoint`.
+
+    Unlike a trace-cache miss, a bad checkpoint is an *error*: the
+    caller asked to resume from this specific state, and resuming from
+    anything else (or silently restarting) would be wrong.  Every
+    failure mode -- truncation, bit rot, a stale format version, a
+    checksum mismatch -- raises :class:`~repro.errors.CheckpointError`
+    naming the file.
+    """
+    target = Path(path)
+    header = read_checkpoint_header(target)
+    if header.get("format") != FORMAT_VERSION:
+        raise CheckpointError(
+            f"{target} has checkpoint format {header.get('format')}; "
+            f"this build reads format {FORMAT_VERSION}"
+        )
+    with METRICS.timer("checkpoint.load"):
+        with open(target, "rb") as handle:
+            pickle.load(handle)  # skip the header frame
+            payload = handle.read()
+        if f"crc32:{zlib.crc32(payload):08x}" != header.get("checksum"):
+            raise CheckpointError(
+                f"checksum mismatch in {target}: the checkpoint is "
+                "corrupt (truncated write or bit rot); re-run from an "
+                "earlier checkpoint or from scratch"
+            )
+        try:
+            body = pickle.loads(payload)
+        except Exception as exc:
+            raise CheckpointError(
+                f"cannot unpickle checkpoint body in {target}: {exc}"
+            ) from exc
+    checkpoint = Checkpoint(
+        params=body["params"],
+        options=body["options"],
+        seed=body["seed"],
+        faults=body["faults"],
+        fault_seed=body["fault_seed"],
+        next_iteration=body["next_iteration"],
+        total_iterations=body["total_iterations"],
+        machine_state=body["machine_state"],
+        workload=body["workload"],
+        metrics=body["metrics"],
+    )
+    if checkpoint.fingerprint != header.get("fingerprint"):
+        raise CheckpointError(
+            f"configuration fingerprint mismatch in {target}: header says "
+            f"{header.get('fingerprint')!r} but the body hashes to "
+            f"{checkpoint.fingerprint!r}"
+        )
+    METRICS.inc("checkpoint.loaded")
+    return checkpoint
+
+
+def checkpoint_path(directory: Union[str, Path], iteration: int) -> Path:
+    """Canonical file name for the checkpoint taken *after* ``iteration``."""
+    return Path(directory) / f"checkpoint-{iteration:04d}.ckpt"
+
+
+def latest_checkpoint(directory: Union[str, Path]) -> Optional[Path]:
+    """The newest checkpoint in ``directory`` (by iteration number)."""
+    candidates = sorted(Path(directory).glob("checkpoint-*.ckpt"))
+    return candidates[-1] if candidates else None
+
+
+# ----------------------------------------------------------------------
+# drivers
+# ----------------------------------------------------------------------
+
+
+def simulate_with_checkpoints(
+    workload: Workload,
+    iterations: Optional[int] = None,
+    params: SystemParams = PAPER_PARAMS,
+    options: StacheOptions = DEFAULT_OPTIONS,
+    seed: int = 0,
+    faults: Optional[FaultProfile] = None,
+    fault_seed: int = 0,
+    checkpoint_dir: Union[str, Path, None] = None,
+    every: int = 1,
+    watchdog=None,
+) -> TraceCollector:
+    """Run ``workload``, writing a checkpoint every ``every`` iterations.
+
+    With ``checkpoint_dir=None`` this degrades to a plain
+    :func:`~repro.sim.machine.simulate` (the split driving loop is
+    byte-identical to the original single loop).
+    """
+    if every < 1:
+        raise CheckpointError(f"checkpoint interval must be >= 1, got {every}")
+    machine = Machine(
+        params=params,
+        options=options,
+        seed=seed,
+        faults=faults,
+        fault_seed=fault_seed,
+        watchdog=watchdog,
+    )
+    total = machine.begin_workload(workload, iterations)
+    for index in range(1, total + 1):
+        machine.run_iteration(workload, index)
+        if checkpoint_dir is not None and index % every == 0:
+            save_checkpoint(
+                capture(machine, workload, index + 1, total),
+                checkpoint_path(checkpoint_dir, index),
+            )
+    return machine.finish_workload()
+
+
+def resume_simulation(
+    path: Union[str, Path],
+    checkpoint_dir: Union[str, Path, None] = None,
+    every: int = 1,
+    restore_metrics: bool = True,
+    watchdog=None,
+) -> TraceCollector:
+    """Finish the run captured in the checkpoint at ``path``.
+
+    Runs iterations ``next_iteration..total_iterations`` and returns the
+    complete trace collector -- byte-identical to the uninterrupted
+    run's.  With ``restore_metrics=True`` (default) the global registry
+    is reset to the checkpoint's snapshot first, so counter and
+    histogram totals also match the uninterrupted run.  Pass a
+    ``checkpoint_dir`` to keep writing checkpoints while finishing.
+    """
+    checkpoint = load_checkpoint(path)
+    if restore_metrics:
+        METRICS.reset()
+        METRICS.merge(checkpoint.metrics)
+    machine, workload = restore(checkpoint, watchdog=watchdog)
+    total = checkpoint.total_iterations
+    for index in range(checkpoint.next_iteration, total + 1):
+        machine.run_iteration(workload, index)
+        if checkpoint_dir is not None and index % every == 0:
+            save_checkpoint(
+                capture(machine, workload, index + 1, total),
+                checkpoint_path(checkpoint_dir, index),
+            )
+    return machine.finish_workload()

@@ -8,15 +8,26 @@ relies on:
 * determinism -- a run with the same inputs replays identically, and
 * per-channel FIFO -- two messages sent over a constant-latency network in
   some order are delivered in the same order.
+
+The scheduler state (clock, sequence counter, dispatch count) is plain
+data so a quiescent engine -- empty queue -- can be captured into a
+checkpoint and restored exactly (see :mod:`repro.sim.checkpoint`).
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 from ..errors import SimulationError
+
+
+def _callback_name(callback: Callable[..., None]) -> str:
+    """A human-readable name for a scheduled callback."""
+    name = getattr(callback, "__qualname__", None)
+    if name is None:
+        name = getattr(callback, "__name__", None)
+    return name if name is not None else repr(callback)
 
 
 class Engine:
@@ -24,7 +35,7 @@ class Engine:
 
     def __init__(self) -> None:
         self._queue: list = []
-        self._seq = itertools.count()
+        self._next_seq = 0
         self._now = 0
         self._events_processed = 0
 
@@ -38,6 +49,11 @@ class Engine:
         """Total number of events the engine has dispatched."""
         return self._events_processed
 
+    def _take_seq(self) -> int:
+        seq = self._next_seq
+        self._next_seq += 1
+        return seq
+
     def schedule(
         self, delay: int, callback: Callable[..., None], *args: Any
     ) -> None:
@@ -45,7 +61,7 @@ class Engine:
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past: {delay}")
         heapq.heappush(
-            self._queue, (self._now + delay, next(self._seq), callback, args)
+            self._queue, (self._now + delay, self._take_seq(), callback, args)
         )
 
     def schedule_at(
@@ -56,16 +72,30 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule at {time} before current time {self._now}"
             )
-        heapq.heappush(self._queue, (time, next(self._seq), callback, args))
+        heapq.heappush(self._queue, (time, self._take_seq(), callback, args))
 
-    def run(self, max_events: Optional[int] = None) -> int:
+    def run(
+        self,
+        max_events: Optional[int] = None,
+        raise_if_pending: bool = False,
+    ) -> int:
         """Run until the event queue drains (or ``max_events`` dispatched).
 
-        Returns the number of events dispatched by this call.
+        Returns the number of events dispatched by this call.  With
+        ``raise_if_pending=True``, exhausting ``max_events`` while events
+        still wait raises :class:`SimulationError` describing the head of
+        the queue (time and callback of the next few events), so a
+        budget-capped run dies with a diagnosis instead of a bare count.
         """
         dispatched = 0
         while self._queue:
             if max_events is not None and dispatched >= max_events:
+                if raise_if_pending:
+                    raise SimulationError(
+                        f"event budget of {max_events} exhausted with "
+                        f"{len(self._queue)} events pending at t={self._now}; "
+                        f"next up: {self.describe_pending()}"
+                    )
                 break
             time, _seq, callback, args = heapq.heappop(self._queue)
             self._now = time
@@ -77,3 +107,61 @@ class Engine:
     def pending(self) -> int:
         """Number of events still waiting in the queue."""
         return len(self._queue)
+
+    def peek_events(self, limit: int = 5) -> List[Tuple[int, str]]:
+        """The next ``limit`` pending events as ``(time, callback name)``.
+
+        Non-destructive: used by error messages, the watchdog's forensic
+        bundle, and quiescence diagnostics to show *what* a stuck run is
+        still waiting on.
+        """
+        head = heapq.nsmallest(limit, self._queue)
+        return [(time, _callback_name(cb)) for time, _seq, cb, _args in head]
+
+    def describe_pending(self, limit: int = 5) -> str:
+        """One-line summary of the head of the event queue."""
+        if not self._queue:
+            return "(queue empty)"
+        parts = [
+            f"t={time} {name}" for time, name in self.peek_events(limit)
+        ]
+        suffix = (
+            f" ... +{len(self._queue) - limit} more"
+            if len(self._queue) > limit
+            else ""
+        )
+        return "; ".join(parts) + suffix
+
+    # ------------------------------------------------------------------
+    # checkpoint support
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Capture scheduler state; only legal when the queue is empty.
+
+        Callbacks are live object references and deliberately never
+        serialized -- checkpoints are taken at quiescent points where no
+        events are in flight, which the simulator guarantees between
+        workload phases.
+        """
+        if self._queue:
+            raise SimulationError(
+                f"cannot snapshot a non-quiescent engine: "
+                f"{len(self._queue)} events pending "
+                f"({self.describe_pending()})"
+            )
+        return {
+            "now": self._now,
+            "next_seq": self._next_seq,
+            "events_processed": self._events_processed,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore scheduler state captured by :meth:`snapshot_state`."""
+        if self._queue:
+            raise SimulationError(
+                "cannot restore into an engine with pending events"
+            )
+        self._now = state["now"]
+        self._next_seq = state["next_seq"]
+        self._events_processed = state["events_processed"]

@@ -53,9 +53,16 @@ class FaultProfile:
     #: Upper bound (ns) of always-on per-message latency jitter
     #: (drawn uniformly from [0, jitter]; 0 disables jitter).
     jitter: int = 0
+    #: Probability, per predictor observation, that a random bit flips
+    #: in a stored MHT/PHT entry (soft-error model for the predictor
+    #: SRAM; see :mod:`repro.core.corruption`).
+    flip: float = 0.0
+    #: Probability, per predictor observation, that a whole MHT entry
+    #: (the block's history and patterns) is lost outright.
+    loss: float = 0.0
 
     def __post_init__(self) -> None:
-        for name in ("drop", "dup", "reorder"):
+        for name in ("drop", "dup", "reorder", "flip", "loss"):
             value = getattr(self, name)
             if not 0.0 <= value < 1.0:
                 raise ConfigError(
@@ -68,8 +75,19 @@ class FaultProfile:
 
     @property
     def is_active(self) -> bool:
-        """Whether this profile perturbs delivery at all."""
+        """Whether this profile perturbs the network's delivery at all.
+
+        Predictor corruption (``flip``/``loss``) deliberately does not
+        count: it perturbs predictor state, not message delivery, so a
+        corruption-only profile keeps the timing-exact reliable
+        interconnect (and its golden traces) untouched.
+        """
         return bool(self.drop or self.dup or self.reorder or self.jitter)
+
+    @property
+    def corrupts_predictor(self) -> bool:
+        """Whether this profile injects predictor-state corruption."""
+        return bool(self.flip or self.loss)
 
     @property
     def max_skew_ns(self) -> int:
@@ -250,3 +268,26 @@ class FaultyNetwork:
     def _deliver_one(self, msg: Message) -> None:
         self._count("delivered")
         self._deliver(msg)
+
+    # ------------------------------------------------------------------
+    # checkpoint support
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Plain-data fault-network state, including the RNG stream.
+
+        Capturing ``random.Random.getstate()`` is what makes a restored
+        faulty run replay bit-for-bit: the same drop/dup/jitter draws
+        happen after resume as would have happened uninterrupted.
+        """
+        return {
+            "messages_sent": self.messages_sent,
+            "fault_counts": dict(self.fault_counts),
+            "rng": self._rng.getstate(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore state captured by :meth:`snapshot_state`."""
+        self.messages_sent = state["messages_sent"]
+        self.fault_counts.update(state["fault_counts"])
+        self._rng.setstate(state["rng"])

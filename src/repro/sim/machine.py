@@ -18,7 +18,9 @@ modeled (the paper excludes barrier variables from its traces).
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence
+from array import array
+from itertools import chain
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from ..errors import ProtocolError, SimulationError
 from ..obs.log import OBS
@@ -36,6 +38,9 @@ from .metrics import METRICS
 from .network import Network
 from .node import Node
 from .params import PAPER_PARAMS, SystemParams
+
+if TYPE_CHECKING:
+    from .watchdog import Watchdog
 
 #: Base think time between a processor's consecutive shared accesses (ns).
 _THINK_BASE_NS = 20
@@ -63,6 +68,7 @@ class Machine:
         seed: int = 0,
         faults: Optional[FaultProfile] = None,
         fault_seed: int = 0,
+        watchdog: Optional["Watchdog"] = None,
     ) -> None:
         self.params = params
         self.options = options
@@ -120,6 +126,9 @@ class Machine:
         self.accesses_issued = 0
         #: (latency_ns, was_coherence_miss) per completed shared access.
         self.access_latencies: List[tuple] = []
+        self.watchdog = watchdog
+        if watchdog is not None:
+            watchdog.attach(self)
         # Give timestamp-less emitters (protocol controllers) a clock.
         # OBS is process-global, so the most recently built machine owns
         # it -- fine for the sequential capture runs observability uses.
@@ -158,6 +167,8 @@ class Machine:
             sender=msg.src,
             mtype=msg.mtype,
         )
+        if self.watchdog is not None:
+            self.watchdog.note_delivery(msg.block)
         self.nodes[msg.dst].receive(msg)
         if self.recovery is not None:
             self._check_coherence(msg.block)
@@ -310,12 +321,22 @@ class Machine:
                     0, _PHASE_STAGGER_NS
                 )
                 self.engine.schedule(stagger, self._issue_next, proc)
-        self.engine.run()
-        for proc in range(self.params.n_nodes):
-            if self._cursor[proc] != len(self._pending[proc]):
-                raise SimulationError(
-                    f"processor {proc} finished a phase with accesses pending"
-                )
+        if self.watchdog is not None:
+            self.watchdog.run_engine(self.engine)
+        else:
+            self.engine.run()
+        stuck = [
+            (proc, len(self._pending[proc]) - self._cursor[proc])
+            for proc in range(self.params.n_nodes)
+            if self._cursor[proc] != len(self._pending[proc])
+        ]
+        if stuck:
+            detail = ", ".join(f"P{proc}: {n} left" for proc, n in stuck)
+            raise SimulationError(
+                f"{len(stuck)} processor(s) finished a phase with accesses "
+                f"pending ({detail}); engine queue: "
+                f"{self.engine.describe_pending()}"
+            )
 
     def _issue_next(self, proc: int) -> None:
         stream = self._pending[proc]
@@ -355,6 +376,8 @@ class Machine:
         self.access_latencies.append(
             (self.engine.now - self._issue_time[proc], self._was_miss[proc])
         )
+        if self.watchdog is not None:
+            self.watchdog.note_completion()
         think = (
             _THINK_BASE_NS
             + self._proc_offset[proc]
@@ -366,16 +389,19 @@ class Machine:
     # workload driving
     # ------------------------------------------------------------------
 
-    def run_workload(
+    def begin_workload(
         self,
         workload: Workload,
         iterations: Optional[int] = None,
-    ) -> TraceCollector:
-        """Run ``workload`` for ``iterations`` main iterations.
+    ) -> int:
+        """Lay out memory and run the start-up phase; return the resolved
+        iteration count.
 
-        Returns the trace collector; its ``events`` property excludes the
-        start-up phase, matching the paper's methodology.  Iterations are
-        numbered from 1; start-up events carry iteration 0.
+        The workload-driving loop is split into ``begin_workload`` /
+        ``run_iteration`` / ``finish_workload`` so a driver can pause at
+        any iteration boundary -- a quiescent point where the event queue
+        is empty and every transaction has completed -- and capture the
+        machine into a checkpoint (:mod:`repro.sim.checkpoint`).
         """
         if workload.n_procs != self.params.n_nodes:
             raise SimulationError(
@@ -394,11 +420,16 @@ class Machine:
         for phase in workload.startup(self._rng):
             self._run_phase(phase)
         self.collector.mark_startup_complete()
+        return iterations
 
-        for index in range(1, iterations + 1):
-            self.collector.iteration = index
-            for phase in workload.iteration(index, self._rng):
-                self._run_phase(phase)
+    def run_iteration(self, workload: Workload, index: int) -> None:
+        """Run one main iteration (numbered from 1) of ``workload``."""
+        self.collector.iteration = index
+        for phase in workload.iteration(index, self._rng):
+            self._run_phase(phase)
+
+    def finish_workload(self) -> TraceCollector:
+        """End-of-run checks and metric folds; returns the collector."""
         if self.recovery is not None:
             self.assert_quiescent()
             self._fold_fault_metrics()
@@ -407,6 +438,84 @@ class Machine:
         for latency_ns, _was_miss in self.access_latencies:
             METRICS.observe("sim.access.latency_ns", latency_ns)
         return self.collector
+
+    def run_workload(
+        self,
+        workload: Workload,
+        iterations: Optional[int] = None,
+    ) -> TraceCollector:
+        """Run ``workload`` for ``iterations`` main iterations.
+
+        Returns the trace collector; its ``events`` property excludes the
+        start-up phase, matching the paper's methodology.  Iterations are
+        numbered from 1; start-up events carry iteration 0.
+        """
+        iterations = self.begin_workload(workload, iterations)
+        for index in range(1, iterations + 1):
+            self.run_iteration(workload, index)
+        return self.finish_workload()
+
+    # ------------------------------------------------------------------
+    # checkpoint support
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Capture the whole machine as plain data at a quiescent point.
+
+        Legal only between iterations: the engine snapshot refuses if
+        events are pending, each cache refuses if a miss is outstanding,
+        and each directory refuses if a transaction is active or queued.
+        The think-time RNG stream is captured, so a restored machine
+        draws exactly the stagger/think values the uninterrupted run
+        would have -- byte-identical traces after resume.
+        """
+        return {
+            "engine": self.engine.snapshot_state(),
+            "network": self.network.snapshot_state(),
+            "nodes": [
+                {
+                    "cache": node.cache.snapshot_state(),
+                    "directory": node.directory.snapshot_state(),
+                }
+                for node in self.nodes
+            ],
+            "collector": self.collector.snapshot_state(),
+            "rng": self._rng.getstate(),
+            "proc_offset": list(self._proc_offset),
+            "replacements": list(self.replacements),
+            # Flat int array: the second-largest state component after
+            # the trace itself, and an array pickles as one buffer.
+            "access_latencies": array(
+                "q", chain.from_iterable(self.access_latencies)
+            ),
+            "accesses_issued": self.accesses_issued,
+            "invariant_checks": self.invariant_checks,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a machine captured by :meth:`snapshot_state`.
+
+        The machine must have been constructed with the same parameters,
+        options, seed, and fault profile as the one captured (the
+        checkpoint layer verifies this via a configuration fingerprint
+        before calling here).
+        """
+        self.engine.restore_state(state["engine"])
+        self.network.restore_state(state["network"])
+        for node, node_state in zip(self.nodes, state["nodes"]):
+            node.cache.restore_state(node_state["cache"])
+            node.directory.restore_state(node_state["directory"])
+        self.collector.restore_state(state["collector"])
+        self._rng.setstate(state["rng"])
+        self._proc_offset = list(state["proc_offset"])
+        self.replacements = list(state["replacements"])
+        flat_latencies = state["access_latencies"]
+        self.access_latencies = [
+            (flat_latencies[base], bool(flat_latencies[base + 1]))
+            for base in range(0, len(flat_latencies), 2)
+        ]
+        self.accesses_issued = state["accesses_issued"]
+        self.invariant_checks = state["invariant_checks"]
 
 
 def simulate(
@@ -417,6 +526,7 @@ def simulate(
     seed: int = 0,
     faults: Optional[FaultProfile] = None,
     fault_seed: int = 0,
+    watchdog: Optional["Watchdog"] = None,
 ) -> TraceCollector:
     """One-call convenience: build a machine, run ``workload``, return the trace."""
     machine = Machine(
@@ -425,5 +535,6 @@ def simulate(
         seed=seed,
         faults=faults,
         fault_seed=fault_seed,
+        watchdog=watchdog,
     )
     return machine.run_workload(workload, iterations=iterations)

@@ -247,10 +247,9 @@ def dump_metrics_json(
         )
     payload = dict(snapshot)
     payload.update(extra)
-    target = Path(path)
-    if str(target.parent) not in ("", "."):
-        target.parent.mkdir(parents=True, exist_ok=True)
-    with open(target, "w", encoding="utf-8") as handle:
+    from ..ioutil import atomic_write
+
+    with atomic_write(path) as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
 

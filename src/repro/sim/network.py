@@ -38,6 +38,13 @@ class Network:
     def latency_ns(self) -> int:
         return self._latency
 
+    def snapshot_state(self) -> dict:
+        """Plain-data network state for checkpoints."""
+        return {"messages_sent": self.messages_sent}
+
+    def restore_state(self, state: dict) -> None:
+        self.messages_sent = state["messages_sent"]
+
     def send(self, msg: Message) -> None:
         """Inject ``msg``; it is delivered ``latency_ns`` later."""
         self.messages_sent += 1

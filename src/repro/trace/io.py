@@ -12,6 +12,7 @@ from pathlib import Path
 from typing import Iterable, Iterator, List, Union
 
 from ..errors import TraceError
+from ..ioutil import atomic_write
 from ..protocol.messages import MessageType, Role
 from .events import TraceEvent
 
@@ -23,9 +24,14 @@ _CODE_ROLE = {code: role for role, code in _ROLE_CODE.items()}
 
 
 def save_trace(events: Iterable[TraceEvent], path: Union[str, Path]) -> int:
-    """Write ``events`` to ``path`` in JSON-lines format; return the count."""
+    """Write ``events`` to ``path`` in JSON-lines format; return the count.
+
+    The write is atomic (temp file + ``os.replace``): an interrupted
+    simulation never leaves a truncated trace behind for a later run to
+    trip over.
+    """
     count = 0
-    with open(path, "w", encoding="utf-8") as handle:
+    with atomic_write(path) as handle:
         for event in events:
             record = [
                 event.time,

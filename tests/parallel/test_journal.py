@@ -1,0 +1,167 @@
+"""Run-journal unit tests: digests, plan round trip, replay semantics."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.parallel.journal import (
+    JOURNAL_FILE,
+    PLAN_FILE,
+    RunJournal,
+    shard_digest,
+)
+from repro.parallel.plan import ExperimentShard, Plan, TraceShard
+from repro.parallel.pool import ShardOutcome
+
+TRACE = TraceShard(
+    app="barnes",
+    iterations=4,
+    seed=0,
+    quick=True,
+    cache_dir="/tmp/cache",
+    shard_seed=123,
+)
+EXPERIMENT = ExperimentShard(
+    index=0,
+    name="figure5",
+    quick=True,
+    seed=0,
+    cache_dir="/tmp/cache",
+    shard_seed=456,
+)
+PLAN = Plan(traces=(TRACE,), experiments=(EXPERIMENT,))
+META = {"names": ["figure5"], "quick": True, "seed": 0}
+
+
+def _outcome(shard, error=None):
+    if isinstance(shard, TraceShard):
+        kind, name, index = "trace", shard.app, 0
+    else:
+        kind, name, index = "experiment", shard.name, shard.index
+    return ShardOutcome(
+        kind=kind,
+        name=name,
+        index=index,
+        text="rendered output\n" if error is None else "",
+        events=100,
+        seconds=0.5,
+        pid=4242,
+        metrics={"counters": {"x": 1}, "timers": {}},
+        error=error,
+    )
+
+
+class TestDigest:
+    def test_stable_across_calls(self):
+        assert shard_digest(TRACE) == shard_digest(TRACE)
+        assert len(shard_digest(TRACE)) == 64
+
+    def test_sensitive_to_every_field(self):
+        import dataclasses
+
+        base = shard_digest(TRACE)
+        for change in (
+            {"app": "ocean"},
+            {"iterations": 5},
+            {"seed": 1},
+            {"quick": False},
+            {"cache_dir": "/elsewhere"},
+            {"shard_seed": 124},
+            {"fault_spec": "light"},
+            {"fault_seed": 9},
+        ):
+            assert shard_digest(dataclasses.replace(TRACE, **change)) != base
+
+    def test_sensitive_to_shard_kind(self):
+        # A TraceShard and an ExperimentShard must never collide, even
+        # if their field dicts somehow matched.
+        assert shard_digest(TRACE) != shard_digest(EXPERIMENT)
+
+
+class TestCreateLoad:
+    def test_round_trip(self, tmp_path):
+        run_dir = tmp_path / "run"
+        with RunJournal.create(run_dir, PLAN, META) as journal:
+            assert (run_dir / PLAN_FILE).exists()
+            assert journal.completed_count == 0
+        loaded = RunJournal.load(run_dir)
+        assert loaded.plan() == PLAN
+        assert loaded.meta == META
+
+    def test_create_refuses_an_existing_run(self, tmp_path):
+        RunJournal.create(tmp_path, PLAN, META)
+        with pytest.raises(ReproError, match="--resume"):
+            RunJournal.create(tmp_path, PLAN, META)
+
+    def test_load_missing_run(self, tmp_path):
+        with pytest.raises(ReproError, match="no run journal"):
+            RunJournal.load(tmp_path / "nope")
+
+    def test_load_corrupt_plan(self, tmp_path):
+        (tmp_path / PLAN_FILE).write_text("{not json")
+        with pytest.raises(ReproError, match="corrupt"):
+            RunJournal.load(tmp_path)
+
+    def test_load_wrong_format(self, tmp_path):
+        (tmp_path / PLAN_FILE).write_text(
+            json.dumps({"format": 99, "meta": {}, "traces": [],
+                        "experiments": []})
+        )
+        with pytest.raises(ReproError, match="format"):
+            RunJournal.load(tmp_path)
+
+
+class TestReplay:
+    def test_recorded_success_is_replayed(self, tmp_path):
+        with RunJournal.create(tmp_path, PLAN, META) as journal:
+            journal.record(TRACE, _outcome(TRACE))
+        loaded = RunJournal.load(tmp_path)
+        assert loaded.completed_count == 1
+        record = loaded.outcome_record(TRACE)
+        assert ShardOutcome(**record).text == "rendered output\n"
+        assert loaded.outcome_record(EXPERIMENT) is None
+
+    def test_failure_is_forensic_not_a_completion(self, tmp_path):
+        with RunJournal.create(tmp_path, PLAN, META) as journal:
+            journal.record(TRACE, _outcome(TRACE))
+            journal.record(TRACE, _outcome(TRACE, error="Boom: traceback"))
+        loaded = RunJournal.load(tmp_path)
+        # The later failure revokes the earlier success: the shard
+        # re-runs on resume rather than serving a doubted result.
+        assert loaded.outcome_record(TRACE) is None
+        # Both records survive on disk for forensics.
+        lines = (tmp_path / JOURNAL_FILE).read_text().splitlines()
+        assert len(lines) == 2
+
+    def test_failure_then_success_completes(self, tmp_path):
+        with RunJournal.create(tmp_path, PLAN, META) as journal:
+            journal.record(TRACE, _outcome(TRACE, error="Boom"))
+            journal.record(TRACE, _outcome(TRACE))
+        loaded = RunJournal.load(tmp_path)
+        assert loaded.outcome_record(TRACE) is not None
+
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        with RunJournal.create(tmp_path, PLAN, META) as journal:
+            journal.record(TRACE, _outcome(TRACE))
+            journal.record(EXPERIMENT, _outcome(EXPERIMENT))
+        # Simulate a kill -9 mid-append: truncate the final record.
+        path = tmp_path / JOURNAL_FILE
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2 + len(text) // 4])
+        loaded = RunJournal.load(tmp_path)
+        assert loaded.completed_count == 1
+        assert loaded.outcome_record(TRACE) is not None
+        assert loaded.outcome_record(EXPERIMENT) is None
+
+    def test_record_is_durable_before_acknowledgment(self, tmp_path):
+        journal = RunJournal.create(tmp_path, PLAN, META)
+        journal.record(TRACE, _outcome(TRACE))
+        # Read the file *without* closing the journal: the record must
+        # already be flushed (fsync_append), as a killed worker never
+        # gets to close cleanly.
+        lines = (tmp_path / JOURNAL_FILE).read_text().splitlines()
+        assert len(lines) == 1
+        entry = json.loads(lines[0])
+        assert entry["digest"] == shard_digest(TRACE)
+        journal.close()
