@@ -80,6 +80,7 @@ def _watchdog_from_args(args: argparse.Namespace) -> Optional[Watchdog]:
     if (
         args.watchdog_seconds is not None
         or args.watchdog_events is not None
+        or args.watchdog_run_seconds is not None
     ):
         config = WatchdogConfig(
             wall_clock_s=(
@@ -92,6 +93,7 @@ def _watchdog_from_args(args: argparse.Namespace) -> Optional[Watchdog]:
                 if args.watchdog_events is not None
                 else DEFAULT_WATCHDOG.max_events
             ),
+            run_wall_clock_s=args.watchdog_run_seconds,
         )
     return Watchdog(config, bundle_path=args.watchdog_bundle)
 
@@ -405,6 +407,17 @@ def _add_watchdog_options(parser: argparse.ArgumentParser) -> None:
         help=(
             "event budget per simulation phase (default "
             f"{DEFAULT_WATCHDOG.max_events})"
+        ),
+    )
+    parser.add_argument(
+        "--watchdog-run-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help=(
+            "wall-clock budget for the whole run segment, measured from "
+            "start (or from resume time for 'resume'); disabled by "
+            "default"
         ),
     )
 

@@ -60,6 +60,20 @@ class WatchdogError(SimulationError):
         self.bundle = bundle if bundle is not None else {}
 
 
+class OracleViolation(ReproError):
+    """A schedule-exploration invariant oracle rejected the run.
+
+    ``oracle`` names the oracle that fired (``coherence``,
+    ``quiescence``, ``liveness``, ``predictor-balance``, ``overtake``)
+    so runners and artifacts can classify failures without parsing the
+    message.
+    """
+
+    def __init__(self, oracle: str, message: str) -> None:
+        super().__init__(message)
+        self.oracle = oracle
+
+
 class RunInterrupted(ReproError):
     """A sharded run was interrupted (SIGINT/SIGTERM) before completing.
 

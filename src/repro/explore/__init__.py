@@ -1,0 +1,74 @@
+"""Adversarial schedule exploration with invariant oracles.
+
+The explorer drives the simulated machine through *chosen* message
+delivery orders instead of the network's natural FIFO timing, watching
+invariant oracles the whole way, and packages any violation as a
+replayable, shrinkable ``.repro`` artifact:
+
+* :mod:`~repro.explore.strategies` -- delivery-order policies
+  (random-walk, PCT, delay-bounded, FIFO, replay-from-log);
+* :mod:`~repro.explore.network` -- the scheduler seam: an interconnect
+  whose delivery order is the policy's to pick, with fault injection
+  composing underneath;
+* :mod:`~repro.explore.oracles` -- coherence, quiescence, liveness,
+  predictor-balance, and the opt-in overtake oracle;
+* :mod:`~repro.explore.runner` -- episode campaigns, budgets,
+  checkpoint forking, and byte-identical replay;
+* :mod:`~repro.explore.shrink` -- delta debugging over decision logs
+  and access streams;
+* :mod:`~repro.explore.artifact` -- the ``.repro`` on-disk format;
+* :mod:`~repro.explore.cli` -- the ``repro-explore`` command.
+"""
+
+from .artifact import ExploreArtifact, load_artifact, save_artifact
+from .network import DEFAULT_DEFER_CAP, ExploringNetwork
+from .oracles import DEFAULT_ORACLES, Oracle, parse_oracles
+from .runner import (
+    ExploreConfig,
+    ExploreReport,
+    EpisodeResult,
+    ReplayResult,
+    explore,
+    replay_artifact,
+)
+from .shrink import ShrinkResult, ddmin, shrink
+from .strategies import (
+    DEFER_REST,
+    STRATEGIES,
+    DeliveryPolicy,
+    DelayBoundedPolicy,
+    FifoPolicy,
+    PCTPolicy,
+    RandomWalkPolicy,
+    ReplayPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "DEFAULT_DEFER_CAP",
+    "DEFAULT_ORACLES",
+    "DEFER_REST",
+    "DelayBoundedPolicy",
+    "DeliveryPolicy",
+    "EpisodeResult",
+    "ExploreArtifact",
+    "ExploreConfig",
+    "ExploreReport",
+    "ExploringNetwork",
+    "FifoPolicy",
+    "Oracle",
+    "PCTPolicy",
+    "RandomWalkPolicy",
+    "ReplayPolicy",
+    "ReplayResult",
+    "STRATEGIES",
+    "ShrinkResult",
+    "ddmin",
+    "explore",
+    "load_artifact",
+    "make_policy",
+    "parse_oracles",
+    "replay_artifact",
+    "save_artifact",
+    "shrink",
+]

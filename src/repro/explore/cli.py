@@ -1,0 +1,300 @@
+"""``repro-explore``: adversarial schedule exploration from the shell.
+
+Three subcommands:
+
+* ``run`` -- explore one workload under a strategy, within event and
+  wall-clock budgets; every invariant violation is written out as a
+  replayable ``.repro`` artifact.  Exit status 0 means every episode
+  was clean; 3 means violations were found (and saved); 1 is an error.
+* ``replay`` -- re-execute an artifact's decision log and report
+  whether it reproduces the recorded failure (exit 0) or not (exit 1).
+* ``shrink`` -- minimize a failing artifact by delta debugging and
+  write the reduced artifact next to (or over) the input.
+
+Examples::
+
+    repro-explore run dsmc --quick --strategy random-walk \\
+        --episodes 20 --budget-events 50000 --out failures/
+    repro-explore replay failures/dsmc-random-walk-ep003.repro
+    repro-explore shrink failures/dsmc-random-walk-ep003.repro \\
+        --out minimal.repro
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..errors import ReproError
+from ..workloads.registry import BENCHMARK_NAMES
+from .artifact import load_artifact, save_artifact
+from .network import DEFAULT_DEFER_CAP
+from .oracles import DEFAULT_ORACLES
+from .runner import ExploreConfig, explore, replay_artifact
+from .shrink import shrink
+from .strategies import STRATEGIES
+
+#: Exit status for "the exploration found (and saved) violations" --
+#: distinct from 1 so scripts can tell "found a bug" from "broke".
+EXIT_VIOLATIONS = 3
+
+_QUICK_KWARGS = {
+    "appbt": {"face_blocks": 2, "false_share_blocks": 1},
+    "barnes": {"n_objects": 48},
+    "dsmc": {
+        "buffers_per_proc": 1,
+        "rare_blocks_per_proc": 6,
+        "contended_buffers": 2,
+    },
+    "moldyn": {"force_blocks": 16, "coord_blocks": 16},
+    "unstructured": {"mesh_blocks": 24},
+}
+
+_QUICK_ITERATIONS = 3
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    kwargs = dict(_QUICK_KWARGS[args.workload]) if args.quick else {}
+    iterations = args.iterations
+    if iterations is None and args.quick:
+        iterations = _QUICK_ITERATIONS
+    config = ExploreConfig(
+        app=args.workload,
+        iterations=iterations,
+        seed=args.seed,
+        strategy=args.strategy,
+        episodes=args.episodes,
+        budget_events=args.budget_events,
+        budget_wall_s=args.budget_wall,
+        fault_spec=args.fault_profile,
+        fault_seed=args.fault_seed,
+        quantum_ns=args.quantum,
+        defer_cap=args.defer_cap,
+        pct_depth=args.pct_depth,
+        delay_bound=args.delay_bound,
+        fork_at=args.fork_at,
+        oracles=tuple(args.oracle) if args.oracle else DEFAULT_ORACLES,
+        workload_kwargs=kwargs,
+    )
+    report = explore(config, out_dir=args.out)
+    for result in report.results:
+        line = (
+            f"episode {result.episode:3d}  seed {result.policy_seed:>20d}  "
+            f"{result.outcome:<16s} events={result.events:<8d} "
+            f"decisions={result.decisions}"
+        )
+        if result.oracle:
+            line += f"  oracle={result.oracle}"
+        print(line)
+        if result.message:
+            print(f"             {result.message}")
+        if result.artifact_path:
+            print(f"             saved {result.artifact_path}")
+    violations = report.violations
+    print(
+        f"{len(report.results)} episode(s), {len(violations)} "
+        f"violation(s), {report.total_events} events simulated"
+    )
+    return EXIT_VIOLATIONS if violations else 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    artifact = load_artifact(args.artifact)
+    result = replay_artifact(
+        artifact, extra_oracles=tuple(args.oracle or ())
+    )
+    execution = result.execution
+    print(
+        f"replayed {result.policy.consumed}/{len(artifact.decisions)} "
+        f"decisions: {execution.outcome}"
+    )
+    if execution.failure is not None:
+        print(
+            f"  oracle={execution.failure['oracle']}  "
+            f"t={execution.failure['sim_time_ns']}ns  "
+            f"decision {execution.failure['at_decision']}"
+        )
+        print(f"  {execution.failure['message']}")
+    if artifact.oracle is not None:
+        expected = artifact.oracle
+        print(
+            f"recorded failure: oracle={expected} -- "
+            + ("reproduced" if result.reproduced else "NOT reproduced")
+        )
+    return 0 if result.reproduced else 1
+
+
+def _cmd_shrink(args: argparse.Namespace) -> int:
+    artifact = load_artifact(args.artifact)
+    result = shrink(
+        artifact,
+        max_checks=args.max_checks,
+        reduce_workload=not args.keep_workload,
+        progress=(None if args.quiet else lambda msg: print(f"  {msg}")),
+    )
+    out = args.out if args.out is not None else args.artifact
+    save_artifact(result.artifact, out)
+    print(
+        f"decisions: {result.original_decisions} -> "
+        f"{result.final_decisions} "
+        f"({result.decision_ratio:.1%} of original), "
+        f"accesses: {result.original_accesses} -> "
+        f"{result.final_accesses}, {result.checks} replays"
+    )
+    print(f"minimized artifact written to {out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-explore",
+        description=(
+            "deterministic schedule exploration for the Stache/Cosmos "
+            "simulator: adversarial delivery orders, invariant oracles, "
+            "replayable failure artifacts, automatic shrinking"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser(
+        "run", help="explore schedules, saving violations as artifacts"
+    )
+    run.add_argument("workload", choices=BENCHMARK_NAMES)
+    run.add_argument(
+        "--quick",
+        action="store_true",
+        help="scaled-down workload (same shapes, smaller footprint)",
+    )
+    run.add_argument("--iterations", type=int, default=None)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--strategy", choices=STRATEGIES, default="random-walk"
+    )
+    run.add_argument(
+        "--episodes",
+        type=int,
+        default=10,
+        help="independent schedules to explore (default 10)",
+    )
+    run.add_argument(
+        "--budget-events",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop an episode once it has processed N engine events",
+    )
+    run.add_argument(
+        "--budget-wall",
+        type=float,
+        default=None,
+        metavar="S",
+        help="stop the whole run after S wall-clock seconds",
+    )
+    run.add_argument(
+        "--oracle",
+        action="append",
+        metavar="SPEC",
+        help=(
+            "invariant oracle to arm (repeatable); default: "
+            + ", ".join(DEFAULT_ORACLES)
+            + "; also: overtake[=0xBLOCK], liveness=N"
+        ),
+    )
+    run.add_argument("--fault-profile", default=None, metavar="SPEC")
+    run.add_argument("--fault-seed", type=int, default=0)
+    run.add_argument(
+        "--quantum",
+        type=int,
+        default=None,
+        metavar="NS",
+        help="delivery-slot width (default: one network hop)",
+    )
+    run.add_argument(
+        "--defer-cap",
+        type=int,
+        default=DEFAULT_DEFER_CAP,
+        help="max deferrals per message before forced delivery",
+    )
+    run.add_argument(
+        "--pct-depth",
+        type=int,
+        default=3,
+        help="pct strategy: number of priority change points",
+    )
+    run.add_argument(
+        "--delay-bound",
+        type=int,
+        default=4,
+        help="delay-bounded strategy: max deferrals it may use",
+    )
+    run.add_argument(
+        "--fork-at",
+        type=int,
+        default=None,
+        metavar="ITER",
+        help=(
+            "run iterations 1..ITER once under FIFO, checkpoint, and "
+            "explore only the suffix of each episode from there"
+        ),
+    )
+    run.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="directory for .repro artifacts of any violations",
+    )
+    run.set_defaults(func=_cmd_run)
+
+    rep = sub.add_parser(
+        "replay", help="re-execute a .repro artifact's decision log"
+    )
+    rep.add_argument("artifact")
+    rep.add_argument(
+        "--oracle",
+        action="append",
+        metavar="SPEC",
+        help="additional oracle to arm during the replay (repeatable)",
+    )
+    rep.set_defaults(func=_cmd_replay)
+
+    shr = sub.add_parser(
+        "shrink", help="minimize a failing artifact by delta debugging"
+    )
+    shr.add_argument("artifact")
+    shr.add_argument(
+        "--out",
+        default=None,
+        help="where to write the minimized artifact (default: in place)",
+    )
+    shr.add_argument(
+        "--max-checks",
+        type=int,
+        default=3000,
+        help="replay budget for the whole shrink (default 3000)",
+    )
+    shr.add_argument(
+        "--keep-workload",
+        action="store_true",
+        help="only shrink the decision log, not the access streams",
+    )
+    shr.add_argument("--quiet", action="store_true")
+    shr.set_defaults(func=_cmd_shrink)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

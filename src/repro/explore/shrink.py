@@ -1,0 +1,359 @@
+"""Automatic failure shrinking: delta debugging over schedules and streams.
+
+Given a ``.repro`` artifact whose decision log reproduces an invariant
+violation, :func:`shrink` searches for a *smaller* artifact that fails
+the same way (same oracle), using classic ddmin passes with replay as
+the test function:
+
+1. **Trailing-FIFO strip** -- a :class:`~repro.explore.strategies
+   .ReplayPolicy` falls back to FIFO (decision 0) once its log is
+   exhausted, so any all-zero suffix of the log is dead weight and is
+   dropped first.
+2. **Segment removal** -- ddmin over the decision log: remove chunks,
+   keep any candidate that still reproduces.  Removing decisions shifts
+   the meaning of everything after them; that is fine, the test is
+   "does the same oracle still fire", not "is the run identical".
+3. **FIFO normalization** -- ddmin over the *non-zero* decisions,
+   rewriting them to 0.  A minimal log then reads as "FIFO everywhere
+   except these N choices", which is the human-readable form of a
+   schedule bug.
+4. **Access-stream reduction** (optional) -- the workload is embedded as
+   a frozen :class:`~repro.workloads.recorded.RecordedWorkload` and
+   ddmin runs over whole iterations, then over chunks of each
+   processor's access streams.
+
+After every accepted candidate the artifact's log is replaced by the
+*canonical* re-recorded log from the accepting replay (clamped,
+truncated at the failure, trailing FIFO stripped), so the final artifact
+always replays byte-identically.
+
+Every pass is budgeted by ``max_checks`` total replays; shrinking a
+quick-scale run takes well under a hundred.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from ..errors import ConfigError
+from ..workloads.recorded import RecordedWorkload
+from .artifact import ExploreArtifact
+from .runner import build_workload, replay_artifact
+
+
+@dataclass
+class ShrinkResult:
+    """The minimized artifact plus before/after accounting."""
+
+    artifact: ExploreArtifact
+    checks: int
+    original_decisions: int
+    final_decisions: int
+    original_accesses: int
+    final_accesses: int
+
+    @property
+    def decision_ratio(self) -> float:
+        if self.original_decisions == 0:
+            return 1.0
+        return self.final_decisions / self.original_decisions
+
+
+#: How many near-FIFO prefixes the fresh-trigger pass tries (after the
+#: removal passes converge) before giving up.
+_TRIGGER_HORIZON = 80
+#: The cheap up-front scan's horizon, kept short because its checks run
+#: against the not-yet-minimized (expensive) workload.
+_TRIGGER_EARLY = 24
+
+
+def _strip_trailing_zeros(decisions: Sequence[int]) -> List[int]:
+    trimmed = list(decisions)
+    while trimmed and trimmed[-1] == 0:
+        trimmed.pop()
+    return trimmed
+
+
+def ddmin(
+    items: List,
+    test: Callable[[List], bool],
+) -> List:
+    """Classic delta debugging: a 1-minimal sublist still passing ``test``.
+
+    ``test`` receives a candidate sublist and returns True when the
+    failure still reproduces.  The input is assumed to pass already.
+    """
+    granularity = 2
+    while len(items) >= 2:
+        chunk = max(1, len(items) // granularity)
+        reduced = False
+        start = 0
+        while start < len(items):
+            candidate = items[:start] + items[start + chunk:]
+            if candidate and test(candidate):
+                items = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                # Re-scan from the same offset: the next chunk slid in.
+            else:
+                start += chunk
+        if not reduced:
+            if granularity >= len(items):
+                break
+            granularity = min(granularity * 2, len(items))
+    return items
+
+
+class _Budget:
+    def __init__(self, max_checks: int) -> None:
+        self.max_checks = max_checks
+        #: Current ceiling; the removal passes run under a lowered cap
+        #: so the trigger search always keeps a slice of the budget.
+        self.cap = max_checks
+        self.used = 0
+
+    def take(self) -> bool:
+        if self.used >= self.cap:
+            return False
+        self.used += 1
+        return True
+
+
+def shrink(
+    artifact: ExploreArtifact,
+    max_checks: int = 3000,
+    reduce_workload: bool = True,
+    progress: Optional[Callable[[str], None]] = None,
+) -> ShrinkResult:
+    """Minimize a failing artifact; returns the smallest reproducer found.
+
+    The input artifact must record a failure; :class:`ConfigError`
+    otherwise.  The result's artifact carries a ``shrink`` block with the
+    before/after numbers and replays byte-identically.
+    """
+    if artifact.failure is None:
+        raise ConfigError(
+            "cannot shrink an artifact that records no failure; "
+            "run `repro-explore run` until a violation is found first"
+        )
+    say = progress if progress is not None else (lambda _msg: None)
+    budget = _Budget(max_checks)
+
+    workload, _ = build_workload(artifact.config["workload"])
+    original_accesses = workload.total_accesses()
+    original_decisions = len(artifact.decisions)
+
+    state = {
+        "config": copy.deepcopy(artifact.config),
+        "decisions": list(artifact.decisions),
+        "failure": artifact.failure,
+        "forensics": artifact.forensics,
+    }
+
+    def try_candidate(
+        decisions: Sequence[int],
+        workload_dict: Optional[dict] = None,
+    ) -> bool:
+        """Replay a candidate; on reproduction, adopt its canonical form."""
+        if not budget.take():
+            return False
+        config = state["config"]
+        if workload_dict is not None:
+            config = copy.deepcopy(config)
+            config["workload"] = {"recorded": workload_dict}
+        candidate = ExploreArtifact(
+            config=config,
+            strategy=artifact.strategy,
+            decisions=list(decisions),
+            failure=state["failure"],
+            oracles=list(artifact.oracles),
+        )
+        result = replay_artifact(candidate)
+        if not result.reproduced:
+            return False
+        state["config"] = config
+        state["decisions"] = _strip_trailing_zeros(
+            result.execution.network.decisions
+        )
+        state["failure"] = result.execution.failure
+        state["forensics"] = result.execution.forensics
+        return True
+
+    # Pass 1: drop the dead all-FIFO suffix (and re-canonicalize).
+    if not try_candidate(_strip_trailing_zeros(state["decisions"])):
+        raise ConfigError(
+            "artifact does not reproduce its own failure; refusing to "
+            "shrink (stale decision log or changed configuration?)"
+        )
+    say(f"canonicalized: {original_decisions} -> "
+        f"{len(state['decisions'])} decisions")
+
+    # Pass 2: drop whole iterations early -- iterations after the
+    # failure point go for free, and every surviving check gets cheaper.
+    if reduce_workload:
+        _shrink_iterations(state, try_candidate, say)
+
+    # A short-horizon trigger scan up front: oracles that fire under
+    # almost any divergence (an unfiltered overtake, say) collapse to a
+    # handful of decisions right here, making every later pass trivial.
+    _trigger_search(state, try_candidate, say, horizon=_TRIGGER_EARLY)
+
+    # Passes 3-5, to a fixpoint: ddmin the decision log (a denser
+    # message stream compresses best *before* accesses are removed,
+    # because contention gives the oracle earlier chances to fire), then
+    # normalize non-zero decisions back to FIFO, then thin the access
+    # streams -- which shortens the canonical log again, so iterate
+    # while the log keeps shrinking.  Once that converges, the
+    # fresh-trigger search scans for an *earlier* firing of the same
+    # oracle -- short logs of the shape ``k FIFO deliveries, m defers
+    # (pooling m+1 quanta of arrivals together), one divergent choice``
+    # -- which removal-based ddmin cannot reach; a hit re-opens the
+    # whole fixpoint.
+    # The removal passes run under a lowered cap so the trigger search
+    # always gets a turn.
+    reserve = min(400, max_checks // 5)
+    converged = None
+    while converged != len(state["decisions"]) and budget.used < max_checks:
+        converged = len(state["decisions"])
+        budget.cap = max_checks - reserve
+        previous = None
+        while (
+            previous != len(state["decisions"])
+            and budget.used < budget.cap
+        ):
+            previous = len(state["decisions"])
+            ddmin(list(state["decisions"]), try_candidate)
+            say(f"segment removal: {len(state['decisions'])} decisions "
+                f"({budget.used} checks)")
+            _normalize_to_fifo(state, try_candidate, say, budget)
+            if reduce_workload:
+                # A shorter log may now fail in an earlier iteration, so
+                # whole-iteration removal gets a (cheap) chance too.
+                _shrink_iterations(state, try_candidate, say)
+                _shrink_accesses(state, try_candidate, say)
+        budget.cap = max_checks
+        _trigger_search(state, try_candidate, say)
+
+    final_workload, _ = build_workload(state["config"]["workload"])
+    shrunk = ExploreArtifact(
+        config=state["config"],
+        strategy=artifact.strategy,
+        decisions=list(state["decisions"]),
+        failure=state["failure"],
+        forensics=state["forensics"],
+        oracles=list(artifact.oracles),
+        shrink={
+            "original_decisions": original_decisions,
+            "final_decisions": len(state["decisions"]),
+            "original_accesses": original_accesses,
+            "final_accesses": final_workload.total_accesses(),
+            "checks": budget.used,
+        },
+    )
+    return ShrinkResult(
+        artifact=shrunk,
+        checks=budget.used,
+        original_decisions=original_decisions,
+        final_decisions=len(state["decisions"]),
+        original_accesses=original_accesses,
+        final_accesses=final_workload.total_accesses(),
+    )
+
+
+def _trigger_search(
+    state, try_candidate, say, horizon=_TRIGGER_HORIZON
+) -> None:
+    from .strategies import DEFER_REST
+
+    horizon = min(len(state["decisions"]), horizon)
+    for k in range(horizon):
+        for defers in range(4):
+            tail = [DEFER_REST] * defers + [1]
+            if len(state["decisions"]) <= k + len(tail):
+                return
+            if try_candidate([0] * k + tail):
+                say(f"fresh trigger: {len(state['decisions'])} "
+                    "decisions")
+                return
+
+
+def _normalize_to_fifo(state, try_candidate, say, budget) -> None:
+    """ddmin over the set of positions kept non-zero; the rest become 0."""
+    nonzero = [
+        index for index, value in enumerate(state["decisions"]) if value
+    ]
+    if not nonzero:
+        return
+    base = list(state["decisions"])
+
+    def keep_only(positions: List[int]) -> bool:
+        kept = set(positions)
+        candidate = [
+            value if index in kept else 0
+            for index, value in enumerate(base)
+        ]
+        return try_candidate(candidate)
+
+    ddmin(nonzero, keep_only)
+    say(f"fifo normalization: "
+        f"{sum(1 for d in state['decisions'] if d)} non-FIFO "
+        f"decisions remain ({budget.used} checks)")
+
+
+def _shrink_iterations(state, try_candidate, say) -> None:
+    """ddmin over whole iterations of the (embedded) workload."""
+    workload, _ = build_workload(state["config"]["workload"])
+
+    def with_iterations(iteration_phases: List) -> bool:
+        candidate = RecordedWorkload(
+            n_procs=workload.n_procs,
+            startup_phases=workload.startup_phases,
+            iteration_phases=iteration_phases,
+            source=workload.source,
+        )
+        return try_candidate(state["decisions"], candidate.to_dict())
+
+    kept = ddmin(list(workload.iteration_phases), with_iterations)
+    candidate = RecordedWorkload(
+        n_procs=workload.n_procs,
+        startup_phases=workload.startup_phases,
+        iteration_phases=kept,
+        source=workload.source,
+    )
+    # Re-anchor the embedded workload to the iteration-minimal form
+    # (ddmin's last *accepted* candidate may not be its return value).
+    try_candidate(state["decisions"], candidate.to_dict())
+    say(f"iteration removal: {len(kept)} iterations remain")
+
+
+def _shrink_accesses(state, try_candidate, say) -> None:
+    """ddmin each processor's access stream, one stream at a time; the
+    phase lists are mutated in place and rolled back on rejection."""
+    workload, _ = build_workload(state["config"]["workload"])
+    for phases in [workload.startup_phases, *workload.iteration_phases]:
+        for phase in phases:
+            for stream_index in range(len(phase)):
+                _shrink_stream(
+                    phase, stream_index, workload, state, try_candidate
+                )
+    say(f"access removal: {workload.total_accesses()} accesses remain")
+
+
+def _shrink_stream(phase, stream_index, workload, state, try_candidate):
+    accepted = phase[stream_index]
+    if len(accepted) < 2:
+        return
+
+    def test(accesses: List) -> bool:
+        nonlocal accepted
+        phase[stream_index] = accesses
+        if try_candidate(state["decisions"], workload.to_dict()):
+            accepted = accesses
+            return True
+        phase[stream_index] = accepted
+        return False
+
+    ddmin(list(accepted), test)
+    phase[stream_index] = accepted

@@ -29,6 +29,8 @@ See ``docs/observability.md`` for the end-to-end story.
 from .log import DEFAULT_CAPACITY, LEVELS, OBS, ObsLog
 
 _LAZY = {
+    "build_failure_bundle": ".bundle",
+    "save_bundle": ".bundle",
     "ForensicsReport": ".forensics",
     "MispredictRecord": ".forensics",
     "explain_trace": ".forensics",
@@ -66,8 +68,10 @@ __all__ = [
     "OBS",
     "OBS_SCHEMA_VERSION",
     "ObsLog",
+    "build_failure_bundle",
     "build_manifest",
     "explain_trace",
+    "save_bundle",
     "export_trace_events",
     "format_pattern",
     "format_tuple",

@@ -1,0 +1,119 @@
+"""Forensic failure bundles: everything a human needs to diagnose a
+stuck or violated run, as JSON-able plain data.
+
+Originally private to the watchdog (:mod:`repro.sim.watchdog`), the
+bundle builder now lives in the observability layer so every failure
+path can attach one: a tripped watchdog budget, a schedule-exploration
+oracle violation (:mod:`repro.explore`), or an ad-hoc diagnostic dump.
+The builder takes the engine and (optionally) the machine duck-typed --
+it never imports the simulator, so the hot-path modules that import
+``repro.obs`` stay cycle-free.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from ..ioutil import atomic_write
+from .log import OBS
+
+#: How many ring-buffer events the forensic bundle keeps.
+OBS_TAIL = 100
+#: How many pending events / hot blocks the bundle reports.
+BUNDLE_TOP = 10
+
+
+def build_failure_bundle(
+    engine,
+    reason: str,
+    machine=None,
+    since_progress: int = 0,
+    block_deliveries: Optional[Dict[int, int]] = None,
+    retries_since_progress: Optional[int] = None,
+) -> dict:
+    """Photograph a failing run.
+
+    ``engine`` needs ``now`` / ``events_processed`` / ``pending()`` /
+    ``peek_events()``; ``machine`` (optional) needs ``nodes`` with the
+    controllers' public accessors.  ``since_progress`` and
+    ``block_deliveries`` come from whoever was counting deliveries (the
+    watchdog's hot-path hooks); they default to empty for callers that
+    only want the queue/protocol snapshot.
+    """
+    block_deliveries = block_deliveries or {}
+    bundle: dict = {
+        "reason": reason,
+        "sim_time_ns": engine.now,
+        "events_processed": engine.events_processed,
+        "events_pending": engine.pending(),
+        "pending_head": [
+            {"time_ns": t, "callback": name}
+            for t, name in engine.peek_events(BUNDLE_TOP)
+        ],
+        "deliveries_since_progress": since_progress,
+        "hot_blocks": [
+            {"block": hex(block), "deliveries": count}
+            for block, count in sorted(
+                block_deliveries.items(), key=lambda item: -item[1]
+            )[:BUNDLE_TOP]
+        ],
+    }
+    if machine is not None:
+        request_retries = sum(
+            n.cache.request_retries for n in machine.nodes
+        )
+        poisoned = sum(n.cache.poisoned_reissues for n in machine.nodes)
+        inval_retries = sum(
+            n.directory.inval_retries for n in machine.nodes
+        )
+        bundle["retries"] = {
+            "total_since_progress": (
+                retries_since_progress
+                if retries_since_progress is not None
+                else request_retries + poisoned + inval_retries
+            ),
+            "request_retries": request_retries,
+            "poisoned_reissues": poisoned,
+            "inval_retries": inval_retries,
+        }
+        nodes = []
+        for node in machine.nodes:
+            outstanding = node.cache.outstanding_blocks()
+            active = node.directory.active_blocks()
+            queued = node.directory.queued_blocks()
+            if outstanding or active or queued:
+                nodes.append(
+                    {
+                        "node": node.node_id,
+                        "outstanding_misses": [hex(b) for b in outstanding],
+                        "directory_active": [hex(b) for b in active],
+                        "directory_queued": [hex(b) for b in queued],
+                    }
+                )
+        bundle["stuck_nodes"] = nodes
+    if OBS.enabled:
+        bundle["obs_tail"] = [
+            {
+                "time_ns": t,
+                "category": category,
+                "name": name,
+                "node": node,
+                "block": hex(block),
+                "args": args,
+            }
+            for t, category, name, node, block, args in OBS.events()[
+                -OBS_TAIL:
+            ]
+        ]
+        bundle["obs_dropped"] = OBS.dropped
+    return bundle
+
+
+def save_bundle(bundle: dict, path: Union[str, Path]) -> Path:
+    """Atomically write a forensic bundle as pretty-printed JSON."""
+    with atomic_write(path) as handle:
+        json.dump(bundle, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return Path(path)

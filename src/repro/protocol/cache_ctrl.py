@@ -241,6 +241,10 @@ class CacheController:
     def has_outstanding(self, block: int) -> bool:
         return block in self._outstanding
 
+    def outstanding_blocks(self) -> list:
+        """Blocks with an in-flight miss, sorted (diagnostics/oracles)."""
+        return sorted(self._outstanding)
+
     # ------------------------------------------------------------------
     # processor side
     # ------------------------------------------------------------------

@@ -205,6 +205,14 @@ class DirectoryController:
     def is_busy(self, block: int) -> bool:
         return block in self._active
 
+    def active_blocks(self) -> list:
+        """Blocks with an in-flight transaction, sorted."""
+        return sorted(self._active)
+
+    def queued_blocks(self) -> list:
+        """Blocks with requests waiting behind a transaction, sorted."""
+        return sorted(self._queues)
+
     def pending_grant(self, block: int):
         """``(final_owner, final_sharers)`` of the in-flight transaction
         for ``block``, or ``None`` when the block is quiescent.

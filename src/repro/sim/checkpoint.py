@@ -138,12 +138,16 @@ def capture(
 def restore(
     checkpoint: Checkpoint,
     watchdog=None,
+    network_factory=None,
 ) -> Tuple[Machine, Workload]:
     """Rebuild the captured machine; returns ``(machine, workload)``.
 
     The machine is constructed from the checkpoint's own configuration
     and then overwritten with the captured state, so the caller never
-    has to re-supply (and possibly mismatch) parameters.
+    has to re-supply (and possibly mismatch) parameters.  A caller whose
+    captured machine used a custom interconnect (schedule exploration)
+    must pass the same kind of ``network_factory`` so the snapshot's
+    network state lands in a matching object.
     """
     machine = Machine(
         params=checkpoint.params,
@@ -152,6 +156,7 @@ def restore(
         faults=checkpoint.faults,
         fault_seed=checkpoint.fault_seed,
         watchdog=watchdog,
+        network_factory=network_factory,
     )
     machine.restore_state(checkpoint.machine_state)
     return machine, checkpoint.workload

@@ -19,7 +19,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, List, Optional, Tuple
 
-from ..errors import SimulationError
+from ..errors import ReproError, SimulationError
 
 
 def _callback_name(callback: Callable[..., None]) -> str:
@@ -97,12 +97,47 @@ class Engine:
                         f"next up: {self.describe_pending()}"
                     )
                 break
-            time, _seq, callback, args = heapq.heappop(self._queue)
+            time, seq, callback, args = heapq.heappop(self._queue)
             self._now = time
-            callback(*args)
+            try:
+                callback(*args)
+            except ReproError as exc:
+                # Preserve the concrete type (a ProtocolError stays a
+                # ProtocolError for callers that classify failures) but
+                # stamp the dispatch context onto the exception so a
+                # failing callback names the exact event that raised.
+                self._attach_event_context(exc, time, seq, callback)
+                raise
+            except Exception as exc:
+                raise SimulationError(
+                    f"callback {_callback_name(callback)} raised "
+                    f"{type(exc).__name__} at t={time} (event seq {seq}): "
+                    f"{exc}"
+                ) from exc
             dispatched += 1
             self._events_processed += 1
         return dispatched
+
+    def _attach_event_context(
+        self, exc: BaseException, time: int, seq: int,
+        callback: Callable[..., None],
+    ) -> None:
+        """Record the dispatching event on an in-flight exception."""
+        context = {
+            "time_ns": time,
+            "seq": seq,
+            "callback": _callback_name(callback),
+        }
+        # First raiser wins: a nested engine (none today) or a re-raise
+        # through several drains must keep the innermost event.
+        if getattr(exc, "event_context", None) is None:
+            exc.event_context = context  # type: ignore[attr-defined]
+            add_note = getattr(exc, "add_note", None)
+            if add_note is not None:  # PEP 678, Python >= 3.11
+                add_note(
+                    f"while dispatching {context['callback']} at "
+                    f"t={time} (event seq {seq})"
+                )
 
     def pending(self) -> int:
         """Number of events still waiting in the queue."""

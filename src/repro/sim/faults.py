@@ -64,14 +64,21 @@ class FaultProfile:
     def __post_init__(self) -> None:
         for name in ("drop", "dup", "reorder", "flip", "loss"):
             value = getattr(self, name)
-            if not 0.0 <= value < 1.0:
+            if not 0.0 <= value <= 1.0:
                 raise ConfigError(
-                    f"fault probability {name}={value} must be in [0, 1)"
+                    f"fault profile field {name!r}: probability {value} "
+                    f"is outside [0, 1]"
                 )
         if self.window < 1:
-            raise ConfigError("reorder window must be >= 1 ns")
+            raise ConfigError(
+                f"fault profile field 'window': reorder window "
+                f"{self.window} ns must be >= 1"
+            )
         if self.jitter < 0:
-            raise ConfigError("jitter must be >= 0 ns")
+            raise ConfigError(
+                f"fault profile field 'jitter': {self.jitter} ns is "
+                f"negative; jitter must be >= 0"
+            )
 
     @property
     def is_active(self) -> bool:
@@ -166,6 +173,12 @@ class FaultyNetwork:
     fault seed) tuple replays identically, anywhere.
     """
 
+    #: A faulty interconnect jitters and reorders, but the *protocol*
+    #: seam that arms recovery keys off the fault profile itself (see
+    #: :class:`~repro.sim.machine.Machine`); ``adversarial`` marks
+    #: networks that reorder by *choice* rather than by chance.
+    adversarial = False
+
     def __init__(
         self,
         engine: Engine,
@@ -194,6 +207,11 @@ class FaultyNetwork:
     @property
     def latency_ns(self) -> int:
         return self._latency
+
+    @property
+    def max_skew_ns(self) -> int:
+        """Worst-case extra delay any single message can suffer."""
+        return self.profile.max_skew_ns
 
     def _count(self, name: str) -> None:
         self.fault_counts[name] += 1

@@ -20,7 +20,7 @@ from __future__ import annotations
 import random
 from array import array
 from itertools import chain
-from typing import TYPE_CHECKING, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
 
 from ..errors import ProtocolError, SimulationError
 from ..obs.log import OBS
@@ -69,6 +69,7 @@ class Machine:
         faults: Optional[FaultProfile] = None,
         fault_seed: int = 0,
         watchdog: Optional["Watchdog"] = None,
+        network_factory: Optional[Callable] = None,
     ) -> None:
         self.params = params
         self.options = options
@@ -83,16 +84,36 @@ class Machine:
         # bit-identical to builds without this layer.
         self.faults = faults if faults is not None and faults.is_active else None
         self.fault_seed = fault_seed
+        self.network_factory = network_factory
         self.recovery: Optional[RecoveryConfig] = None
-        if self.faults is not None:
+        if network_factory is not None:
+            # A custom interconnect (schedule exploration) owns fault
+            # composition itself; the factory sees the same constructor
+            # head as Network.
+            self.network = network_factory(
+                self.engine, params, self._deliver
+            )
+        elif self.faults is not None:
             self.network = FaultyNetwork(
                 self.engine, params, self._deliver, self.faults, fault_seed
             )
-            self.recovery = RecoveryConfig.for_network(
-                params.one_way_message_ns, self.faults.max_skew_ns
-            )
         else:
             self.network = Network(self.engine, params, self._deliver)
+        # Recovery is armed whenever delivery order can deviate from the
+        # constant-latency FIFO model -- by chance (faults) or by choice
+        # (an adversarial exploring network).  The timeout budget covers
+        # the network's own worst-case skew.
+        if self.faults is not None or getattr(
+            self.network, "adversarial", False
+        ):
+            self.recovery = RecoveryConfig.for_network(
+                params.one_way_message_ns,
+                getattr(self.network, "max_skew_ns", 0),
+            )
+        #: Observers invoked after each delivery is fully processed (the
+        #: receiving controller ran, coherence was checked).  Used by the
+        #: schedule explorer's invariant oracles; empty on normal runs.
+        self.deliver_hooks: List[Callable[[Message], None]] = []
         self.invariant_checks = 0
         self.nodes: List[Node] = [
             Node(
@@ -172,6 +193,9 @@ class Machine:
         self.nodes[msg.dst].receive(msg)
         if self.recovery is not None:
             self._check_coherence(msg.block)
+        if self.deliver_hooks:
+            for hook in self.deliver_hooks:
+                hook(msg)
 
     # ------------------------------------------------------------------
     # coherence-invariant checker (armed under fault injection)
@@ -246,13 +270,13 @@ class Machine:
         queueing a transaction.
         """
         for node in self.nodes:
-            if node.cache._outstanding:
-                blocks = sorted(node.cache._outstanding)
+            blocks = node.cache.outstanding_blocks()
+            if blocks:
                 raise ProtocolError(
                     f"P{node.node_id} finished with outstanding misses "
                     f"for blocks {[hex(b) for b in blocks]}"
                 )
-            if node.directory._active or node.directory._queues:
+            if node.directory.active_blocks() or node.directory.queued_blocks():
                 raise ProtocolError(
                     f"directory at P{node.node_id} finished with active "
                     "or queued transactions"
@@ -516,6 +540,11 @@ class Machine:
         ]
         self.accesses_issued = state["accesses_issued"]
         self.invariant_checks = state["invariant_checks"]
+        if self.watchdog is not None:
+            # A restore is the start of a fresh run segment: budgets that
+            # measure real time or progress must count from *now*, not
+            # from whenever the captured run began.
+            self.watchdog.arm()
 
 
 def simulate(

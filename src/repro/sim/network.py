@@ -23,6 +23,13 @@ from .params import SystemParams
 class Network:
     """Constant-latency, per-channel-FIFO interconnect."""
 
+    #: Whether this interconnect may deliver messages out of the order
+    #: the constant-latency model would (schedule exploration does; see
+    #: :mod:`repro.explore`).  The machine arms protocol recovery when a
+    #: network declares itself adversarial, exactly as it does for an
+    #: active fault profile.
+    adversarial = False
+
     def __init__(
         self,
         engine: Engine,
@@ -37,6 +44,11 @@ class Network:
     @property
     def latency_ns(self) -> int:
         return self._latency
+
+    @property
+    def max_skew_ns(self) -> int:
+        """Worst-case extra delay beyond the base latency (none here)."""
+        return 0
 
     def snapshot_state(self) -> dict:
         """Plain-data network state for checkpoints."""

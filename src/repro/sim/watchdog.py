@@ -32,22 +32,22 @@ overhead is unmeasurable.
 
 from __future__ import annotations
 
-import json
 import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional, Union
 
 from ..errors import ConfigError, WatchdogError
-from ..ioutil import atomic_write
-from ..obs.log import OBS
+from ..obs.bundle import build_failure_bundle, save_bundle
 from .engine import Engine
 from .metrics import METRICS
 
-#: How many ring-buffer events the forensic bundle keeps.
-_OBS_TAIL = 100
-#: How many pending events / hot blocks the bundle reports.
-_BUNDLE_TOP = 10
+__all__ = [
+    "DEFAULT_WATCHDOG",
+    "Watchdog",
+    "WatchdogConfig",
+    "save_bundle",
+]
 
 
 @dataclass(frozen=True)
@@ -69,6 +69,11 @@ class WatchdogConfig:
     progress_window: Optional[int] = 100_000
     #: Protocol retries allowed since the last access completion.
     retry_storm: Optional[int] = 10_000
+    #: Real seconds allowed for the whole run *segment* -- measured from
+    #: the watchdog's last :meth:`Watchdog.arm` (construction, or the
+    #: moment a checkpoint restore hands it a resumed machine), never
+    #: from the original run's start.  ``None`` disables it.
+    run_wall_clock_s: Optional[float] = None
     #: Events per chunk between budget checks.
     check_every: int = 4096
 
@@ -76,7 +81,7 @@ class WatchdogConfig:
         if self.check_every < 1:
             raise ConfigError("watchdog check_every must be >= 1")
         for name in ("wall_clock_s", "max_events", "progress_window",
-                     "retry_storm"):
+                     "retry_storm", "run_wall_clock_s"):
             value = getattr(self, name)
             if value is not None and value <= 0:
                 raise ConfigError(f"watchdog {name} must be positive or None")
@@ -110,10 +115,27 @@ class Watchdog:
         self._since_progress = 0
         self._block_deliveries: Dict[int, int] = {}
         self._retry_baseline = 0
+        self._run_epoch = time.monotonic()
         self.trips = 0
 
     def attach(self, machine) -> None:
         self._machine = machine
+
+    def arm(self) -> None:
+        """Restart every budget clock from *now*.
+
+        Called when a run segment begins at a point other than watchdog
+        construction -- most importantly after a checkpoint restore
+        (``repro-trace resume``), where wall-clock and progress budgets
+        must measure the resumed segment, not the original run.  Without
+        this, a watchdog built minutes before the resume would trip its
+        run budget immediately, and stale delivery counters from a
+        previous machine would poison the progress window.
+        """
+        self._run_epoch = time.monotonic()
+        self._since_progress = 0
+        self._block_deliveries.clear()
+        self._retry_baseline = self._total_retries()
 
     # ------------------------------------------------------------------
     # hot-path hooks (kept to plain increments)
@@ -157,6 +179,17 @@ class Watchdog:
                     f"wall-clock budget exceeded: phase still running after "
                     f"{config.wall_clock_s:g}s "
                     f"({dispatched} events dispatched)",
+                )
+            if (
+                config.run_wall_clock_s is not None
+                and time.monotonic() - self._run_epoch
+                > config.run_wall_clock_s
+            ):
+                self._trip(
+                    engine,
+                    f"run wall-clock budget exceeded: "
+                    f"{config.run_wall_clock_s:g}s since the watchdog was "
+                    f"last armed",
                 )
             if (
                 config.max_events is not None
@@ -218,79 +251,16 @@ class Watchdog:
 
     def forensic_bundle(self, engine: Engine, reason: str) -> dict:
         """Everything a human needs to diagnose the stall, as JSON-able
-        plain data."""
-        bundle: dict = {
-            "reason": reason,
-            "sim_time_ns": engine.now,
-            "events_processed": engine.events_processed,
-            "events_pending": engine.pending(),
-            "pending_head": [
-                {"time_ns": t, "callback": name}
-                for t, name in engine.peek_events(_BUNDLE_TOP)
-            ],
-            "deliveries_since_progress": self._since_progress,
-            "hot_blocks": [
-                {"block": hex(block), "deliveries": count}
-                for block, count in sorted(
-                    self._block_deliveries.items(),
-                    key=lambda item: -item[1],
-                )[:_BUNDLE_TOP]
-            ],
-        }
-        machine = self._machine
-        if machine is not None:
-            bundle["retries"] = {
-                "total_since_progress": (
-                    self._total_retries() - self._retry_baseline
-                ),
-                "request_retries": sum(
-                    n.cache.request_retries for n in machine.nodes
-                ),
-                "poisoned_reissues": sum(
-                    n.cache.poisoned_reissues for n in machine.nodes
-                ),
-                "inval_retries": sum(
-                    n.directory.inval_retries for n in machine.nodes
-                ),
-            }
-            nodes = []
-            for node in machine.nodes:
-                outstanding = sorted(node.cache._outstanding)
-                active = sorted(node.directory._active)
-                queued = sorted(node.directory._queues)
-                if outstanding or active or queued:
-                    nodes.append(
-                        {
-                            "node": node.node_id,
-                            "outstanding_misses": [
-                                hex(b) for b in outstanding
-                            ],
-                            "directory_active": [hex(b) for b in active],
-                            "directory_queued": [hex(b) for b in queued],
-                        }
-                    )
-            bundle["stuck_nodes"] = nodes
-        if OBS.enabled:
-            bundle["obs_tail"] = [
-                {
-                    "time_ns": t,
-                    "category": category,
-                    "name": name,
-                    "node": node,
-                    "block": hex(block),
-                    "args": args,
-                }
-                for t, category, name, node, block, args in OBS.events()[
-                    -_OBS_TAIL:
-                ]
-            ]
-            bundle["obs_dropped"] = OBS.dropped
-        return bundle
-
-
-def save_bundle(bundle: dict, path: Union[str, Path]) -> Path:
-    """Atomically write a forensic bundle as pretty-printed JSON."""
-    with atomic_write(path) as handle:
-        json.dump(bundle, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    return Path(path)
+        plain data (delegates to :func:`repro.obs.bundle.build_failure_bundle`)."""
+        return build_failure_bundle(
+            engine,
+            reason,
+            machine=self._machine,
+            since_progress=self._since_progress,
+            block_deliveries=self._block_deliveries,
+            retries_since_progress=(
+                self._total_retries() - self._retry_baseline
+                if self._machine is not None
+                else None
+            ),
+        )

@@ -1,0 +1,118 @@
+"""The repro-explore CLI, end to end via subprocess."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+_ENV = {**os.environ, "PYTHONPATH": "src"}
+
+
+def _run(*argv, cwd=None):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.explore.cli", *argv],
+        capture_output=True,
+        text=True,
+        env=_ENV,
+        cwd=cwd or os.getcwd(),
+        timeout=300,
+    )
+
+
+@pytest.fixture(scope="module")
+def failure_dir(tmp_path_factory):
+    """CLI run that seeds overtake violations and saves artifacts."""
+    out = tmp_path_factory.mktemp("failures")
+    proc = _run(
+        "run",
+        "dsmc",
+        "--quick",
+        "--iterations",
+        "2",
+        "--seed",
+        "1",
+        "--episodes",
+        "3",
+        "--oracle",
+        "overtake",
+        "--out",
+        str(out),
+    )
+    assert proc.returncode == 3, proc.stdout + proc.stderr
+    return out
+
+
+class TestRun:
+    def test_clean_run_exits_zero(self):
+        proc = _run(
+            "run", "dsmc", "--quick", "--iterations", "2", "--episodes", "2"
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 violation(s)" in proc.stdout
+
+    def test_smoke_budget(self):
+        proc = _run(
+            "run",
+            "dsmc",
+            "--quick",
+            "--episodes",
+            "1",
+            "--budget-events",
+            "50000",
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_violations_exit_three_and_save(self, failure_dir):
+        saved = sorted(failure_dir.glob("*.repro"))
+        assert saved
+        assert "dsmc-random-walk-ep" in saved[0].name
+
+    def test_unknown_workload_rejected(self):
+        proc = _run("run", "jacobi")
+        assert proc.returncode == 2
+        assert "invalid choice" in proc.stderr
+
+    def test_bad_oracle_is_an_error_not_a_traceback(self):
+        proc = _run(
+            "run", "dsmc", "--quick", "--episodes", "1",
+            "--oracle", "heisenberg",
+        )
+        assert proc.returncode == 1
+        assert "error:" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+
+class TestReplay:
+    def test_replay_reproduces(self, failure_dir):
+        artifact = sorted(failure_dir.glob("*.repro"))[0]
+        proc = _run("replay", str(artifact))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "reproduced" in proc.stdout
+        assert "NOT reproduced" not in proc.stdout
+
+    def test_missing_artifact_errors(self, tmp_path):
+        proc = _run("replay", str(tmp_path / "nope.repro"))
+        assert proc.returncode == 1
+        assert "error:" in proc.stderr
+
+
+class TestShrink:
+    def test_shrink_writes_minimized_artifact(self, failure_dir, tmp_path):
+        artifact = sorted(failure_dir.glob("*.repro"))[0]
+        out = tmp_path / "minimal.repro"
+        proc = _run(
+            "shrink",
+            str(artifact),
+            "--out",
+            str(out),
+            "--max-checks",
+            "200",
+            "--quiet",
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "decisions:" in proc.stdout
+        assert out.exists()
+        # The minimized artifact still replays to the same oracle.
+        replay = _run("replay", str(out))
+        assert replay.returncode == 0, replay.stdout + replay.stderr

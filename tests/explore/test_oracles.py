@@ -1,0 +1,236 @@
+"""Invariant oracles: spec parsing, firing conditions, round trips."""
+
+import pytest
+
+from repro.errors import ConfigError, OracleViolation
+from repro.explore.network import ExploringNetwork
+from repro.explore.oracles import (
+    DEFAULT_LIVENESS_BUDGET,
+    DEFAULT_ORACLES,
+    CoherenceOracle,
+    LivenessOracle,
+    OvertakeOracle,
+    PredictorBalanceOracle,
+    QuiescenceOracle,
+    parse_oracles,
+)
+from repro.explore.strategies import FifoPolicy
+from repro.protocol.messages import Message, MessageType
+from repro.sim.machine import Machine
+from repro.workloads.registry import make_workload
+
+
+def _msg(src=0, dst=1, block=0, mtype=MessageType.GET_RO_REQUEST):
+    return Message(src=src, dst=dst, mtype=mtype, block=block)
+
+
+class TestParse:
+    def test_default_battery_parses(self):
+        oracles = parse_oracles(DEFAULT_ORACLES)
+        assert [type(o) for o in oracles] == [
+            CoherenceOracle,
+            QuiescenceOracle,
+            LivenessOracle,
+            PredictorBalanceOracle,
+        ]
+
+    def test_liveness_budget_value(self):
+        (oracle,) = parse_oracles(["liveness=500"])
+        assert oracle.budget == 500
+        assert oracle.spec() == "liveness=500"
+
+    def test_liveness_default_spec_roundtrip(self):
+        (oracle,) = parse_oracles(["liveness"])
+        assert oracle.budget == DEFAULT_LIVENESS_BUDGET
+        assert oracle.spec() == "liveness"
+
+    def test_overtake_block_value(self):
+        (oracle,) = parse_oracles(["overtake=0x11040"])
+        assert oracle.block == 0x11040
+        assert oracle.spec() == "overtake=0x11040"
+
+    def test_overtake_without_block(self):
+        (oracle,) = parse_oracles(["overtake"])
+        assert oracle.block is None
+        assert oracle.spec() == "overtake"
+
+    def test_specs_roundtrip_through_parse(self):
+        specs = ["coherence", "quiescence", "liveness=7", "overtake=0x40"]
+        assert [o.spec() for o in parse_oracles(specs)] == specs
+
+    def test_unknown_oracle_rejected(self):
+        with pytest.raises(ConfigError, match="unknown oracle"):
+            parse_oracles(["heisenberg"])
+
+    def test_liveness_budget_must_be_positive(self):
+        with pytest.raises(ConfigError, match="budget"):
+            parse_oracles(["liveness=0"])
+
+
+class _StubEngine:
+    def __init__(self, pending=0):
+        self._pending = pending
+
+    def pending(self):
+        return self._pending
+
+    def describe_pending(self, limit=5):
+        return "stub events"
+
+
+class _StubMachine:
+    """Duck-typed machine: just enough surface for oracle unit tests."""
+
+    def __init__(self, quiescent=True, pending=0, nodes=()):
+        self._quiescent = quiescent
+        self.engine = _StubEngine(pending)
+        self.nodes = list(nodes)
+        self.faults = None
+        self.recovery = None
+        self.network = object()  # not an ExploringNetwork
+
+    def assert_quiescent(self):
+        if not self._quiescent:
+            from repro.errors import ProtocolError
+
+            raise ProtocolError("P3 still has an outstanding miss")
+
+
+class TestQuiescence:
+    def test_passes_when_quiescent(self):
+        oracle = QuiescenceOracle()
+        oracle.attach(_StubMachine(quiescent=True))
+        oracle.at_quiescence(1)
+
+    def test_fires_on_outstanding_state(self):
+        oracle = QuiescenceOracle()
+        oracle.attach(_StubMachine(quiescent=False))
+        with pytest.raises(OracleViolation) as excinfo:
+            oracle.at_quiescence(2)
+        assert excinfo.value.oracle == "quiescence"
+        assert "iteration 2" in str(excinfo.value)
+
+    def test_fires_on_pending_events(self):
+        oracle = QuiescenceOracle()
+        oracle.attach(_StubMachine(quiescent=True, pending=4))
+        with pytest.raises(OracleViolation, match="still pending"):
+            oracle.at_quiescence(1)
+
+
+class _StubCache:
+    def __init__(self, blocks):
+        self._blocks = blocks
+
+    def outstanding_blocks(self):
+        return list(self._blocks)
+
+
+class _StubNode:
+    def __init__(self, node_id, blocks):
+        self.node_id = node_id
+        self.cache = _StubCache(blocks)
+
+
+class TestLiveness:
+    def _poll(self, oracle, times=1):
+        # The oracle only polls every _LIVENESS_POLL deliveries.
+        from repro.explore.oracles import _LIVENESS_POLL
+
+        for _ in range(times * _LIVENESS_POLL):
+            oracle.after_delivery(_msg())
+
+    def test_fires_when_request_exceeds_budget(self):
+        oracle = LivenessOracle(budget=256)
+        oracle.attach(
+            _StubMachine(nodes=[_StubNode(3, blocks=[0x40])])
+        )
+        with pytest.raises(OracleViolation) as excinfo:
+            self._poll(oracle, times=3)
+        assert excinfo.value.oracle == "liveness"
+        assert "P3" in str(excinfo.value)
+        assert "0x40" in str(excinfo.value)
+
+    def test_completed_requests_leave_the_watch_list(self):
+        stub = _StubMachine(nodes=[_StubNode(0, blocks=[0x40])])
+        oracle = LivenessOracle(budget=256)
+        oracle.attach(stub)
+        self._poll(oracle)  # first sighting
+        stub.nodes[0].cache._blocks = []  # request completed
+        self._poll(oracle)  # forgotten ...
+        stub.nodes[0].cache._blocks = [0x40]  # ... so a fresh request
+        self._poll(oracle, times=1)  # gets a fresh budget: no violation
+
+    def test_quiescence_resets_the_watch_list(self):
+        stub = _StubMachine(nodes=[_StubNode(0, blocks=[0x40])])
+        oracle = LivenessOracle(budget=256)
+        oracle.attach(stub)
+        self._poll(oracle)
+        oracle.at_quiescence(1)
+        self._poll(oracle, times=1)  # budget restarted at the boundary
+
+
+class TestPredictorBalance:
+    def _trace(self, iterations=2):
+        workload = make_workload("moldyn", force_blocks=8, coord_blocks=8)
+        machine = Machine()
+        machine.begin_workload(workload, iterations)
+        for i in range(iterations):
+            machine.run_iteration(workload, i)
+        collector = machine.finish_workload()
+        return machine, collector
+
+    def test_clean_trace_balances(self):
+        machine, collector = self._trace()
+        assert collector.events
+        oracle = PredictorBalanceOracle()
+        oracle.attach(machine)
+        oracle.at_end(collector)
+
+    def test_faulty_runs_are_skipped(self):
+        machine, collector = self._trace()
+        machine.faults = object()  # any non-None marker
+        oracle = PredictorBalanceOracle()
+        oracle.attach(machine)
+        collector.events.clear()
+        collector.events.append(object())  # would blow up if evaluated
+        oracle.at_end(collector)
+
+
+class TestOvertake:
+    def test_needs_an_exploring_network(self):
+        oracle = OvertakeOracle()
+        with pytest.raises(ConfigError, match="ExploringNetwork"):
+            oracle.attach(_StubMachine())
+
+    def test_attaches_to_exploring_network(self):
+        machine = Machine(
+            network_factory=lambda engine, params, deliver: (
+                ExploringNetwork(
+                    engine, params, deliver, policy=FifoPolicy()
+                )
+            )
+        )
+        oracle = OvertakeOracle()
+        oracle.attach(machine)
+        assert oracle._on_delivery in machine.network.delivery_observers
+
+    def test_fires_only_for_earlier_same_block(self):
+        oracle = OvertakeOracle()
+        # Delivered seq 5; pool still holds seq 3 for the same block.
+        with pytest.raises(OracleViolation, match="overtook"):
+            oracle._on_delivery(
+                5, _msg(block=0x40), [(3, _msg(block=0x40), 0)]
+            )
+        # Later-admitted same-block entry: legal.
+        oracle._on_delivery(5, _msg(block=0x40), [(7, _msg(block=0x40), 0)])
+        # Earlier entry, different block: legal.
+        oracle._on_delivery(5, _msg(block=0x40), [(3, _msg(block=0x80), 0)])
+
+    def test_block_filter(self):
+        oracle = OvertakeOracle(block=0x80)
+        # Overtake on a block we are not watching: ignored.
+        oracle._on_delivery(5, _msg(block=0x40), [(3, _msg(block=0x40), 0)])
+        with pytest.raises(OracleViolation):
+            oracle._on_delivery(
+                5, _msg(block=0x80), [(3, _msg(block=0x80), 0)]
+            )

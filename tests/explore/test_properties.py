@@ -1,0 +1,98 @@
+"""Property-based tests (hypothesis) on the exploration machinery."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.explore.network import ExploringNetwork
+from repro.explore.strategies import RandomWalkPolicy, ReplayPolicy
+from repro.protocol.messages import Message, MessageType
+from repro.sim.engine import Engine
+from repro.sim.faults import FaultProfile, FaultyNetwork
+from repro.sim.params import PAPER_PARAMS
+
+
+def _msg(src=0, dst=1, block=0):
+    return Message(
+        src=src, dst=dst, mtype=MessageType.GET_RO_REQUEST, block=block
+    )
+
+
+# ---------------------------------------------------------------------------
+# the fault model's skew bound holds for every seed
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    fault_seed=st.integers(min_value=0, max_value=2**32 - 1),
+    jitter=st.integers(min_value=0, max_value=100),
+    reorder=st.floats(min_value=0.0, max_value=1.0),
+    window=st.integers(min_value=1, max_value=500),
+    dup=st.floats(min_value=0.0, max_value=0.5),
+    n_messages=st.integers(min_value=1, max_value=30),
+)
+def test_faulty_delay_never_exceeds_skew_bound(
+    fault_seed, jitter, reorder, window, dup, n_messages
+):
+    """Every delivery (duplicates included) lands inside
+    [latency, latency + max_skew_ns], for any seed and profile."""
+    profile = FaultProfile(
+        dup=dup, reorder=reorder, jitter=jitter, window=window
+    )
+    engine = Engine()
+    arrivals = []
+    network = FaultyNetwork(
+        engine,
+        PAPER_PARAMS,
+        lambda msg: arrivals.append(engine.now),
+        profile,
+        fault_seed=fault_seed,
+    )
+    for i in range(n_messages):
+        network.send(_msg(src=i % 16, dst=(i + 1) % 16, block=i * 64))
+    engine.run()
+    latency = PAPER_PARAMS.one_way_message_ns
+    assert len(arrivals) >= n_messages  # no drops in this profile
+    for at in arrivals:
+        assert latency <= at <= latency + network.max_skew_ns
+
+
+# ---------------------------------------------------------------------------
+# a recorded decision log replays byte-identically for every seed
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    defer_prob=st.floats(min_value=0.0, max_value=0.8),
+    blocks=st.lists(
+        st.integers(min_value=0, max_value=7).map(lambda b: b * 64),
+        min_size=1,
+        max_size=24,
+    ),
+)
+def test_decision_log_replays_byte_identically(seed, defer_prob, blocks):
+    """Whatever schedule a random walk produces, replaying its log on a
+    fresh network reproduces the same deliveries at the same times."""
+
+    def drive(policy):
+        engine = Engine()
+        delivered = []
+        network = ExploringNetwork(
+            engine,
+            PAPER_PARAMS,
+            lambda msg: delivered.append((engine.now, msg.block)),
+            policy=policy,
+        )
+        for i, block in enumerate(blocks):
+            network.send(_msg(src=i % 16, dst=(i + 1) % 16, block=block))
+        engine.run()
+        return list(network.decisions), delivered
+
+    decisions, delivered = drive(
+        RandomWalkPolicy(seed=seed, defer_prob=defer_prob)
+    )
+    replayed_decisions, replayed = drive(ReplayPolicy(decisions))
+    assert replayed == delivered
+    assert replayed_decisions == decisions

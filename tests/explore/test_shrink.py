@@ -1,0 +1,98 @@
+"""Delta debugging: ddmin mechanics and the end-to-end shrink regression."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.explore.runner import ExploreConfig, explore, replay_artifact
+from repro.explore.shrink import ddmin, shrink
+
+
+class TestDdmin:
+    def test_finds_minimal_pair(self):
+        items = list(range(40))
+        result = ddmin(items, lambda kept: 3 in kept and 17 in kept)
+        assert result == [3, 17]
+
+    def test_single_culprit(self):
+        result = ddmin(list(range(100)), lambda kept: 42 in kept)
+        assert result == [42]
+
+    def test_everything_needed_stays(self):
+        items = [1, 2, 3]
+        assert ddmin(items, lambda kept: kept == items) == items
+
+    def test_preserves_order(self):
+        result = ddmin(
+            list(range(20)),
+            lambda kept: all(x in kept for x in (11, 2, 7)),
+        )
+        assert result == [2, 7, 11]
+
+    def test_empty_input(self):
+        assert ddmin([], lambda kept: True) == []
+
+
+class TestShrinkErrors:
+    def test_shrink_needs_a_failure(self):
+        report = explore(
+            ExploreConfig(
+                app="dsmc",
+                iterations=2,
+                seed=0,
+                episodes=1,
+                workload_kwargs={
+                    "buffers_per_proc": 1,
+                    "rare_blocks_per_proc": 6,
+                    "contended_buffers": 2,
+                },
+            )
+        )
+        assert report.results[0].outcome == "ok"
+        from repro.explore.artifact import ExploreArtifact
+
+        clean = ExploreArtifact(
+            config={}, strategy={"name": "fifo"}, decisions=[]
+        )
+        with pytest.raises(ConfigError, match="failure"):
+            shrink(clean)
+
+
+class TestShrinkRegression:
+    """The checked-in acceptance case: an injected overtake violation on
+    a dense dsmc run must shrink to <= 10% of its decision log."""
+
+    def test_regression_case_shrinks_below_ten_percent(self):
+        report = explore(
+            ExploreConfig(
+                app="dsmc",
+                iterations=4,
+                seed=1,
+                strategy="random-walk",
+                episodes=1,
+                fork_at=3,
+                oracles=("overtake",),
+                workload_kwargs={
+                    "buffers_per_proc": 1,
+                    "rare_blocks_per_proc": 6,
+                    "contended_buffers": 2,
+                },
+            )
+        )
+        violations = report.violations
+        assert violations, "seeded overtake violation disappeared"
+        original = violations[0].artifact
+        assert len(original.decisions) > 100
+
+        result = shrink(original, max_checks=1500)
+        assert result.original_decisions == len(original.decisions)
+        assert result.final_decisions == len(result.artifact.decisions)
+        assert result.decision_ratio <= 0.10, (
+            f"shrank {result.original_decisions} -> "
+            f"{result.final_decisions} "
+            f"({result.decision_ratio:.1%}) in {result.checks} checks"
+        )
+        assert result.artifact.shrink["checks"] == result.checks
+
+        replay = replay_artifact(result.artifact)
+        assert replay.reproduced
+        assert replay.execution.failure["oracle"] == "overtake"

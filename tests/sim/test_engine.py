@@ -199,3 +199,58 @@ class TestErrorPaths:
         engine.schedule(5, log.append, "second")
         engine.run()
         assert log == ["first", "second"]
+
+
+class TestCallbackFailureContext:
+    def test_repro_errors_keep_their_type_and_gain_context(self):
+        from repro.errors import ProtocolError
+
+        engine = Engine()
+
+        def bad_callback():
+            raise ProtocolError("two owners for block 0x40")
+
+        engine.schedule(25, bad_callback)
+        with pytest.raises(ProtocolError) as excinfo:
+            engine.run()
+        context = excinfo.value.event_context
+        assert context["time_ns"] == 25
+        assert context["seq"] == 0
+        assert context["callback"].endswith("bad_callback")
+
+    def test_first_dispatch_context_wins(self):
+        from repro.errors import ProtocolError
+
+        engine = Engine()
+        original = ProtocolError("inner failure")
+
+        def inner():
+            raise original
+
+        engine.schedule(5, inner)
+        with pytest.raises(ProtocolError):
+            engine.run()
+        first = dict(original.event_context)
+
+        # Re-dispatching the same exception object (as a re-raise through
+        # an outer drain would) must not overwrite the innermost event.
+        engine2 = Engine()
+
+        def reraiser():
+            raise original
+
+        engine2.schedule(999, reraiser)
+        with pytest.raises(ProtocolError):
+            engine2.run()
+        assert original.event_context == first
+
+    def test_foreign_exceptions_become_simulation_errors(self):
+        engine = Engine()
+
+        def boom():
+            raise ValueError("divide by zero-ish")
+
+        engine.schedule(7, boom)
+        with pytest.raises(SimulationError, match="boom.*t=7.*seq 0") as excinfo:
+            engine.run()
+        assert isinstance(excinfo.value.__cause__, ValueError)

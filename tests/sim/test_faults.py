@@ -37,16 +37,22 @@ class TestFaultProfile:
         assert FaultProfile(reorder=0.1).is_active
         assert FaultProfile(jitter=5).is_active
 
-    @pytest.mark.parametrize("field", ["drop", "dup", "reorder"])
-    @pytest.mark.parametrize("value", [-0.1, 1.0, 2.0])
+    @pytest.mark.parametrize("field", ["drop", "dup", "reorder", "flip", "loss"])
+    @pytest.mark.parametrize("value", [-0.1, -1.0, 1.0001, 2.0])
     def test_probabilities_must_be_unit_interval(self, field, value):
-        with pytest.raises(ConfigError):
+        with pytest.raises(ConfigError, match=field):
             FaultProfile(**{field: value})
 
+    @pytest.mark.parametrize("field", ["drop", "dup", "reorder", "flip", "loss"])
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_probability_endpoints_are_valid(self, field, value):
+        profile = FaultProfile(**{field: value})
+        assert getattr(profile, field) == value
+
     def test_window_and_jitter_bounds(self):
-        with pytest.raises(ConfigError):
+        with pytest.raises(ConfigError, match="window"):
             FaultProfile(window=0)
-        with pytest.raises(ConfigError):
+        with pytest.raises(ConfigError, match="jitter"):
             FaultProfile(jitter=-1)
 
     def test_max_skew_counts_reorder_window_only_when_reordering(self):

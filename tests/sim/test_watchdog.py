@@ -207,3 +207,69 @@ class TestGuardedRuns:
             watchdog=watchdog,
         )
         assert watchdog.trips == 0
+
+
+class TestRunBudget:
+    """run_wall_clock_s measures the whole run segment since arm()."""
+
+    def _watchdog(self):
+        return Watchdog(
+            WatchdogConfig(
+                run_wall_clock_s=5.0,
+                wall_clock_s=None,
+                max_events=1_000,
+                progress_window=None,
+                retry_storm=None,
+                check_every=10,
+            )
+        )
+
+    def test_rejects_non_positive_budget(self):
+        with pytest.raises(ConfigError):
+            WatchdogConfig(run_wall_clock_s=0)
+
+    def test_stale_epoch_trips_immediately(self):
+        watchdog = self._watchdog()
+        # Simulate a watchdog built long before this run segment began
+        # (the pre-fix resume behaviour).
+        watchdog._run_epoch = time.monotonic() - 3600.0
+        with pytest.raises(WatchdogError, match="run wall-clock budget"):
+            watchdog.run_engine(_livelocked_engine())
+
+    def test_arm_restarts_the_budget(self):
+        watchdog = self._watchdog()
+        watchdog._run_epoch = time.monotonic() - 3600.0
+        watchdog.arm()
+        # Freshly armed: dies on the event budget, not the run clock.
+        with pytest.raises(WatchdogError, match="event budget"):
+            watchdog.run_engine(_livelocked_engine())
+
+    def test_arm_resets_progress_counters(self):
+        watchdog = self._watchdog()
+        watchdog.note_delivery(0x40)
+        watchdog.note_delivery(0x40)
+        watchdog.arm()
+        assert watchdog._since_progress == 0
+        assert watchdog._block_deliveries == {}
+
+
+class TestResumeRearm:
+    def test_checkpoint_restore_arms_the_watchdog(self):
+        from repro.sim import checkpoint as ckpt
+        from repro.sim.machine import Machine
+
+        workload = workload_for("barnes", True)
+        machine = Machine(seed=5)
+        iterations = machine.begin_workload(workload, 3)
+        machine.run_iteration(workload, 0)
+        snapshot = ckpt.capture(machine, workload, 2, iterations)
+
+        watchdog = Watchdog(DEFAULT_WATCHDOG)
+        watchdog._run_epoch = time.monotonic() - 3600.0
+        watchdog.note_delivery(0x40)
+        before = time.monotonic()
+        ckpt.restore(snapshot, watchdog=watchdog)
+        # The restore re-armed every budget clock: the resumed segment is
+        # measured from now, and stale counters are gone.
+        assert watchdog._run_epoch >= before
+        assert watchdog._since_progress == 0
