@@ -198,7 +198,7 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "invariant oracle to arm (repeatable); default: "
             + ", ".join(DEFAULT_ORACLES)
-            + "; also: overtake[=0xBLOCK], liveness=N"
+            + "; also: overtake[=0xBLOCK], liveness=N, mc-spot[=N]"
         ),
     )
     run.add_argument("--fault-profile", default=None, metavar="SPEC")

@@ -36,6 +36,15 @@ The default battery:
   block.  Overtaking is *legal* under exploration (that is the point),
   so this is an injected invariant used to seed shrinker regressions
   and to flag schedules that exercise reordering for a specific block.
+* ``mc-spot`` (opt-in, ``mc-spot`` or ``mc-spot=N``) -- every ``N``
+  deliveries (default 64), project the delivered block's coherence
+  state through the model checker's abstraction
+  (:func:`repro.mc.abstraction.spot_project`) and assert it is
+  reachable in the exhaustively enumerated two-node model
+  (:func:`repro.mc.explorer.reachable_space`).  Samples involving more
+  than one remote node are skipped (the projection targets the 2-node
+  model); fault-injected runs disarm the oracle (drops and duplicates
+  take the live run outside the fault-free space).
 
 Oracles are built from spec strings (:func:`parse_oracles`) so CLI
 ``run``/``replay``/``shrink`` can carry them in ``.repro`` artifacts.
@@ -260,6 +269,82 @@ class OvertakeOracle(Oracle):
         return f"{self.name}=0x{self.block:x}"
 
 
+#: Default delivery sampling period for the mc-spot oracle.
+DEFAULT_MC_SPOT_EVERY = 64
+
+
+class McSpotOracle(Oracle):
+    """Spot-check live coherence states against the exhaustive model.
+
+    Every ``every`` deliveries, the delivered block's live state (cache
+    states, outstanding attempts, directory entry, in-flight messages)
+    is projected onto the two-node model-checker state space; a
+    projection outside the enumerated reachable set means the simulator
+    wandered somewhere the model says is impossible -- either a protocol
+    bug or a model/abstraction gap, both worth a loud stop.
+
+    The model is chosen to match the machine's protocol options.
+    Projections involving more than one remote node are skipped and
+    counted (the model is two-node); fault-injected machines disarm the
+    oracle entirely.
+    """
+
+    name = "mc-spot"
+
+    def __init__(self, every: int = DEFAULT_MC_SPOT_EVERY) -> None:
+        if every < 1:
+            raise ConfigError("mc-spot sampling period must be >= 1")
+        self.every = every
+        self.samples = 0
+        self.skipped = 0
+        self._deliveries = 0
+        self._model = None
+        self._states = None
+
+    def attach(self, machine) -> None:
+        super().attach(machine)
+        if machine.faults is not None:
+            return  # disarmed: faulty runs leave the fault-free space
+        # Deferred import: repro.mc.crossval imports repro.explore.
+        from ..mc.explorer import reachable_space
+        from ..mc.model import MCConfig, Model
+
+        config = MCConfig(
+            n_nodes=2,
+            homes=(0,),
+            half_migratory=machine.options.half_migratory,
+            forwarding=machine.options.forwarding,
+        )
+        self._model = Model(config)
+        self._states = reachable_space(config).states
+
+    def after_delivery(self, msg: Message) -> None:
+        if self._model is None:
+            return
+        self._deliveries += 1
+        if self._deliveries % self.every:
+            return
+        from ..mc.abstraction import spot_project
+
+        state = spot_project(self.machine, msg.block, self._model)
+        if state is None:
+            self.skipped += 1
+            return
+        self.samples += 1
+        if state not in self._states:
+            raise OracleViolation(
+                self.name,
+                f"block 0x{msg.block:x} projects to an abstract state "
+                f"outside the model's {len(self._states)}-state "
+                f"reachable space: {state!r}",
+            )
+
+    def spec(self) -> str:
+        if self.every == DEFAULT_MC_SPOT_EVERY:
+            return self.name
+        return f"{self.name}={self.every}"
+
+
 #: The battery every exploration run gets unless overridden.
 DEFAULT_ORACLES = (
     "coherence",
@@ -287,10 +372,13 @@ def parse_oracles(specs: Iterable[str]) -> List[Oracle]:
         elif name == "overtake":
             block = int(value, 0) if value else None
             oracles.append(OvertakeOracle(block=block))
+        elif name == "mc-spot":
+            every = int(value) if value else DEFAULT_MC_SPOT_EVERY
+            oracles.append(McSpotOracle(every=every))
         else:
             raise ConfigError(
                 f"unknown oracle {raw!r}; expected one of "
                 "coherence, quiescence, liveness[=N], "
-                "predictor-balance, overtake[=0xBLOCK]"
+                "predictor-balance, overtake[=0xBLOCK], mc-spot[=N]"
             )
     return oracles

@@ -1,0 +1,41 @@
+"""Exhaustive model checking of the coherence protocol.
+
+The model checker re-expresses the Stache/Origin controllers as a
+guarded-action transition relation over frozen tuples
+(:mod:`repro.mc.model`), enumerates the full reachable state space of
+small configurations (:mod:`repro.mc.explorer`), and cross-validates
+the model against the live simulator through an abstraction function
+(:mod:`repro.mc.abstraction`, :mod:`repro.mc.crossval`).  A battery of
+seeded protocol mutations (:mod:`repro.mc.mutations`) proves the
+oracles actually bite.  ``repro-check`` (:mod:`repro.mc.cli`) is the
+command-line entry point.
+"""
+
+from .abstraction import abstract_state, spot_project
+from .crossval import CrossValReport, RoundTrip, concretize, cross_validate
+from .explorer import (
+    ExploreResult,
+    Violation,
+    enumerate_space,
+    reachable_space,
+)
+from .model import KNOWN_MUTATIONS, MCConfig, Model
+from .mutations import MUTATIONS, live_patch
+
+__all__ = [
+    "CrossValReport",
+    "ExploreResult",
+    "KNOWN_MUTATIONS",
+    "MCConfig",
+    "MUTATIONS",
+    "Model",
+    "RoundTrip",
+    "Violation",
+    "abstract_state",
+    "concretize",
+    "cross_validate",
+    "enumerate_space",
+    "live_patch",
+    "reachable_space",
+    "spot_project",
+]

@@ -1,0 +1,330 @@
+"""``repro-check``: the protocol model checker from the shell.
+
+Three subcommands (plus ``mutations`` to inspect the battery):
+
+* ``enumerate`` -- exhaustively enumerate the model's reachable state
+  space for a configuration, checking coherence, liveness, and
+  predictor-observation accounting at every state.  With ``--mutation``
+  the model carries a seeded bug, and a violation (with its shortest
+  counterexample path) is expected.  Exit 0 means the space is clean;
+  3 means a violation was found (and written out with ``--out``);
+  1 is an error (including an incomplete enumeration).
+* ``cross-validate`` -- drive the live simulator through adversarial
+  episodes and assert every reachable abstract state is model-reachable.
+  Exit 3 means the simulator escaped the model.
+* ``replay-counterexample`` -- re-find a mutation's counterexample,
+  replay it concretely against the live-patched simulator, shrink the
+  failure, and save a ``.repro`` artifact.  Exit 3 means the violation
+  reproduced and the artifact was saved (mirroring ``repro-explore``).
+
+Examples::
+
+    repro-check enumerate --nodes 2
+    repro-check enumerate --mutation skip-inval --out skip-inval.json
+    repro-check cross-validate --episodes 8
+    repro-check replay-counterexample lost-writeback --out lost.repro
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from ..errors import ConfigError, ReproError
+from .crossval import concretize, cross_validate
+from .explorer import (
+    DEFAULT_MAX_STATES,
+    ExploreResult,
+    Violation,
+    encode_action,
+    enumerate_space,
+)
+from .model import MCConfig, Model
+from .mutations import LIVE_PATCHES, MUTATIONS, live_patch
+
+#: Exit status for "the checker found a violation" (enumerate) or "the
+#: counterexample reproduced and was saved" (replay-counterexample) --
+#: the same value ``repro-explore`` uses, so scripts can tell "found
+#: a bug" from "broke".
+EXIT_VIOLATIONS = 3
+
+
+def _config_from(args: argparse.Namespace) -> MCConfig:
+    homes = tuple(int(part) for part in args.homes.split(","))
+    return MCConfig(
+        n_nodes=args.nodes,
+        homes=homes,
+        half_migratory=not args.non_migratory,
+        forwarding=args.forwarding,
+        faults=args.faults,
+        dup_cap=args.dup_cap,
+    )
+
+
+def _config_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--nodes", type=int, default=2, help="model nodes (default 2)"
+    )
+    parser.add_argument(
+        "--homes",
+        default="0",
+        metavar="N,N,...",
+        help="home node per model block (default one block homed at 0)",
+    )
+    parser.add_argument(
+        "--non-migratory",
+        action="store_true",
+        help="read misses to an owned block invalidate instead of "
+        "downgrading",
+    )
+    parser.add_argument(
+        "--forwarding",
+        action="store_true",
+        help="Origin-style request forwarding",
+    )
+    parser.add_argument(
+        "--faults",
+        action="store_true",
+        help="include message drop and duplication actions",
+    )
+    parser.add_argument(
+        "--dup-cap",
+        type=int,
+        default=2,
+        help="network counter-abstraction saturation (default 2)",
+    )
+
+
+def _violation_json(result: ExploreResult, violation: Violation) -> dict:
+    config = result.config
+    return {
+        "config": {
+            "n_nodes": config.n_nodes,
+            "homes": list(config.homes),
+            "half_migratory": config.half_migratory,
+            "forwarding": config.forwarding,
+            "faults": config.faults,
+            "dup_cap": config.dup_cap,
+        },
+        "mutation": result.mutation,
+        "oracle": violation.oracle,
+        "detail": violation.detail,
+        "path": [encode_action(action) for action in violation.path],
+    }
+
+
+def _print_result(result: ExploreResult) -> None:
+    print(
+        f"{result.n_states} states, {result.n_transitions} transitions"
+        + ("" if result.complete else "  [INCOMPLETE]")
+    )
+    print(f"fingerprint {result.fingerprint}")
+    for violation in result.violations:
+        print(f"VIOLATION [{violation.oracle}] {violation.detail}")
+        for step, action in enumerate(violation.path):
+            print(f"  {step:3d}  {action}")
+
+
+def _cmd_enumerate(args: argparse.Namespace) -> int:
+    model = Model(_config_from(args), args.mutation)
+    result = enumerate_space(model, max_states=args.max_states)
+    _print_result(result)
+    if not result.complete:
+        print(
+            f"error: frontier still open after {args.max_states} states; "
+            "raise --max-states or shrink the configuration",
+            file=sys.stderr,
+        )
+        return 1
+    if result.violations:
+        if args.out is not None:
+            payload = _violation_json(result, result.violations[0])
+            with open(args.out, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2)
+                handle.write("\n")
+            print(f"counterexample written to {args.out}")
+        return EXIT_VIOLATIONS
+    return 0
+
+
+def _cmd_cross_validate(args: argparse.Namespace) -> int:
+    report = cross_validate(
+        config=_config_from(args),
+        episodes=args.episodes,
+        seed=args.seed,
+        iterations=args.iterations,
+        strategy=args.strategy,
+    )
+    print(
+        f"{report.episodes} episode(s), {report.samples} samples, "
+        f"{report.distinct} distinct abstract states "
+        f"(model has {report.model_states})"
+    )
+    for episode, state in report.unmatched:
+        print(f"UNMATCHED (episode {episode}): {state}")
+    if report.unmatched:
+        print(
+            f"{len(report.unmatched)} simulator-reachable state(s) "
+            "are not model-reachable"
+        )
+        return EXIT_VIOLATIONS
+    print("every sampled state is model-reachable")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    try:
+        mutation = MUTATIONS[args.mutation]
+    except KeyError:
+        raise ConfigError(
+            f"unknown mutation {args.mutation!r}; available: "
+            + ", ".join(sorted(MUTATIONS))
+        ) from None
+    if args.mutation not in LIVE_PATCHES:
+        raise ConfigError(
+            f"mutation {args.mutation!r} has no live simulator patch; "
+            "replayable mutations: " + ", ".join(sorted(LIVE_PATCHES))
+        )
+    model = Model(mutation.config, mutation.name)
+    result = enumerate_space(model)
+    if not result.violations:
+        print(
+            f"error: mutation {mutation.name!r} produced no model "
+            "violation",
+            file=sys.stderr,
+        )
+        return 1
+    violation = result.violations[0]
+    print(
+        f"model counterexample [{violation.oracle}] "
+        f"{len(violation.path)} action(s)"
+    )
+    with live_patch(mutation.name):
+        round_trip = concretize(
+            violation,
+            model,
+            out_path=args.out,
+            shrink_checks=args.max_checks,
+            run_shrink=not args.no_shrink,
+        )
+    print(f"reproduced concretely: oracle={round_trip.oracle}")
+    print(f"  {round_trip.message}")
+    if round_trip.shrink_result is not None:
+        print(
+            f"shrunk {round_trip.shrink_result.original_decisions} -> "
+            f"{round_trip.shrink_result.final_decisions} decisions"
+        )
+    if round_trip.artifact_path is not None:
+        print(f"artifact saved to {round_trip.artifact_path}")
+    return EXIT_VIOLATIONS
+
+
+def _cmd_mutations(args: argparse.Namespace) -> int:
+    for name in sorted(MUTATIONS):
+        mutation = MUTATIONS[name]
+        live = "  [live patch]" if name in LIVE_PATCHES else ""
+        print(f"{name}  ({mutation.expected_oracle}){live}")
+        if args.verbose:
+            print(f"    {mutation.description}")
+            print(f"    config: {mutation.config}")
+            print(f"    {mutation.scenario}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-check",
+        description=(
+            "exhaustive protocol model checker for the Stache/Cosmos "
+            "simulator: reachable-space enumeration with invariant "
+            "oracles, simulator cross-validation, and concrete "
+            "counterexample replay"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    enum = sub.add_parser(
+        "enumerate",
+        help="enumerate the reachable space, checking every oracle",
+    )
+    _config_args(enum)
+    enum.add_argument(
+        "--mutation",
+        default=None,
+        choices=sorted(MUTATIONS),
+        help="seed this protocol bug into the model",
+    )
+    enum.add_argument(
+        "--max-states",
+        type=int,
+        default=DEFAULT_MAX_STATES,
+        help="enumeration safety valve",
+    )
+    enum.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write the first counterexample as JSON",
+    )
+    enum.set_defaults(func=_cmd_enumerate)
+
+    xval = sub.add_parser(
+        "cross-validate",
+        help="check simulator-reachable states against the model",
+    )
+    _config_args(xval)
+    xval.add_argument("--episodes", type=int, default=4)
+    xval.add_argument("--seed", type=int, default=0)
+    xval.add_argument("--iterations", type=int, default=3)
+    xval.add_argument("--strategy", default="random-walk")
+    xval.set_defaults(func=_cmd_cross_validate)
+
+    rep = sub.add_parser(
+        "replay-counterexample",
+        help="replay a mutation's counterexample on the live simulator",
+    )
+    rep.add_argument("mutation", choices=sorted(MUTATIONS))
+    rep.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="where to save the shrunk .repro artifact",
+    )
+    rep.add_argument(
+        "--max-checks",
+        type=int,
+        default=200,
+        help="shrink replay budget (default 200)",
+    )
+    rep.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="save the raw reproduction without shrinking",
+    )
+    rep.set_defaults(func=_cmd_replay)
+
+    mut = sub.add_parser(
+        "mutations", help="list the seeded-bug battery"
+    )
+    mut.add_argument("--verbose", "-v", action="store_true")
+    mut.set_defaults(func=_cmd_mutations)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,245 @@
+"""The mutation battery: seeded protocol bugs the checker must catch.
+
+A model checker whose oracles never fire proves nothing.  Each entry
+below names a mutation hook compiled into :class:`repro.mc.model.Model`
+(``Model(config, mutation=name)``), the configuration under which the
+bug is reachable, and the oracle expected to report it;
+``tests/mc/test_mutations.py`` asserts every one is detected.
+
+Two mutations also exist as *live* patches
+(:func:`live_patch`) -- monkey-patches of the real controllers that
+introduce the same bug into the simulator -- so the battery can prove
+the full round trip: the model finds a counterexample, the path replays
+concretely against the patched simulator, the machine's own invariant
+checker fires, and the failure shrinks into a ``.repro`` artifact
+through the PR 5 pipeline.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict
+
+from ..errors import ConfigError
+from ..protocol.cache_ctrl import CacheController
+from ..protocol.directory_ctrl import DirectoryController
+from ..protocol.messages import MessageType
+from ..protocol.state import CacheState
+from .model import KNOWN_MUTATIONS, MCConfig
+
+_TWO_NODE = MCConfig(n_nodes=2, homes=(0,))
+_TWO_NODE_FAULTS = MCConfig(n_nodes=2, homes=(0,), faults=True)
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One seeded protocol bug and how the checker is expected to see it."""
+
+    name: str
+    description: str
+    #: Oracle expected to fire: "coherence" or "liveness".
+    expected_oracle: str
+    #: Smallest configuration under which the bug is reachable.
+    config: MCConfig
+    #: How the bug manifests (the scenario the counterexample encodes).
+    scenario: str
+
+
+MUTATIONS: Dict[str, Mutation] = {
+    mutation.name: mutation
+    for mutation in (
+        Mutation(
+            name="drop-ack",
+            description="the cache never acknowledges INVAL_RO",
+            expected_oracle="liveness",
+            config=_TWO_NODE,
+            scenario=(
+                "the directory's invalidation round can never complete; "
+                "retries re-send the inval forever and the write "
+                "transaction livelocks"
+            ),
+        ),
+        Mutation(
+            name="skip-inval",
+            description="a write transaction skips one sharer's INVAL_RO",
+            expected_oracle="coherence",
+            config=_TWO_NODE,
+            scenario=(
+                "the skipped sharer keeps a shared copy the directory "
+                "no longer records after the write completes"
+            ),
+        ),
+        Mutation(
+            name="wrong-owner",
+            description="ownership is recorded to the home, not the writer",
+            expected_oracle="coherence",
+            config=_TWO_NODE,
+            scenario=(
+                "the writer holds the block exclusively while the "
+                "directory names the home as owner"
+            ),
+        ),
+        Mutation(
+            name="stale-response-accept",
+            description="the cache installs data responses from revoked "
+            "attempts",
+            expected_oracle="coherence",
+            config=_TWO_NODE,
+            scenario=(
+                "an invalidation poisons an outstanding read, but the "
+                "superseded response still installs a shared copy the "
+                "directory has already revoked"
+            ),
+        ),
+        Mutation(
+            name="lost-writeback",
+            description="INVAL_RW is acknowledged without giving up the "
+            "exclusive copy",
+            expected_oracle="coherence",
+            config=_TWO_NODE,
+            scenario=(
+                "the old owner keeps writing a block whose ownership "
+                "the directory has handed to someone else"
+            ),
+        ),
+        Mutation(
+            name="duplicate-grant",
+            description="re-granting a read request replies with "
+            "exclusive data",
+            expected_oracle="coherence",
+            config=_TWO_NODE_FAULTS,
+            scenario=(
+                "a duplicated read request is re-granted read-write; the "
+                "requester installs an exclusive copy the directory "
+                "records as merely shared"
+            ),
+        ),
+        Mutation(
+            name="premature-unblock",
+            description="the directory unblocks after the first ack of a "
+            "multi-sharer round",
+            expected_oracle="coherence",
+            config=MCConfig(n_nodes=3, homes=(0,)),
+            scenario=(
+                "with two sharers to invalidate, the first ack finishes "
+                "the write while the second sharer still holds a copy"
+            ),
+        ),
+        Mutation(
+            name="no-poison",
+            description="an invalidation during an outstanding miss does "
+            "not re-issue the attempt",
+            expected_oracle="coherence",
+            config=_TWO_NODE,
+            scenario=(
+                "the attempt keeps its old sequence number, so the "
+                "response to the revoked attempt still matches and "
+                "installs a copy the directory gave away (the model's "
+                "form of `retry without fresh-seq backoff discipline`)"
+            ),
+        ),
+        Mutation(
+            name="stale-ack-accept",
+            description="the directory retires pending entries on acks "
+            "from superseded rounds",
+            expected_oracle="coherence",
+            config=_TWO_NODE_FAULTS,
+            scenario=(
+                "a duplicated ack from an earlier invalidation round "
+                "satisfies a later round whose invalidation has not "
+                "reached the sharer yet"
+            ),
+        ),
+        Mutation(
+            name="downgrade-resurrect",
+            description="a duplicate DOWNGRADE promotes an invalid copy "
+            "to shared",
+            expected_oracle="coherence",
+            config=MCConfig(
+                n_nodes=2, homes=(0,), half_migratory=False, faults=True
+            ),
+            scenario=(
+                "a stale downgrade duplicate arrives after the copy was "
+                "invalidated and resurrects it as shared"
+            ),
+        ),
+    )
+}
+
+# The registry and the model's hook list must agree exactly.
+assert set(MUTATIONS) == set(KNOWN_MUTATIONS)
+
+
+# ----------------------------------------------------------------------
+# live patches (concrete round-trip)
+# ----------------------------------------------------------------------
+
+
+@contextmanager
+def _patched(cls, attr, replacement):
+    original = getattr(cls, attr)
+    setattr(cls, attr, replacement)
+    try:
+        yield
+    finally:
+        setattr(cls, attr, original)
+
+
+@contextmanager
+def live_lost_writeback():
+    """Patch the real cache: ack INVAL_RW but keep the exclusive copy.
+
+    Cache message dispatch goes through the class-level ``_HANDLERS``
+    table, which captured the original function object -- so the table
+    entry is what gets swapped, not the method attribute.
+    """
+
+    def mutated(self, msg):
+        state = self.state_of(msg.block)
+        if self._recovery is not None:
+            if state is not CacheState.EXCLUSIVE:
+                self.duplicate_invals_acked += 1
+        self._ack(msg, MessageType.INVAL_RW_RESPONSE)
+        self._poison_outstanding(msg.block)
+
+    handlers = CacheController._HANDLERS
+    original = handlers[MessageType.INVAL_RW_REQUEST]
+    handlers[MessageType.INVAL_RW_REQUEST] = mutated
+    try:
+        yield
+    finally:
+        handlers[MessageType.INVAL_RW_REQUEST] = original
+
+
+@contextmanager
+def live_wrong_owner():
+    """Patch the real directory: record the home as the new owner."""
+    original = DirectoryController._start_write
+
+    def mutated(self, block, entry, request):
+        txn = original(self, block, entry, request)
+        if request.requester != self.node_id:
+            txn.final_owner = self.node_id
+        return txn
+
+    with _patched(DirectoryController, "_start_write", mutated):
+        yield
+
+
+#: Mutations that exist as live simulator patches too.
+LIVE_PATCHES = {
+    "lost-writeback": live_lost_writeback,
+    "wrong-owner": live_wrong_owner,
+}
+
+
+def live_patch(name: str):
+    """Context manager installing mutation ``name`` into the simulator."""
+    try:
+        return LIVE_PATCHES[name]()
+    except KeyError:
+        raise ConfigError(
+            f"no live patch for mutation {name!r}; available: "
+            f"{', '.join(sorted(LIVE_PATCHES))}"
+        ) from None

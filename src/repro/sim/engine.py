@@ -143,6 +143,15 @@ class Engine:
         """Number of events still waiting in the queue."""
         return len(self._queue)
 
+    def iter_pending(self):
+        """Iterate pending events as ``(time, seq, callback, args)``.
+
+        Non-destructive and in heap (not dispatch) order.  Used by the
+        model checker's abstraction function, which must see messages
+        whose delivery is scheduled but has not run yet.
+        """
+        return iter(self._queue)
+
     def peek_events(self, limit: int = 5) -> List[Tuple[int, str]]:
         """The next ``limit`` pending events as ``(time, callback name)``.
 

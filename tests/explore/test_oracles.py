@@ -234,3 +234,71 @@ class TestOvertake:
             oracle._on_delivery(
                 5, _msg(block=0x80), [(3, _msg(block=0x80), 0)]
             )
+
+
+class TestMcSpotOracle:
+    def test_parse_with_and_without_period(self):
+        from repro.explore.oracles import McSpotOracle
+
+        (oracle,) = parse_oracles(["mc-spot"])
+        assert isinstance(oracle, McSpotOracle)
+        assert oracle.spec() == "mc-spot"
+        (oracle,) = parse_oracles(["mc-spot=16"])
+        assert oracle.every == 16
+        assert oracle.spec() == "mc-spot=16"
+
+    def test_period_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            parse_oracles(["mc-spot=0"])
+
+    def test_faulty_machine_disarms_the_oracle(self):
+        from repro.explore.oracles import McSpotOracle
+        from repro.sim.faults import FaultProfile
+
+        machine = Machine(
+            faults=FaultProfile.parse("drop=0.05"),
+            fault_seed=1,
+            network_factory=lambda engine, params, deliver: (
+                ExploringNetwork(
+                    engine,
+                    params,
+                    deliver,
+                    policy=FifoPolicy(),
+                    faults=FaultProfile.parse("drop=0.05"),
+                    fault_seed=1,
+                )
+            ),
+        )
+        oracle = McSpotOracle(every=1)
+        oracle.attach(machine)
+        assert oracle._model is None
+        oracle.after_delivery(_msg(block=0x40))  # inert, no projection
+        assert oracle.samples == 0
+
+    def test_samples_stay_inside_the_model_space(self):
+        from repro.explore.oracles import McSpotOracle
+        from repro.explore.strategies import RandomWalkPolicy
+        from repro.workloads.recorded import materialize
+
+        policy = RandomWalkPolicy(seed=13)
+        machine = Machine(
+            seed=13,
+            network_factory=lambda engine, params, deliver: (
+                ExploringNetwork(engine, params, deliver, policy=policy)
+            ),
+        )
+        oracle = McSpotOracle(every=4)
+        oracle.attach(machine)
+        machine.deliver_hooks.append(oracle.after_delivery)
+        workload = materialize(
+            make_workload(
+                "dsmc",
+                buffers_per_proc=1,
+                rare_blocks_per_proc=6,
+                contended_buffers=2,
+            ),
+            13,
+            2,
+        )
+        machine.run_workload(workload, 2)
+        assert oracle.samples > 0

@@ -1,0 +1,95 @@
+"""The abstraction function: machine snapshots -> model states."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mc.abstraction import (
+    ProjectionError,
+    abstract_state,
+    inflight_messages,
+    involved_remotes,
+    spot_project,
+)
+from repro.mc.crossval import (
+    model_block_addr,
+    scenario_maps,
+    scenario_workload,
+)
+from repro.mc.explorer import reachable_space
+from repro.mc.model import MCConfig, Model
+from repro.explore.network import ExploringNetwork
+from repro.explore.strategies import make_policy
+from repro.protocol.stache import DEFAULT_OPTIONS
+from repro.sim.machine import Machine
+from repro.sim.params import PAPER_PARAMS
+
+TWO_NODE = MCConfig(n_nodes=2, homes=(0,))
+
+
+def _machine(seed=0, policy=None):
+    def factory(engine, params, deliver):
+        return ExploringNetwork(engine, params, deliver, policy=policy)
+
+    return Machine(
+        params=PAPER_PARAMS,
+        options=DEFAULT_OPTIONS,
+        seed=seed,
+        network_factory=factory,
+    )
+
+
+def test_idle_machine_abstracts_to_the_initial_state():
+    model = Model(TWO_NODE)
+    node_map, block_map = scenario_maps(TWO_NODE)
+    machine = _machine()
+    assert (
+        abstract_state(machine, model, node_map, block_map)
+        == model.initial_state()
+    )
+    assert inflight_messages(machine) == []
+
+
+def test_non_injective_node_map_rejected():
+    model = Model(TWO_NODE)
+    _, block_map = scenario_maps(TWO_NODE)
+    machine = _machine()
+    with pytest.raises(ProjectionError):
+        abstract_state(machine, model, {0: 0, 1: 0}, block_map)
+
+
+def test_home_mismatch_rejected():
+    model = Model(TWO_NODE)
+    machine = _machine()
+    # Block homed at node 1 mapped to a model block homed at 0.
+    addr = model_block_addr(MCConfig(n_nodes=2, homes=(1,)), 0)
+    with pytest.raises(ProjectionError):
+        abstract_state(machine, model, {0: 0, 1: 1}, {addr: 0})
+
+
+def test_every_sampled_state_is_model_reachable():
+    # Cross-validation in miniature: one adversarial episode, every
+    # delivery snapshotted, every snapshot inside the reachable set.
+    model = Model(TWO_NODE)
+    space = reachable_space(TWO_NODE)
+    node_map, block_map = scenario_maps(TWO_NODE)
+    policy = make_policy("random-walk", seed=11)
+    machine = _machine(seed=11, policy=policy)
+    seen = []
+
+    def sample(_msg=None):
+        seen.append(abstract_state(machine, model, node_map, block_map))
+
+    machine.deliver_hooks.append(sample)
+    machine.run_workload(scenario_workload(TWO_NODE, seed=11), 3)
+    assert len(seen) > 4
+    escaped = [state for state in seen if state not in space.states]
+    assert escaped == []
+
+
+def test_spot_project_idle_block_and_involvement():
+    model = Model(TWO_NODE)
+    machine = _machine()
+    addr = model_block_addr(TWO_NODE, 0)
+    assert involved_remotes(machine, addr) == set()
+    assert spot_project(machine, addr, model) == model.initial_state()

@@ -1,0 +1,68 @@
+"""Exhaustive enumeration: completeness, oracles, counterexamples."""
+
+from __future__ import annotations
+
+from repro.mc.explorer import (
+    decode_action,
+    encode_action,
+    enumerate_space,
+    reachable_space,
+    replay_path,
+)
+from repro.mc.model import MCConfig, Model
+
+TWO_NODE = MCConfig(n_nodes=2, homes=(0,))
+
+
+def test_two_node_space_is_clean_and_complete():
+    result = reachable_space(TWO_NODE)
+    assert result.ok
+    assert result.complete
+    assert not result.violations
+    assert result.initial in result.states
+    assert result.n_states == len(result.states)
+    assert result.n_states > 10_000  # a real space, not a stub
+
+
+def test_forwarding_is_inert_at_two_nodes():
+    # With one remote, every forwardable request comes *from* the only
+    # possible forward target, so Origin forwarding degenerates to the
+    # regrant path and the reachable space is bit-identical.
+    base = reachable_space(TWO_NODE)
+    fwd = reachable_space(MCConfig(n_nodes=2, homes=(0,), forwarding=True))
+    assert fwd.fingerprint == base.fingerprint
+    assert fwd.n_states == base.n_states
+
+
+def test_max_states_valve_reports_incomplete():
+    result = enumerate_space(Model(TWO_NODE), max_states=100)
+    assert not result.complete
+    assert not result.ok
+
+
+def test_counterexample_replays_to_the_violating_state():
+    result = reachable_space(TWO_NODE, mutation="skip-inval")
+    assert result.violations
+    violation = result.violations[0]
+    model = Model(TWO_NODE, "skip-inval")
+    final = replay_path(model, violation.path)
+    assert final == violation.state
+    broken = model.check_state(final)
+    assert broken is not None
+    assert broken[0] == violation.oracle
+
+
+def test_action_serialization_round_trip():
+    result = reachable_space(TWO_NODE, mutation="skip-inval")
+    path = result.violations[0].path
+    for action in path:
+        assert decode_action(encode_action(action)) == action
+
+
+def test_fingerprint_is_order_independent():
+    from repro.mc.explorer import fingerprint_states
+
+    states = [((0,), (1,)), ((2,), (3,))]
+    assert fingerprint_states(states) == fingerprint_states(
+        list(reversed(states))
+    )

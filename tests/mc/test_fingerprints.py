@@ -1,0 +1,46 @@
+"""Golden state-space regression: counts and fingerprints, bit for bit.
+
+Any change to the protocol model -- intentional or accidental -- moves
+the reachable set, and with it the SHA-256 fingerprint checked in under
+``tests/data/mc/``.  An intentional protocol change regenerates the
+goldens (see ``docs/model_checking.md``); an unintentional one fails
+here before it can fail in a soak.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.mc.explorer import reachable_space
+from repro.mc.model import MCConfig
+
+GOLDEN = Path(__file__).parent.parent / "data" / "mc" / "fingerprints.json"
+
+
+def _entries():
+    with GOLDEN.open(encoding="utf-8") as handle:
+        return sorted(json.load(handle).items())
+
+
+@pytest.mark.parametrize("key,entry", _entries(), ids=lambda v: v
+                         if isinstance(v, str) else "")
+def test_golden_space(key, entry):
+    raw = dict(entry["config"])
+    raw["homes"] = tuple(raw["homes"])
+    config = MCConfig(**raw)
+    result = reachable_space(config)
+    assert result.ok, result.violations[:1]
+    assert result.n_states == entry["n_states"]
+    assert result.n_transitions == entry["n_transitions"]
+    assert result.fingerprint == entry["fingerprint"]
+
+
+def test_goldens_cover_both_read_miss_policies():
+    keys = dict(_entries())
+    migratory = {
+        entry["config"]["half_migratory"] for entry in keys.values()
+    }
+    assert migratory == {True, False}

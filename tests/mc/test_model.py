@@ -1,0 +1,125 @@
+"""Model semantics: guards, transitions, serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mc.model import (
+    EXCLUSIVE,
+    INVALID,
+    KNOWN_MUTATIONS,
+    MCConfig,
+    Model,
+    NO_TXN,
+    decode_state,
+    encode_state,
+)
+
+TWO_NODE = MCConfig(n_nodes=2, homes=(0,))
+
+
+def test_initial_state_is_quiescent_and_coherent():
+    model = Model(TWO_NODE)
+    state = model.initial_state()
+    assert model.is_quiescent(state)
+    assert not model.has_work(state)
+    assert model.check_state(state) is None
+
+
+def test_initial_actions_are_issues_only():
+    model = Model(TWO_NODE)
+    actions = model.actions(model.initial_state())
+    assert actions
+    assert {action[0] for action in actions} == {"issue"}
+
+
+def test_issue_creates_a_remote_transaction_and_a_request():
+    model = Model(TWO_NODE)
+    state = model.step(model.initial_state(), ("issue", 1, 0, 1))
+    caches, txns, dirs, net = state
+    assert txns[1][0] != NO_TXN
+    assert caches[1][0] == INVALID
+    assert len(net) == 1
+    (msg, count), = net
+    assert (msg[0], msg[1]) == (1, 0)  # requester -> home
+    assert count == 1
+
+
+def test_remote_write_completes_exclusively():
+    model = Model(TWO_NODE)
+    state = model.initial_state()
+    state = model.step(state, ("issue", 1, 0, 1))
+    # Drain: request to home, grant back to the requester.
+    while not model.is_quiescent(state):
+        deliver = [a for a in model.actions(state) if a[0] == "deliver"]
+        assert deliver
+        state = model.step(state, deliver[0])
+    caches, txns, dirs, _net = state
+    assert caches[1][0] == EXCLUSIVE
+    assert txns[1][0] == NO_TXN
+    assert dirs[0][0] == 1  # directory records the writer as owner
+    assert model.check_state(state) is None
+
+
+def test_observation_accounting_per_action_kind():
+    model = Model(TWO_NODE)
+    state = model.initial_state()
+    state, observes = model.apply(state, ("issue", 1, 0, 1))
+    assert observes == 0
+    deliver = [a for a in model.actions(state) if a[0] == "deliver"][0]
+    _, observes = model.apply(state, deliver)
+    assert observes == 1
+
+
+def test_step_is_pure():
+    model = Model(TWO_NODE)
+    state = model.initial_state()
+    action = ("issue", 1, 0, 0)
+    first = model.step(state, action)
+    second = model.step(state, action)
+    assert first == second
+    assert state == model.initial_state()  # input untouched
+
+
+def test_fault_actions_require_faults_config():
+    model = Model(TWO_NODE)
+    state = model.step(model.initial_state(), ("issue", 1, 0, 1))
+    (msg, _count), = state[3]
+    with pytest.raises(ConfigError):
+        model.step(state, ("drop", msg, 0))
+    with pytest.raises(ConfigError):
+        model.step(state, ("dup", msg))
+
+
+def test_retry_guards():
+    model = Model(TWO_NODE)
+    with pytest.raises(ConfigError):
+        model.step(model.initial_state(), ("cretry", 1, 0))
+
+
+def test_unknown_action_rejected():
+    model = Model(TWO_NODE)
+    with pytest.raises(ConfigError):
+        model.step(model.initial_state(), ("warp", 0))
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        MCConfig(n_nodes=2, homes=(0,), forwarding=True, faults=True)
+    with pytest.raises(ConfigError):
+        MCConfig(n_nodes=2, homes=(0,), dup_cap=1)
+    with pytest.raises(ConfigError):
+        MCConfig(n_nodes=2, homes=(5,))
+
+
+def test_unknown_mutation_rejected():
+    with pytest.raises(ConfigError):
+        Model(TWO_NODE, "flip-every-bit")
+    assert len(KNOWN_MUTATIONS) == 10
+
+
+def test_state_serialization_round_trip():
+    model = Model(TWO_NODE)
+    state = model.step(model.initial_state(), ("issue", 1, 0, 1))
+    assert decode_state(encode_state(state)) == state

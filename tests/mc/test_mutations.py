@@ -1,0 +1,87 @@
+"""The mutation battery: every seeded bug must be caught.
+
+This is the proof the oracles are not vacuous.  Each registered
+mutation compiles a known protocol bug into the model; the exhaustive
+explorer must find a violation, attribute it to the expected oracle,
+and hand back a counterexample path that replays to the broken state.
+Two mutations additionally round-trip through the *live* simulator:
+the counterexample replays concretely under a monkey-patched
+controller, the machine's own invariant checker fires, and the failure
+shrinks into a ``.repro`` artifact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.explore.artifact import load_artifact
+from repro.explore.runner import replay_artifact
+from repro.mc.crossval import concretize
+from repro.mc.explorer import reachable_space, replay_path
+from repro.mc.model import Model
+from repro.mc.mutations import LIVE_PATCHES, MUTATIONS, live_patch
+
+
+@pytest.mark.parametrize("name", sorted(MUTATIONS))
+def test_mutation_is_detected(name):
+    mutation = MUTATIONS[name]
+    result = reachable_space(mutation.config, mutation=name)
+    assert result.violations, f"mutation {name} was not detected"
+    violation = result.violations[0]
+    assert violation.oracle == mutation.expected_oracle
+    assert violation.path, "counterexample must be non-trivial"
+    # The path must actually reach the recorded state.
+    model = Model(mutation.config, name)
+    assert replay_path(model, violation.path) == violation.state
+
+
+@pytest.mark.parametrize("name", sorted(MUTATIONS))
+def test_coherence_counterexamples_replay_to_broken_states(name):
+    mutation = MUTATIONS[name]
+    if mutation.expected_oracle != "coherence":
+        pytest.skip("liveness violations are regions, not single states")
+    result = reachable_space(mutation.config, mutation=name)
+    violation = result.violations[0]
+    model = Model(mutation.config, name)
+    broken = model.check_state(violation.state)
+    assert broken is not None
+    assert broken[0] == "coherence"
+
+
+def test_battery_covers_both_oracles_and_faults():
+    oracles = {m.expected_oracle for m in MUTATIONS.values()}
+    assert oracles == {"coherence", "liveness"}
+    assert any(m.config.faults for m in MUTATIONS.values())
+    assert any(m.config.n_nodes > 2 for m in MUTATIONS.values())
+    assert len(MUTATIONS) >= 8
+
+
+@pytest.mark.parametrize("name", sorted(LIVE_PATCHES))
+def test_counterexample_round_trips_through_the_simulator(name, tmp_path):
+    mutation = MUTATIONS[name]
+    model = Model(mutation.config, name)
+    violation = reachable_space(mutation.config, mutation=name).violations[0]
+    out = tmp_path / f"{name}.repro"
+    with live_patch(name):
+        round_trip = concretize(
+            violation, model, out_path=out, shrink_checks=120
+        )
+    assert round_trip.oracle == mutation.expected_oracle
+    assert round_trip.shrink_result is not None
+    assert out.exists()
+
+    # The saved artifact reproduces under the patch...
+    artifact = load_artifact(out)
+    with live_patch(name):
+        assert replay_artifact(artifact).reproduced
+    # ...and does NOT reproduce on the healthy protocol: the bug lives
+    # in the mutation, not in the schedule.
+    assert not replay_artifact(artifact).reproduced
+
+
+def test_live_patch_requires_a_registered_mutation():
+    with pytest.raises(ConfigError):
+        live_patch("skip-inval")  # model-only mutation
+    with pytest.raises(ConfigError):
+        live_patch("not-a-mutation")

@@ -1,0 +1,85 @@
+"""Property-based checks over the model and the abstraction."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mc.abstraction import abstract_state
+from repro.mc.crossval import scenario_maps, scenario_workload
+from repro.mc.explorer import reachable_space
+from repro.mc.model import MCConfig, Model, decode_state, encode_state
+from repro.explore.network import ExploringNetwork
+from repro.explore.strategies import make_policy
+from repro.protocol.stache import DEFAULT_OPTIONS
+from repro.sim.machine import Machine
+from repro.sim.params import PAPER_PARAMS
+
+TWO_NODE = MCConfig(n_nodes=2, homes=(0,))
+TWO_NODE_FAULTS = MCConfig(n_nodes=2, homes=(0,), faults=True)
+
+
+def _random_walk(model, seed, steps=40):
+    """A seeded walk through the model; yields (state, action) pairs."""
+    rng = random.Random(seed)
+    state = model.initial_state()
+    for _ in range(steps):
+        actions = model.actions(state)
+        if not actions:
+            break
+        action = actions[rng.randrange(len(actions))]
+        yield state, action
+        state = model.step(state, action)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_step_is_deterministic_along_random_walks(seed):
+    model = Model(TWO_NODE_FAULTS)
+    for state, action in _random_walk(model, seed):
+        once = model.apply(state, action)
+        twice = model.apply(state, action)
+        assert once == twice
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_states_serialize_round_trip_along_random_walks(seed):
+    model = Model(TWO_NODE_FAULTS)
+    for state, _action in _random_walk(model, seed, steps=25):
+        assert decode_state(encode_state(state)) == state
+
+
+@settings(max_examples=4, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**16 - 1))
+def test_abstraction_is_total_over_live_episodes(seed):
+    """No transient machine state may crash the projection.
+
+    Whatever mid-transaction shape the live machine is in at a delivery
+    boundary, ``abstract_state`` must produce *some* model state -- a
+    KeyError on a transient would blind cross-validation exactly where
+    it matters.  Reachability is asserted too: strictly stronger, and
+    it makes totality failures distinguishable from soundness ones.
+    """
+    model = Model(TWO_NODE)
+    space = reachable_space(TWO_NODE)
+    node_map, block_map = scenario_maps(TWO_NODE)
+    policy = make_policy("random-walk", seed=seed)
+
+    def factory(engine, params, deliver):
+        return ExploringNetwork(engine, params, deliver, policy=policy)
+
+    machine = Machine(
+        params=PAPER_PARAMS,
+        options=DEFAULT_OPTIONS,
+        seed=seed,
+        network_factory=factory,
+    )
+
+    def sample(_msg=None):
+        state = abstract_state(machine, model, node_map, block_map)
+        assert state in space.states
+
+    machine.deliver_hooks.append(sample)
+    machine.run_workload(scenario_workload(TWO_NODE, seed, iterations=2), 2)
