@@ -1,4 +1,22 @@
-"""Microbenchmarks: predictor, evaluation, and simulator throughput."""
+"""Microbenchmarks: predictor, evaluation, and simulator throughput.
+
+Runs two ways:
+
+* under pytest-benchmark with the rest of the suite
+  (``pytest benchmarks/bench_core.py``), and
+* as a script emitting the machine-readable throughput report the CI
+  ``bench`` job tracks::
+
+      PYTHONPATH=src python benchmarks/bench_core.py --bench-json BENCH_core.json
+      PYTHONPATH=src python benchmarks/bench_core.py --bench-json out.json \
+          --baseline BENCH_core.json   # exit 1 on >20% events/sec regression
+
+The JSON carries best-of-N events/second figures for the simulator, the
+evaluation replay (with and without arc tracking), the packed-word
+predictor kernel, and peak RSS.  ``docs/performance.md`` explains how to
+read it; the committed ``BENCH_core.json`` at the repo root is the
+baseline the CI gate compares against.
+"""
 
 from repro.core.config import CosmosConfig
 from repro.core.evaluation import evaluate_trace
@@ -49,6 +67,35 @@ def test_evaluation_throughput(benchmark, quick_traces):
     )
     assert result.overall.refs == len(events)
     benchmark.extra_info["events"] = len(events)
+
+
+def test_end_to_end_events_per_sec(benchmark, quick_traces):
+    """The full pipeline rate: replay a real quick-mode trace through the
+    default Cosmos bank with arcs and checkpoints on (the configuration
+    every experiment driver uses)."""
+    events = quick_traces["moldyn"]
+    result = benchmark(
+        evaluate_trace, events, CosmosConfig(depth=2), None, (2, 4), True
+    )
+    assert result.overall.refs == len(events)
+    benchmark.extra_info["events"] = len(events)
+
+
+def test_observe_word_throughput(benchmark):
+    """The packed-word kernel (the interned-int hot API) on a periodic
+    stream: one dict lookup + counter bumps per observation."""
+    from repro.core.tuples import pack
+
+    predictor = CosmosPredictor(CosmosConfig(depth=2))
+    words = [pack(tup) for tup in CYCLE] * 200
+
+    def run():
+        observe_word = predictor.observe_word
+        for word in words:
+            observe_word(0x40, word)
+
+    benchmark(run)
+    assert predictor.accuracy > 0.9
 
 
 def test_simulator_throughput(benchmark):
@@ -124,3 +171,154 @@ def test_obs_disabled_overhead_guard():
         f"{per_event * 1e9:.1f} ns/simulated message "
         f"({per_check / per_event:.1%} > 2% budget)"
     )
+
+
+# ---------------------------------------------------------------------------
+# script mode: the machine-readable throughput report (--bench-json)
+# ---------------------------------------------------------------------------
+
+#: Rates the CI gate enforces; entries are JSON keys of events/second
+#: figures where *lower is worse*.
+GATED_RATES = (
+    "eval_events_per_sec",
+    "eval_events_per_sec_arcs",
+    "observes_per_sec",
+    "sim_events_per_sec",
+)
+#: Allowed relative drop vs the committed baseline before the gate fails.
+REGRESSION_BUDGET = 0.20
+
+
+def _best_rate(work, units, repeats=5):
+    """Best-of-N throughput for ``work()`` processing ``units`` items."""
+    import time
+
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        work()
+        best = min(best, time.perf_counter() - start)
+    return units / best
+
+
+def collect_throughput():
+    """Measure every gated rate; returns a plain JSON-able dict."""
+    import resource
+
+    from repro.core.tuples import pack
+    from repro.experiments.common import get_trace
+
+    events = get_trace("moldyn", seed=0, quick=True)
+    config = CosmosConfig(depth=2)
+
+    report = {
+        "trace": "moldyn/quick/seed0",
+        "events": len(events),
+        "eval_events_per_sec": round(
+            _best_rate(
+                lambda: evaluate_trace(events, config, None, (), False),
+                len(events),
+            )
+        ),
+        "eval_events_per_sec_arcs": round(
+            _best_rate(
+                lambda: evaluate_trace(events, config, None, (2, 4), True),
+                len(events),
+            )
+        ),
+    }
+
+    predictor = CosmosPredictor(config)
+    words = [pack(tup) for tup in CYCLE] * 20_000
+
+    def observe_all():
+        observe_word = predictor.observe_word
+        for word in words:
+            observe_word(0x40, word)
+
+    report["observes_per_sec"] = round(_best_rate(observe_all, len(words)))
+
+    sim_rate = 0.0
+    for _ in range(3):
+        machine = Machine(seed=1)
+
+        def run_sim(machine=machine):
+            machine.run_workload(
+                MolDyn(force_blocks=8, coord_blocks=8, cold_blocks=0),
+                iterations=5,
+            )
+
+        rate = _best_rate(run_sim, 1, repeats=1)
+        sim_rate = max(sim_rate, rate * machine.engine.events_processed)
+    report["sim_events_per_sec"] = round(sim_rate)
+
+    report["peak_rss_kb"] = resource.getrusage(
+        resource.RUSAGE_SELF
+    ).ru_maxrss
+    return report
+
+
+def compare_to_baseline(report, baseline):
+    """Gated-rate regressions beyond the budget; empty means pass."""
+    failures = []
+    for key in GATED_RATES:
+        recorded = baseline.get(key)
+        if not recorded:
+            continue
+        current = report.get(key, 0)
+        drop = (recorded - current) / recorded
+        if drop > REGRESSION_BUDGET:
+            failures.append(
+                f"{key}: {current:,} is {drop:.1%} below the baseline "
+                f"{recorded:,} (budget {REGRESSION_BUDGET:.0%})"
+            )
+    return failures
+
+
+def main(argv=None):
+    import argparse
+    import json
+    import sys
+
+    parser = argparse.ArgumentParser(
+        description="Core throughput benchmark with a JSON report."
+    )
+    parser.add_argument(
+        "--bench-json",
+        metavar="PATH",
+        help="write the throughput report to PATH",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="compare against a recorded report; exit 1 on a >"
+        f"{REGRESSION_BUDGET:.0%} events/sec regression",
+    )
+    args = parser.parse_args(argv)
+
+    report = collect_throughput()
+    for key, value in report.items():
+        print(f"{key}: {value:,}" if isinstance(value, int) else
+              f"{key}: {value}")
+
+    if args.bench_json:
+        with open(args.bench_json, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.bench_json}")
+
+    if args.baseline:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+        failures = compare_to_baseline(report, baseline)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION {failure}", file=sys.stderr)
+            return 1
+        print(f"within {REGRESSION_BUDGET:.0%} of baseline for "
+              f"{', '.join(GATED_RATES)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,6 +11,7 @@ Figure 3 -- while it locks onto the pattern.
 
 from repro.analysis import extract_signatures, measure_arcs
 from repro.core import CosmosConfig, CosmosPredictor, format_tuple
+from repro.core.tuples import unpack_pattern
 from repro.experiments import ProducerConsumerMicro
 from repro.protocol import Role
 from repro.sim import simulate
@@ -58,7 +59,7 @@ def main() -> None:
     print("\nlearned PHT for the block (pattern -> prediction):")
     pht = predictor.pht_of(workload.block)
     for pattern, entry in sorted(pht.items(), key=str):
-        shown = " ".join(format_tuple(t) for t in pattern)
+        shown = " ".join(format_tuple(t) for t in unpack_pattern(pattern))
         print(f"  {shown:>34s} -> {format_tuple(entry.prediction)}")
 
     accuracy = predictor.accuracy

@@ -9,8 +9,10 @@ cache- and directory-side patterns then alias in one table).
 
 from __future__ import annotations
 
+from dataclasses import asdict
 from typing import Dict, Iterator, Optional, Tuple
 
+from ..errors import CheckpointError
 from ..protocol.messages import Role
 from ..trace.events import TraceEvent
 from .config import CosmosConfig
@@ -109,9 +111,30 @@ class PredictorBank:
     # checkpoint support
     # ------------------------------------------------------------------
 
+    def _fingerprint(self) -> dict:
+        """The construction parameters a snapshot is only valid under.
+
+        Restoring predictor state into a bank built differently would
+        not fail loudly -- it would silently mis-predict (wrong depth /
+        capacity semantics) or mis-route (different role sharing), so
+        the fingerprint travels with the snapshot and is enforced on
+        restore.
+        """
+        return {
+            "config": asdict(self.config),
+            "share_roles": self.share_roles,
+            "corruption": (
+                asdict(self.corruption)
+                if self.corruption is not None
+                else None
+            ),
+            "corruption_seed": self.corruption_seed,
+        }
+
     def snapshot_state(self) -> dict:
         """Capture every predictor in the bank as plain data."""
         return {
+            "fingerprint": self._fingerprint(),
             "predictors": [
                 {
                     "node": node,
@@ -126,8 +149,30 @@ class PredictorBank:
         """Restore a bank captured by :meth:`snapshot_state`.
 
         The bank must have been constructed with the same config,
-        role-sharing, and corruption arming as the captured one.
+        role-sharing, and corruption arming as the captured one;
+        a mismatch raises :class:`CheckpointError` naming the differing
+        fields instead of silently resuming with wrong semantics.
+        (Pre-fingerprint snapshots restore unchecked.)
         """
+        recorded = state.get("fingerprint")
+        if recorded is not None:
+            current = self._fingerprint()
+            mismatched = [
+                field
+                for field in current
+                if field in recorded and recorded[field] != current[field]
+            ]
+            if mismatched:
+                detail = "; ".join(
+                    f"{field}: snapshot {recorded[field]!r} != "
+                    f"bank {current[field]!r}"
+                    for field in mismatched
+                )
+                raise CheckpointError(
+                    f"predictor-bank snapshot was captured under a "
+                    f"different configuration ({detail}); rebuild the "
+                    f"bank with the captured parameters before restoring"
+                )
         self._predictors = {}
         for record in state["predictors"]:
             predictor = self.predictor_for(

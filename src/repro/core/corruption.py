@@ -42,17 +42,12 @@ from typing import Optional, Tuple
 from ..errors import ConfigError
 from .mhr import MessageHistoryRegister
 from .pht import PHTEntry
-from .tuples import SENDER_BITS, MessageTuple, pack
+from .tuples import SENDER_BITS, TUPLE_BITS, TYPE_BITS, MessageTuple, pack
 
 
 def tuple_parity(tup: MessageTuple) -> int:
     """Even parity over the tuple's 16-bit hardware encoding (0 or 1)."""
-    word = pack(tup)
-    parity = 0
-    while word:
-        parity ^= word & 1
-        word >>= 1
-    return parity
+    return pack(tup).bit_count() & 1
 
 
 def flip_sender_bit(tup: MessageTuple, bit: int) -> MessageTuple:
@@ -153,26 +148,38 @@ class ParityMessageHistoryRegister(MessageHistoryRegister):
         super().__init__(depth)
         self._parity: Tuple[int, ...] = ()
 
-    def shift(self, tup: MessageTuple) -> None:
-        super().shift(tup)
-        parity = tuple_parity(tup)
-        if len(self._parity) < len(self._history):
+    def shift_word(self, word: int) -> None:
+        super().shift_word(word)
+        parity = word.bit_count() & 1
+        if len(self._parity) < len(self):
             self._parity = self._parity + (parity,)
         else:
             self._parity = self._parity[1:] + (parity,)
 
     def corrupt_slot(self, index: int, bit: int) -> None:
         """Flip one sender bit of slot ``index`` (parity left stale)."""
-        history = list(self._history)
-        history[index] = flip_sender_bit(history[index], bit)
-        self._history = tuple(history)
+        length = len(self)
+        if not 0 <= index < length:
+            raise IndexError(f"MHR slot {index} out of range [0, {length})")
+        if not 0 <= bit < SENDER_BITS:
+            raise ConfigError(
+                f"sender bit index {bit} out of range [0, {SENDER_BITS})"
+            )
+        # Slot 0 is the oldest tuple, i.e. the highest field of the word;
+        # sender bits are the high 12 bits of each 16-bit field.
+        position = (length - 1 - index) * TUPLE_BITS + TYPE_BITS + bit
+        self._word ^= 1 << position
 
     def validate(self) -> bool:
         """Whether every held tuple still matches its stored parity."""
-        return all(
-            tuple_parity(tup) == parity
-            for tup, parity in zip(self._history, self._parity)
-        )
+        word = self._word
+        field_mask = (1 << TUPLE_BITS) - 1
+        # Walk newest (lowest field) to oldest against reversed parity.
+        for parity in reversed(self._parity):
+            if (word & field_mask).bit_count() & 1 != parity:
+                return False
+            word >>= TUPLE_BITS
+        return True
 
 
 class ParityPHTEntry(PHTEntry):

@@ -28,7 +28,7 @@ from ..trace.events import TraceEvent
 from .config import CosmosConfig
 from .memory import MemoryOverhead
 from .predictor import CosmosPredictor
-from .tuples import MessageTuple
+from .tuples import TUPLE_BITS, TYPE_BITS, MessageTuple
 
 #: Arc key: (role, previous message type, current message type).
 ArcKey = Tuple[Role, MessageType, MessageType]
@@ -146,6 +146,15 @@ def evaluate_trace(
     """
     if predictor_factory is None:
         cosmos_config = config if config is not None else CosmosConfig()
+        if not OBS.pred:
+            # The default Cosmos-bank replay runs the fused flat kernel
+            # inline (no per-event method dispatch or Observation
+            # objects); per-event observability capture needs the
+            # object-at-a-time loop below.
+            return _evaluate_trace_flat(
+                events, config, cosmos_config,
+                checkpoint_iterations, track_arcs,
+            )
 
         def predictor_factory() -> CosmosPredictor:
             return CosmosPredictor(cosmos_config)
@@ -242,6 +251,205 @@ def evaluate_trace(
         checkpoints=checkpoints,
         overhead=overhead,
     )
+
+
+def _evaluate_trace_flat(
+    events: Iterable[TraceEvent],
+    config: Optional[CosmosConfig],
+    cosmos_config: CosmosConfig,
+    checkpoint_iterations: Iterable[int],
+    track_arcs: bool,
+) -> EvaluationResult:
+    """The default-bank replay, inlined over flat predictor state.
+
+    Semantically identical to the generic loop in :func:`evaluate_trace`
+    with ``predictor_factory=None`` (the differential suite and the
+    ``tests/data/eval_goldens.json`` goldens pin this), but the per-event
+    work is the fused :meth:`CosmosPredictor.observe_word` kernel written
+    out over each module's ``_mht``/``_phts`` dicts: small-int packing,
+    dict lookups, and list-slot counter bumps -- no method dispatch, no
+    ``Observation`` allocation, no enum hashing.
+    """
+    depth_full_at = 1 << (TUPLE_BITS * cosmos_config.depth)
+    full_mask = depth_full_at - 1
+    macro = cosmos_config.macroblock_bytes
+    capacity = cosmos_config.mht_capacity
+    confidence = cosmos_config.confidence_threshold
+    max_count = cosmos_config.filter_max_count
+    directory = Role.DIRECTORY
+
+    # Module state, keyed ``(node << 1) | role-bit``:
+    # [mht, phts, predictions, hits, no_prediction, last-type-by-block,
+    #  capacity_evictions] -- the dicts are the predictor's own, so the
+    # result-facing CosmosPredictor objects see every update for free.
+    predictors: Dict[Tuple[int, Role], CosmosPredictor] = {}
+    modules: Dict[int, list] = {}
+    # (role-bit << 8) | (prev type << 4) | current type -> [hits, refs];
+    # insertion order is first-occurrence order, same as the generic
+    # loop's tuple-keyed ArcStats.
+    arc_counts: Dict[int, list] = {}
+
+    remaining = sorted(set(checkpoint_iterations))
+    checkpoints: List[IterationCheckpoint] = []
+    track_iterations = bool(remaining)
+    current_iteration: Optional[int] = None
+
+    def snapshot(iteration: int) -> IterationCheckpoint:
+        overall, by_role = _fold_module_tallies(modules)
+        return IterationCheckpoint(
+            iteration=iteration,
+            overall=overall,
+            by_role=by_role,
+            arcs=_arc_tallies(arc_counts),
+        )
+
+    def flush_checkpoints(next_iteration: Optional[int]) -> None:
+        while remaining and (
+            next_iteration is None or remaining[0] < next_iteration
+        ):
+            checkpoints.append(snapshot(remaining.pop(0)))
+
+    for event in events:
+        if track_iterations:
+            iteration = event.iteration
+            if (
+                current_iteration is not None
+                and iteration > current_iteration
+            ):
+                flush_checkpoints(iteration)
+            current_iteration = iteration
+
+        role = event.role
+        module_key = (event.node << 1) | (role is directory)
+        module = modules.get(module_key)
+        if module is None:
+            predictor = CosmosPredictor(cosmos_config)
+            predictors[(event.node, role)] = predictor
+            module = modules[module_key] = [
+                predictor._mht, predictor._phts, 0, 0, 0, {}, 0,
+            ]
+        block = event.block
+        word = (event.sender << TYPE_BITS) | event.mtype
+        key = block // macro if macro is not None else block
+
+        mht = module[0]
+        hist = mht.get(key)
+        hit = False
+        if hist is None:
+            module[4] += 1
+            mht[key] = (1 << TUPLE_BITS) | word
+            if capacity is not None and len(mht) > capacity:
+                victim = next(iter(mht))
+                del mht[victim]
+                module[1].pop(victim, None)
+                module[6] += 1
+        elif hist >= depth_full_at:
+            if capacity is not None:
+                del mht[key]
+            phts = module[1]
+            pht = phts.get(key)
+            if pht is None:
+                pht = phts[key] = {}
+            entry = pht.get(hist)
+            if entry is None:
+                module[4] += 1
+                pht[hist] = [word, 0]
+            else:
+                stored = entry[0]
+                counter = entry[1]
+                if confidence == 0 or counter >= confidence:
+                    module[2] += 1
+                    if stored == word:
+                        module[3] += 1
+                        hit = True
+                else:
+                    module[4] += 1
+                if stored == word:
+                    if counter < max_count:
+                        entry[1] = counter + 1
+                elif counter > 0:
+                    entry[1] = counter - 1
+                else:
+                    entry[0] = word
+            mht[key] = depth_full_at | (
+                ((hist << TUPLE_BITS) | word) & full_mask
+            )
+        else:
+            if capacity is not None:
+                del mht[key]
+            module[4] += 1
+            mht[key] = (hist << TUPLE_BITS) | word
+
+        if track_arcs:
+            last_type = module[5]
+            previous = last_type.get(block)
+            mtype = event.mtype
+            if previous is not None:
+                arc_key = (
+                    ((module_key & 1) << 8) | (previous << TYPE_BITS) | mtype
+                )
+                arc = arc_counts.get(arc_key)
+                if arc is None:
+                    arc = arc_counts[arc_key] = [0, 0]
+                arc[1] += 1
+                if hit:
+                    arc[0] += 1
+            last_type[block] = mtype
+
+    flush_checkpoints(None)
+
+    # Hand the counters back to the result-facing predictors, then run
+    # the same end-of-replay folds as the generic loop.
+    for (node, role), predictor in predictors.items():
+        module = modules[(node << 1) | (role is directory)]
+        predictor.predictions = module[2]
+        predictor.hits = module[3]
+        predictor.no_prediction = module[4]
+        predictor.capacity_evictions = module[6]
+    for predictor in predictors.values():
+        for size in predictor.pht_sizes():
+            METRICS.observe("pred.pht.block_entries", size)
+
+    overall, by_role = _fold_module_tallies(modules)
+    return EvaluationResult(
+        config=config,
+        overall=overall,
+        by_role=by_role,
+        arcs=ArcStats(tallies=_arc_tallies(arc_counts)),
+        checkpoints=checkpoints,
+        overhead=_measure_bank_overhead(predictors),
+    )
+
+
+def _fold_module_tallies(
+    modules: Dict[int, list]
+) -> Tuple[Tally, Dict[Role, Tally]]:
+    """Overall and per-role tallies from the flat loop's module states."""
+    by_role = {Role.CACHE: Tally(), Role.DIRECTORY: Tally()}
+    for module_key, module in modules.items():
+        tally = by_role[
+            Role.DIRECTORY if module_key & 1 else Role.CACHE
+        ]
+        tally.hits += module[3]
+        tally.refs += module[2] + module[4]
+    overall = Tally(
+        hits=by_role[Role.CACHE].hits + by_role[Role.DIRECTORY].hits,
+        refs=by_role[Role.CACHE].refs + by_role[Role.DIRECTORY].refs,
+    )
+    return overall, by_role
+
+
+def _arc_tallies(arc_counts: Dict[int, list]) -> Dict[ArcKey, Tally]:
+    """Int-keyed arc counters back to the readable ArcStats form."""
+    type_mask = (1 << TYPE_BITS) - 1
+    return {
+        (
+            Role.DIRECTORY if arc_key >> (2 * TYPE_BITS) else Role.CACHE,
+            MessageType((arc_key >> TYPE_BITS) & type_mask),
+            MessageType(arc_key & type_mask),
+        ): Tally(hits=counts[0], refs=counts[1])
+        for arc_key, counts in arc_counts.items()
+    }
 
 
 def _measure_bank_overhead(

@@ -8,16 +8,30 @@ prediction is replaced only after the counter, which rises with each
 confirmation and falls with each misprediction, has been driven back to
 zero.  With ``max_count = 0`` every misprediction replaces the prediction
 immediately (the paper's "no filter" column in Table 6).
+
+Entries are keyed on marker-led packed pattern words (see
+:mod:`repro.core.tuples`) -- the representation
+:meth:`~repro.core.mhr.MessageHistoryRegister.pattern` hands out -- so a
+lookup hashes one small int.  Every public method also accepts the
+readable tuple-of-tuples form and normalizes it, so analysis and test
+code can keep writing patterns out literally.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, Optional, Tuple, Union
 
-from .tuples import MessageTuple
+from .tuples import MessageTuple, pack_pattern
 
-#: A PHT index: the tuple sequence held by the MHR.
-Pattern = Tuple[MessageTuple, ...]
+#: A PHT index: a packed pattern word, or the tuple sequence it encodes.
+Pattern = Union[int, Tuple[MessageTuple, ...]]
+
+
+def pattern_word(pattern: Pattern) -> int:
+    """Normalize a pattern (packed word or tuple sequence) to its word."""
+    if type(pattern) is int:
+        return pattern
+    return pack_pattern(pattern)
 
 
 class PHTEntry:
@@ -53,7 +67,7 @@ class PatternHistoryTable:
         filter_max_count: int = 0,
         entry_cls: type = PHTEntry,
     ) -> None:
-        self._entries: Dict[Pattern, PHTEntry] = {}
+        self._entries: Dict[int, PHTEntry] = {}
         self._max_count = filter_max_count
         # Pluggable so corruption-tolerant runs can use parity-tracking
         # entries (repro.core.corruption) without taxing the normal path.
@@ -61,7 +75,7 @@ class PatternHistoryTable:
 
     def predict(self, pattern: Pattern) -> Optional[MessageTuple]:
         """The prediction stored for ``pattern``, or ``None`` if absent."""
-        entry = self._entries.get(pattern)
+        entry = self._entries.get(pattern_word(pattern))
         return entry.prediction if entry is not None else None
 
     def predict_with_confidence(
@@ -74,34 +88,35 @@ class PatternHistoryTable:
         confidence-gated Cosmos can decline to predict until a pattern
         has proved itself.
         """
-        entry = self._entries.get(pattern)
+        entry = self._entries.get(pattern_word(pattern))
         if entry is None:
             return None
         return (entry.prediction, entry.counter)
 
     def train(self, pattern: Pattern, actual: MessageTuple) -> None:
         """Record that ``actual`` followed ``pattern``."""
-        entry = self._entries.get(pattern)
+        word = pattern_word(pattern)
+        entry = self._entries.get(word)
         if entry is None:
-            self._entries[pattern] = self._entry_cls(actual)
+            self._entries[word] = self._entry_cls(actual)
         else:
             entry.update(actual, self._max_count)
 
     def entry(self, pattern: Pattern) -> Optional[PHTEntry]:
         """The live entry object for ``pattern`` (validity checks)."""
-        return self._entries.get(pattern)
+        return self._entries.get(pattern_word(pattern))
 
     def drop(self, pattern: Pattern) -> None:
         """Discard the entry for ``pattern`` (corruption handling)."""
-        self._entries.pop(pattern, None)
+        self._entries.pop(pattern_word(pattern), None)
 
     def __len__(self) -> int:
         """Number of allocated pattern entries (Table 7 counts these)."""
         return len(self._entries)
 
     def __contains__(self, pattern: Pattern) -> bool:
-        return pattern in self._entries
+        return pattern_word(pattern) in self._entries
 
-    def items(self):
-        """Iterate ``(pattern, entry)`` pairs (for analysis/debugging)."""
+    def items(self) -> Iterable[Tuple[int, PHTEntry]]:
+        """Iterate ``(pattern word, entry)`` pairs (analysis/debugging)."""
         return self._entries.items()

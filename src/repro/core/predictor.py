@@ -7,6 +7,27 @@ block's Pattern History Table; return the stored prediction, if any.
 Update (Section 3.4): write the observed tuple as the new prediction for
 the current pattern (subject to the noise filter), then shift the tuple
 into the MHR.
+
+Two equivalent state layouts back the same API:
+
+* **flat** (the default): the MHT is a plain ``Dict[int, int]`` mapping a
+  block to its marker-led packed history word, and each per-block PHT is
+  a ``Dict[int, list]`` mapping a pattern word to ``[prediction word,
+  filter counter]``.  :meth:`observe_word` fuses predict + score + train
+  into one pass of small-int dict operations -- the hot path the
+  evaluation loop runs millions of times.  LRU order for bounded tables
+  is the dict's insertion order (re-inserting a key moves it to the
+  end).
+* **object** (only when corruption injection is armed): the original
+  :class:`~repro.core.mhr.MessageHistoryRegister` /
+  :class:`~repro.core.pht.PatternHistoryTable` structures, swapped for
+  their parity-tracking subclasses.  Corruption studies mutate live
+  register/entry objects in place, which the flat layout deliberately
+  has none of.
+
+Snapshots use the readable tuple form for histories, patterns, and
+predictions regardless of layout, so checkpoints stay format-compatible
+and layout-independent.
 """
 
 from __future__ import annotations
@@ -15,7 +36,6 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-from ..protocol.messages import MessageType
 from .config import CosmosConfig
 from .corruption import (
     CorruptionInjector,
@@ -23,8 +43,15 @@ from .corruption import (
     ParityPHTEntry,
 )
 from .mhr import MessageHistoryRegister
-from .pht import PHTEntry, PatternHistoryTable
-from .tuples import MessageTuple
+from .pht import PatternHistoryTable, pattern_word
+from .tuples import (
+    TUPLE_BITS,
+    MessageTuple,
+    pack,
+    pack_pattern,
+    tuple_of_word,
+    unpack_pattern,
+)
 
 
 @dataclass(frozen=True)
@@ -59,21 +86,22 @@ class CosmosPredictor:
         # predictor; build a fresh instance per predictor instead.
         config = config if config is not None else CosmosConfig()
         self.config = config
-        self._mht: "OrderedDict[int, MessageHistoryRegister]" = OrderedDict()
-        self._phts: Dict[int, PatternHistoryTable] = {}
         self._macro = config.macroblock_bytes
         self._capacity = config.mht_capacity
         self._confidence = config.confidence_threshold
-        # Corruption-tolerant mode swaps in parity-tracking structures;
-        # with ``corruption=None`` the original classes (and code paths)
-        # run unchanged.
+        self._max_count = config.filter_max_count
+        self._full_at = 1 << (TUPLE_BITS * config.depth)
         self._corruption = corruption
-        if corruption is not None:
-            self._mhr_cls: type = ParityMessageHistoryRegister
-            self._entry_cls: type = ParityPHTEntry
+        self._flat = corruption is None
+        if self._flat:
+            # block -> marker-led packed history word (insertion order is
+            # LRU order for bounded tables).
+            self._mht: Dict[int, int] = {}
+            # block -> {pattern word -> [prediction word, counter]}
+            self._phts: Dict[int, Dict[int, list]] = {}
         else:
-            self._mhr_cls = MessageHistoryRegister
-            self._entry_cls = PHTEntry
+            self._mht = OrderedDict()  # block -> ParityMHR
+            self._phts = {}  # block -> PatternHistoryTable
         # Statistics
         self.predictions = 0
         self.hits = 0
@@ -90,16 +118,97 @@ class CosmosPredictor:
         return block // self._macro
 
     # ------------------------------------------------------------------
+    # the fused hot path (flat layout)
+    # ------------------------------------------------------------------
+
+    def observe_word(self, block: int, word: int) -> int:
+        """Predict, score, and train on one packed ``<sender, type>`` word.
+
+        The flat layout's fused equivalent of :meth:`observe`: ``word``
+        is the 16-bit :func:`~repro.core.tuples.pack` encoding of the
+        observed tuple, and the return value is the packed prediction
+        Cosmos made for it (``-1`` when it declined to predict).  All
+        statistics counters update exactly as :meth:`observe` would.
+        """
+        if self._macro is not None:
+            block //= self._macro
+        mht = self._mht
+        hist = mht.get(block)
+        if hist is None:
+            self.no_prediction += 1
+            mht[block] = (1 << TUPLE_BITS) | word
+            if self._capacity is not None and len(mht) > self._capacity:
+                # Hardware-bounded table: evict the least recently used
+                # block's history (and its patterns) wholesale.
+                victim = next(iter(mht))
+                del mht[victim]
+                self._phts.pop(victim, None)
+                self.capacity_evictions += 1
+            return -1
+        if self._capacity is not None:
+            del mht[block]  # re-inserted below == move to LRU tail
+        predicted = -1
+        full_at = self._full_at
+        if hist >= full_at:
+            pht = self._phts.get(block)
+            if pht is None:
+                # PHTs are allocated lazily: a block whose reference count
+                # never exceeds the MHR depth never gets one (Table 7).
+                pht = self._phts[block] = {}
+            entry = pht.get(hist)
+            if entry is None:
+                self.no_prediction += 1
+                pht[hist] = [word, 0]
+            else:
+                stored = entry[0]
+                counter = entry[1]
+                confidence = self._confidence
+                if confidence == 0 or counter >= confidence:
+                    predicted = stored
+                    self.predictions += 1
+                    if stored == word:
+                        self.hits += 1
+                else:
+                    self.no_prediction += 1
+                # Single-sided saturating noise filter (Section 3.6).
+                if stored == word:
+                    if counter < self._max_count:
+                        entry[1] = counter + 1
+                elif counter > 0:
+                    entry[1] = counter - 1
+                else:
+                    entry[0] = word
+            hist = full_at | (((hist << TUPLE_BITS) | word) & (full_at - 1))
+        else:
+            self.no_prediction += 1
+            hist = (hist << TUPLE_BITS) | word
+        mht[block] = hist
+        return predicted
+
+    # ------------------------------------------------------------------
     # the two paper operations
     # ------------------------------------------------------------------
 
     def predict(self, block: int) -> Optional[MessageTuple]:
         """Predict the next ``<sender, type>`` for ``block`` (or ``None``)."""
         block = self._key(block)
+        if self._flat:
+            hist = self._mht.get(block)
+            if hist is None or hist < self._full_at:
+                return None
+            pht = self._phts.get(block)
+            if pht is None:
+                return None
+            entry = pht.get(hist)
+            if entry is None:
+                return None
+            if self._confidence and entry[1] < self._confidence:
+                return None
+            return tuple_of_word(entry[0])
         mhr = self._mht.get(block)
         if mhr is None:
             return None
-        if self._corruption is not None and not mhr.validate():
+        if not mhr.validate():
             # Parity caught a flipped history bit: the register contents
             # are untrustworthy, so drop them and relearn.  The block's
             # PHT survives -- its patterns were trained from pre-flip
@@ -113,13 +222,12 @@ class CosmosPredictor:
         pht = self._phts.get(block)
         if pht is None:
             return None
-        if self._corruption is not None:
-            entry = pht.entry(pattern)
-            if entry is not None and not entry.valid:
-                # Flipped prediction: drop the single entry and relearn.
-                self.corrupt_detected += 1
-                pht.drop(pattern)
-                return None
+        entry = pht.entry(pattern)
+        if entry is not None and not entry.valid:
+            # Flipped prediction: drop the single entry and relearn.
+            self.corrupt_detected += 1
+            pht.drop(pattern)
+            return None
         if self._confidence == 0:
             return pht.predict(pattern)
         found = pht.predict_with_confidence(pattern)
@@ -130,14 +238,55 @@ class CosmosPredictor:
 
     def update(self, block: int, actual: MessageTuple) -> None:
         """Train on the reception of ``actual`` for ``block``."""
+        if self._flat:
+            word = pack(actual)
+            block = self._key(block)
+            mht = self._mht
+            hist = mht.get(block)
+            if hist is None:
+                mht[block] = (1 << TUPLE_BITS) | word
+                if (
+                    self._capacity is not None
+                    and len(mht) > self._capacity
+                ):
+                    victim = next(iter(mht))
+                    del mht[victim]
+                    self._phts.pop(victim, None)
+                    self.capacity_evictions += 1
+                return
+            if self._capacity is not None:
+                del mht[block]
+            full_at = self._full_at
+            if hist >= full_at:
+                pht = self._phts.get(block)
+                if pht is None:
+                    pht = self._phts[block] = {}
+                entry = pht.get(hist)
+                if entry is None:
+                    pht[hist] = [word, 0]
+                else:
+                    stored = entry[0]
+                    counter = entry[1]
+                    if stored == word:
+                        if counter < self._max_count:
+                            entry[1] = counter + 1
+                    elif counter > 0:
+                        entry[1] = counter - 1
+                    else:
+                        entry[0] = word
+                hist = full_at | (
+                    ((hist << TUPLE_BITS) | word) & (full_at - 1)
+                )
+            else:
+                hist = (hist << TUPLE_BITS) | word
+            mht[block] = hist
+            return
         block = self._key(block)
         mhr = self._mht.get(block)
         if mhr is None:
-            mhr = self._mhr_cls(self.config.depth)
+            mhr = ParityMessageHistoryRegister(self.config.depth)
             self._mht[block] = mhr
             if self._capacity is not None and len(self._mht) > self._capacity:
-                # Hardware-bounded table: evict the least recently used
-                # block's history (and its patterns) wholesale.
                 victim, _ = self._mht.popitem(last=False)
                 self._phts.pop(victim, None)
                 self.capacity_evictions += 1
@@ -147,10 +296,8 @@ class CosmosPredictor:
         if pattern is not None:
             pht = self._phts.get(block)
             if pht is None:
-                # PHTs are allocated lazily: a block whose reference count
-                # never exceeds the MHR depth never gets one (Table 7).
                 pht = PatternHistoryTable(
-                    self.config.filter_max_count, entry_cls=self._entry_cls
+                    self.config.filter_max_count, entry_cls=ParityPHTEntry
                 )
                 self._phts[block] = pht
             pht.train(pattern, actual)
@@ -213,8 +360,16 @@ class CosmosPredictor:
 
     def observe(self, block: int, actual: MessageTuple) -> Observation:
         """Predict, score against ``actual``, then train.  One message."""
-        if self._corruption is not None:
-            self._inject_corruption()
+        if self._flat:
+            predicted = self.observe_word(block, pack(actual))
+            return Observation(
+                block=block,
+                predicted=(
+                    tuple_of_word(predicted) if predicted >= 0 else None
+                ),
+                actual=actual,
+            )
+        self._inject_corruption()
         predicted = self.predict(block)
         if predicted is None:
             self.no_prediction += 1
@@ -240,10 +395,28 @@ class CosmosPredictor:
         return sum(len(pht) for pht in self._phts.values())
 
     def pht_of(self, block: int) -> Optional[PatternHistoryTable]:
-        return self._phts.get(self._key(block))
+        """The block's PHT: the live table (object layout) or a read-only
+        materialized view of the flat state (mutations do not write back).
+        """
+        table = self._phts.get(self._key(block))
+        if table is None or not self._flat:
+            return table
+        view = PatternHistoryTable(self.config.filter_max_count)
+        for pattern, (prediction, counter) in table.items():
+            view.train(pattern, tuple_of_word(prediction))
+            view.entry(pattern).counter = counter
+        return view
 
     def mhr_of(self, block: int) -> Optional[MessageHistoryRegister]:
-        return self._mht.get(self._key(block))
+        """The block's MHR: the live register (object layout) or a
+        read-only materialized view of the flat state.
+        """
+        found = self._mht.get(self._key(block))
+        if found is None or not self._flat:
+            return found
+        view = MessageHistoryRegister(self.config.depth)
+        view._word = found
+        return view
 
     def pht_sizes(self) -> Tuple[int, ...]:
         """Per-block PHT entry counts (for preallocation analysis)."""
@@ -276,30 +449,43 @@ class CosmosPredictor:
         """Capture MHT/PHT contents and statistics as plain data.
 
         MHT order is preserved (it *is* the LRU order capacity eviction
-        walks), and parity bits ride along when the parity-tracking
-        structures are in use, so a restored predictor behaves
-        bit-identically -- including which corrupted entries are still
-        latent.
+        walks), histories/patterns/predictions are stored in the
+        layout-independent tuple form, and parity bits ride along when
+        the parity-tracking structures are in use -- so a restored
+        predictor behaves bit-identically, including which corrupted
+        entries are still latent.
         """
         mht = []
-        for block, mhr in self._mht.items():
-            record = {"block": block, "history": mhr.snapshot()}
-            if isinstance(mhr, ParityMessageHistoryRegister):
-                record["parity"] = mhr._parity
-            mht.append(record)
         phts = {}
-        for block, pht in self._phts.items():
-            entries = []
-            for pattern, entry in pht.items():
-                item = {
-                    "pattern": pattern,
-                    "prediction": entry.prediction,
-                    "counter": entry.counter,
-                }
-                if isinstance(entry, ParityPHTEntry):
-                    item["parity"] = entry.parity
-                entries.append(item)
-            phts[block] = entries
+        if self._flat:
+            for block, word in self._mht.items():
+                mht.append({"block": block, "history": unpack_pattern(word)})
+            for block, table in self._phts.items():
+                phts[block] = [
+                    {
+                        "pattern": unpack_pattern(pattern),
+                        "prediction": tuple_of_word(prediction),
+                        "counter": counter,
+                    }
+                    for pattern, (prediction, counter) in table.items()
+                ]
+        else:
+            for block, mhr in self._mht.items():
+                record = {"block": block, "history": mhr.snapshot()}
+                record["parity"] = mhr._parity
+                mht.append(record)
+            for block, pht in self._phts.items():
+                entries = []
+                for pattern, entry in pht.items():
+                    entries.append(
+                        {
+                            "pattern": unpack_pattern(pattern),
+                            "prediction": entry.prediction,
+                            "counter": entry.counter,
+                            "parity": entry.parity,
+                        }
+                    )
+                phts[block] = entries
         state = {
             "mht": mht,
             "phts": phts,
@@ -317,30 +503,44 @@ class CosmosPredictor:
         The predictor must have been constructed with the same config
         and the same corruption arming as the captured one.
         """
-        self._mht = OrderedDict()
-        for record in state["mht"]:
-            mhr = self._mhr_cls(self.config.depth)
-            for tup in record["history"]:
-                mhr.shift(tup)
-            if "parity" in record and isinstance(
-                mhr, ParityMessageHistoryRegister
-            ):
-                # Replay-computed parity is always consistent; restore
-                # the captured bits so latent corruption stays latent.
-                mhr._parity = tuple(record["parity"])
-            self._mht[record["block"]] = mhr
-        self._phts = {}
-        for block, entries in state["phts"].items():
-            pht = PatternHistoryTable(
-                self.config.filter_max_count, entry_cls=self._entry_cls
-            )
-            for item in entries:
-                entry = self._entry_cls(item["prediction"])
-                entry.counter = item["counter"]
-                if "parity" in item and isinstance(entry, ParityPHTEntry):
-                    entry.parity = item["parity"]
-                pht._entries[item["pattern"]] = entry
-            self._phts[block] = pht
+        if self._flat:
+            self._mht = {
+                record["block"]: pack_pattern(record["history"])
+                for record in state["mht"]
+            }
+            self._phts = {
+                block: {
+                    pack_pattern(item["pattern"]): [
+                        pack(item["prediction"]),
+                        item["counter"],
+                    ]
+                    for item in entries
+                }
+                for block, entries in state["phts"].items()
+            }
+        else:
+            self._mht = OrderedDict()
+            for record in state["mht"]:
+                mhr = ParityMessageHistoryRegister(self.config.depth)
+                for tup in record["history"]:
+                    mhr.shift(tup)
+                if "parity" in record:
+                    # Replay-computed parity is always consistent; restore
+                    # the captured bits so latent corruption stays latent.
+                    mhr._parity = tuple(record["parity"])
+                self._mht[record["block"]] = mhr
+            self._phts = {}
+            for block, entries in state["phts"].items():
+                pht = PatternHistoryTable(
+                    self.config.filter_max_count, entry_cls=ParityPHTEntry
+                )
+                for item in entries:
+                    entry = ParityPHTEntry(item["prediction"])
+                    entry.counter = item["counter"]
+                    if "parity" in item:
+                        entry.parity = item["parity"]
+                    pht._entries[pattern_word(item["pattern"])] = entry
+                self._phts[block] = pht
         for name in self._STAT_FIELDS:
             setattr(self, name, state["stats"][name])
         if self._corruption is not None and "corruption" in state:

@@ -1,14 +1,28 @@
 """The ``<sender, message-type>`` tuple Cosmos histories are made of.
 
-We represent a tuple as a plain ``(sender, MessageType)`` pair for speed
-(the evaluation loop touches millions of them) and provide an explicit
-codec to/from the compact 2-byte encoding the paper's Table 7 assumes
-(12 bits of processor number, 4 bits of message type).
+Two representations coexist:
+
+* a plain ``(sender, MessageType)`` pair -- the readable boundary format
+  every public API speaks, and
+* the compact 16-bit hardware encoding the paper's Table 7 assumes
+  (12 bits of processor number, 4 bits of message type), which the hot
+  paths use exclusively: the evaluation loop touches millions of tuples,
+  and hashing a small int is several times cheaper than hashing a
+  ``(int, IntEnum)`` pair.
+
+Whole MHR histories are likewise packed into a single *pattern word*: the
+depth-``d`` history ``(t_0 .. t_{d-1})`` (oldest first) becomes
+``1 << 16*d | pack(t_0) << 16*(d-1) | ... | pack(t_{d-1})``.  The leading
+marker bit makes the word self-describing (its bit length encodes how
+many tuples it holds), lets a shift register renormalize with two int
+operations, and keeps the all-zero history distinct from the empty one.
+Pattern words are what :class:`~repro.core.pht.PatternHistoryTable` keys
+on.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Dict, Iterable, Tuple
 
 from ..errors import ConfigError
 from ..protocol.messages import MessageType
@@ -20,8 +34,17 @@ MessageTuple = Tuple[int, MessageType]
 SENDER_BITS = 12
 TYPE_BITS = 4
 
+#: Bits of one packed tuple (= one pattern-word field).
+TUPLE_BITS = SENDER_BITS + TYPE_BITS
+
 _MAX_SENDER = (1 << SENDER_BITS) - 1
 _TYPE_MASK = (1 << TYPE_BITS) - 1
+_WORD_LIMIT = 1 << TUPLE_BITS
+
+#: Interning table: packed word -> its canonical ``(sender, MessageType)``
+#: tuple.  Misses build (and memoize) the tuple, so unpacking a stored
+#: prediction on a cold path is one dict lookup in the steady state.
+_TUPLE_OF_WORD: Dict[int, MessageTuple] = {}
 
 
 def pack(tup: MessageTuple) -> int:
@@ -36,9 +59,51 @@ def pack(tup: MessageTuple) -> int:
 
 def unpack(word: int) -> MessageTuple:
     """Unpack a 16-bit encoding back into a tuple."""
-    if word < 0 or word >= (1 << (SENDER_BITS + TYPE_BITS)):
+    if word < 0 or word >= _WORD_LIMIT:
         raise ConfigError(f"word {word} is not a 16-bit tuple encoding")
     return (word >> TYPE_BITS, MessageType(word & _TYPE_MASK))
+
+
+def tuple_of_word(word: int) -> MessageTuple:
+    """:func:`unpack` through the interning table (cheap when warm)."""
+    tup = _TUPLE_OF_WORD.get(word)
+    if tup is None:
+        tup = _TUPLE_OF_WORD[word] = unpack(word)
+    return tup
+
+
+# ---------------------------------------------------------------------------
+# pattern words: a whole MHR history packed into one int
+# ---------------------------------------------------------------------------
+
+
+def pack_pattern(tuples: Iterable[MessageTuple]) -> int:
+    """Pack a tuple sequence (oldest first) into a marker-led pattern word."""
+    word = 1
+    for tup in tuples:
+        word = (word << TUPLE_BITS) | pack(tup)
+    return word
+
+
+def pattern_length(word: int) -> int:
+    """How many tuples a pattern word holds."""
+    if word < 1:
+        raise ConfigError(f"{word} is not a pattern word (marker missing)")
+    length, rem = divmod(word.bit_length() - 1, TUPLE_BITS)
+    if rem:
+        length += 1  # marker sits inside the top field's sender bits
+    return length
+
+
+def unpack_pattern(word: int) -> Tuple[MessageTuple, ...]:
+    """Unpack a marker-led pattern word back into tuples, oldest first."""
+    length = pattern_length(word)
+    return tuple(
+        tuple_of_word(
+            (word >> (TUPLE_BITS * (length - 1 - slot))) & (_WORD_LIMIT - 1)
+        )
+        for slot in range(length)
+    )
 
 
 def format_tuple(tup: MessageTuple) -> str:

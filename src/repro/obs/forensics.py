@@ -29,7 +29,7 @@ from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
 from ..core.config import CosmosConfig
 from ..core.predictor import CosmosPredictor
-from ..core.tuples import MessageTuple
+from ..core.tuples import MessageTuple, unpack_pattern
 from ..protocol.messages import Role
 from ..sim.metrics import METRICS
 from ..trace.events import TraceEvent
@@ -239,7 +239,13 @@ def explain_trace(
         if predicted is not None:
             tally.predictions += 1
             mhr = predictor.mhr_of(event.block)
-            pattern = mhr.pattern() if mhr is not None else None
+            pattern_word = mhr.pattern() if mhr is not None else None
+            # Records and report keys carry the readable tuple form.
+            pattern = (
+                unpack_pattern(pattern_word)
+                if pattern_word is not None
+                else None
+            )
             if pattern is not None:
                 report.pattern_refs[(event.role, pattern)] += 1
             if predicted == actual:

@@ -85,7 +85,9 @@ class TypeOnlyCosmos(MessagePredictor):
                 pht = PatternHistoryTable(self.config.filter_max_count)
                 self._phts[block] = pht
             pht.train(pattern, mtype)  # type: ignore[arg-type]
-        mhr.shift(mtype)  # type: ignore[arg-type]
+        # Shift a sender-less pseudo-tuple: the packed history then
+        # encodes only message types, which is this variant's point.
+        mhr.shift((0, mtype))
         self._last_sender[block] = sender
 
     @property

@@ -9,6 +9,20 @@ relies on:
 * per-channel FIFO -- two messages sent over a constant-latency network in
   some order are delivered in the same order.
 
+Alongside the heap there is a second, cheaper lane: :meth:`schedule_fifo`
+appends to a plain deque when the new event's time is >= the deque's
+tail (the constant-latency network always qualifies -- its delivery
+times are ``now + L`` with ``now`` nondecreasing).  The dispatch loop
+merges the two lanes by ``(time, seq)``, so ordering is *identical* to
+pushing everything through the heap; the bulk of simulator events (one
+delivery per message) just skip the ``heappush``/``heappop`` log-factor.
+
+Simulated time is an integer nanosecond count, enforced at the
+scheduling boundary: a float delay would silently drift event ordering
+(and break replay determinism) long before anything crashed, so
+:meth:`schedule` / :meth:`schedule_at` reject non-``int`` times with an
+error naming the offending callback.
+
 The scheduler state (clock, sequence counter, dispatch count) is plain
 data so a quiescent engine -- empty queue -- can be captured into a
 checkpoint and restored exactly (see :mod:`repro.sim.checkpoint`).
@@ -17,6 +31,8 @@ checkpoint and restored exactly (see :mod:`repro.sim.checkpoint`).
 from __future__ import annotations
 
 import heapq
+from collections import deque
+from itertools import chain
 from typing import Any, Callable, List, Optional, Tuple
 
 from ..errors import ReproError, SimulationError
@@ -35,6 +51,10 @@ class Engine:
 
     def __init__(self) -> None:
         self._queue: list = []
+        #: The append-only fast lane (see module docstring); entries have
+        #: the same ``(time, seq, callback, args)`` shape as the heap and
+        #: are kept sorted by construction.
+        self._fifo: deque = deque()
         self._next_seq = 0
         self._now = 0
         self._events_processed = 0
@@ -58,6 +78,12 @@ class Engine:
         self, delay: int, callback: Callable[..., None], *args: Any
     ) -> None:
         """Schedule ``callback(*args)`` to run ``delay`` ns from now."""
+        if type(delay) is not int:
+            raise SimulationError(
+                f"delay must be an integer nanosecond count, got "
+                f"{type(delay).__name__} {delay!r} scheduling "
+                f"{_callback_name(callback)}"
+            )
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past: {delay}")
         heapq.heappush(
@@ -68,11 +94,44 @@ class Engine:
         self, time: int, callback: Callable[..., None], *args: Any
     ) -> None:
         """Schedule ``callback(*args)`` at an absolute simulated time."""
+        if type(time) is not int:
+            raise SimulationError(
+                f"time must be an integer nanosecond count, got "
+                f"{type(time).__name__} {time!r} scheduling "
+                f"{_callback_name(callback)}"
+            )
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at {time} before current time {self._now}"
             )
         heapq.heappush(self._queue, (time, self._take_seq(), callback, args))
+
+    def schedule_fifo(
+        self, delay: int, callback: Callable[..., None], *args: Any
+    ) -> None:
+        """Like :meth:`schedule`, routed through the append-only lane.
+
+        Correct for any delay (an event earlier than the lane's tail
+        falls back to the heap), but the O(1) fast path only pays off
+        when the caller's delivery times are nondecreasing -- which a
+        constant-latency network guarantees.
+        """
+        if type(delay) is not int:
+            raise SimulationError(
+                f"delay must be an integer nanosecond count, got "
+                f"{type(delay).__name__} {delay!r} scheduling "
+                f"{_callback_name(callback)}"
+            )
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: {delay}")
+        fifo = self._fifo
+        time = self._now + delay
+        if not fifo or time >= fifo[-1][0]:
+            fifo.append((time, self._take_seq(), callback, args))
+        else:
+            heapq.heappush(
+                self._queue, (time, self._take_seq(), callback, args)
+            )
 
     def run(
         self,
@@ -87,17 +146,19 @@ class Engine:
         the queue (time and callback of the next few events), so a
         budget-capped run dies with a diagnosis instead of a bare count.
         """
+        if max_events is None:
+            return self._run_to_exhaustion()
         dispatched = 0
-        while self._queue:
-            if max_events is not None and dispatched >= max_events:
+        while self._queue or self._fifo:
+            if dispatched >= max_events:
                 if raise_if_pending:
                     raise SimulationError(
                         f"event budget of {max_events} exhausted with "
-                        f"{len(self._queue)} events pending at t={self._now}; "
+                        f"{self.pending()} events pending at t={self._now}; "
                         f"next up: {self.describe_pending()}"
                     )
                 break
-            time, seq, callback, args = heapq.heappop(self._queue)
+            time, seq, callback, args = self._pop_next()
             self._now = time
             try:
                 callback(*args)
@@ -116,6 +177,66 @@ class Engine:
                 ) from exc
             dispatched += 1
             self._events_processed += 1
+        return dispatched
+
+    def _pop_next(self) -> tuple:
+        """Pop the globally next event across both lanes.
+
+        Sequence numbers are unique, so the ``(time, seq, ...)`` tuple
+        comparison decides on ``(time, seq)`` alone and never compares
+        callbacks.
+        """
+        queue = self._queue
+        fifo = self._fifo
+        if fifo:
+            if queue and queue[0] < fifo[0]:
+                return heapq.heappop(queue)
+            return fifo.popleft()
+        return heapq.heappop(queue)
+
+    def _run_to_exhaustion(self) -> int:
+        """The unbudgeted dispatch loop, monomorphic over both lanes.
+
+        Same ordering and error handling as the budgeted loop above, with
+        the per-event budget guard and ``pending`` bookkeeping hoisted
+        out; ``try`` is zero-cost on the no-raise path (Python >= 3.11).
+        """
+        queue = self._queue
+        fifo = self._fifo
+        heappop = heapq.heappop
+        popleft = fifo.popleft
+        dispatched = 0
+        try:
+            while True:
+                if fifo:
+                    if queue and queue[0] < fifo[0]:
+                        event = heappop(queue)
+                    else:
+                        event = popleft()
+                elif queue:
+                    event = heappop(queue)
+                else:
+                    break
+                self._now = event[0]
+                try:
+                    event[2](*event[3])
+                except ReproError as exc:
+                    self._attach_event_context(
+                        exc, event[0], event[1], event[2]
+                    )
+                    raise
+                except Exception as exc:
+                    raise SimulationError(
+                        f"callback {_callback_name(event[2])} raised "
+                        f"{type(exc).__name__} at t={event[0]} "
+                        f"(event seq {event[1]}): {exc}"
+                    ) from exc
+                dispatched += 1
+        finally:
+            # A raising callback's own event is not counted (it never
+            # completed), matching the budgeted loop; everything
+            # dispatched before it is folded in exactly once.
+            self._events_processed += dispatched
         return dispatched
 
     def _attach_event_context(
@@ -141,16 +262,16 @@ class Engine:
 
     def pending(self) -> int:
         """Number of events still waiting in the queue."""
-        return len(self._queue)
+        return len(self._queue) + len(self._fifo)
 
     def iter_pending(self):
         """Iterate pending events as ``(time, seq, callback, args)``.
 
-        Non-destructive and in heap (not dispatch) order.  Used by the
+        Non-destructive and in storage (not dispatch) order.  Used by the
         model checker's abstraction function, which must see messages
         whose delivery is scheduled but has not run yet.
         """
-        return iter(self._queue)
+        return chain(self._queue, self._fifo)
 
     def peek_events(self, limit: int = 5) -> List[Tuple[int, str]]:
         """The next ``limit`` pending events as ``(time, callback name)``.
@@ -159,21 +280,18 @@ class Engine:
         bundle, and quiescence diagnostics to show *what* a stuck run is
         still waiting on.
         """
-        head = heapq.nsmallest(limit, self._queue)
+        head = heapq.nsmallest(limit, chain(self._queue, self._fifo))
         return [(time, _callback_name(cb)) for time, _seq, cb, _args in head]
 
     def describe_pending(self, limit: int = 5) -> str:
         """One-line summary of the head of the event queue."""
-        if not self._queue:
+        count = self.pending()
+        if not count:
             return "(queue empty)"
         parts = [
             f"t={time} {name}" for time, name in self.peek_events(limit)
         ]
-        suffix = (
-            f" ... +{len(self._queue) - limit} more"
-            if len(self._queue) > limit
-            else ""
-        )
+        suffix = f" ... +{count - limit} more" if count > limit else ""
         return "; ".join(parts) + suffix
 
     # ------------------------------------------------------------------
@@ -188,10 +306,10 @@ class Engine:
         events are in flight, which the simulator guarantees between
         workload phases.
         """
-        if self._queue:
+        if self._queue or self._fifo:
             raise SimulationError(
                 f"cannot snapshot a non-quiescent engine: "
-                f"{len(self._queue)} events pending "
+                f"{self.pending()} events pending "
                 f"({self.describe_pending()})"
             )
         return {
@@ -202,7 +320,7 @@ class Engine:
 
     def restore_state(self, state: dict) -> None:
         """Restore scheduler state captured by :meth:`snapshot_state`."""
-        if self._queue:
+        if self._queue or self._fifo:
             raise SimulationError(
                 "cannot restore into an engine with pending events"
             )

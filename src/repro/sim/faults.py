@@ -254,6 +254,10 @@ class FaultyNetwork:
                 )
             return
         delay = self._delay_for(msg)
+        # Metrics are not an observability feature: the latency histogram
+        # (here with real per-message jitter, so no constant-fold like
+        # Network's) must be populated with OBS off.
+        METRICS.observe("net.msg.latency_ns", delay)
         if OBS.msg:
             OBS.emit(
                 self._engine.now,
@@ -267,7 +271,6 @@ class FaultyNetwork:
                     "delay_ns": delay,
                 },
             )
-            METRICS.observe("net.msg.latency_ns", delay)
         self._engine.schedule(delay, self._deliver_one, msg)
         if self.profile.dup and self._rng.random() < self.profile.dup:
             self._count("duplicated")

@@ -179,14 +179,18 @@ class Machine:
                     "role": str(msg.role_at_receiver),
                 },
             )
+            # Deliberately OBS-gated (unlike the latency histograms):
+            # queue depth is a *sampling* diagnostic whose cost scales
+            # with the queue, and its value depends on when you look --
+            # there is no end-of-run fold that could reconstruct it.
             METRICS.observe("sim.queue.depth", self.engine.pending())
         self.collector.record(
-            time=self.engine.now,
-            node=msg.dst,
-            role=msg.role_at_receiver,
-            block=msg.block,
-            sender=msg.src,
-            mtype=msg.mtype,
+            self.engine.now,
+            msg.dst,
+            msg.role_at_receiver,
+            msg.block,
+            msg.src,
+            msg.mtype,
         )
         if self.watchdog is not None:
             self.watchdog.note_delivery(msg.block)
@@ -461,6 +465,11 @@ class Machine:
         # distribution goes to ``--metrics-json`` even with OBS off.
         for latency_ns, _was_miss in self.access_latencies:
             METRICS.observe("sim.access.latency_ns", latency_ns)
+        # Same for the network's deferred per-send latency samples
+        # (custom interconnects may not batch and need no flush).
+        flush = getattr(self.network, "flush_metrics", None)
+        if flush is not None:
+            flush()
         return self.collector
 
     def run_workload(

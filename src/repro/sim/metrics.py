@@ -71,6 +71,24 @@ class Histogram:
         bucket = _bucket_of(value)
         self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
 
+    def observe_many(self, value: Union[int, float], count: int) -> None:
+        """Record ``count`` identical samples in one bucket update.
+
+        Exactly equivalent to ``count`` calls to :meth:`observe` (the
+        histogram is sample-order independent); lets hot paths with a
+        constant-valued stream defer recording to one end-of-run fold.
+        """
+        if count <= 0:
+            return
+        self.count += count
+        self.total += value * count
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        bucket = _bucket_of(value)
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + count
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
@@ -175,6 +193,18 @@ class Metrics:
             histogram = Histogram()
             self._histograms[name] = histogram
         histogram.observe(value)
+
+    def observe_many(
+        self, name: str, value: Union[int, float], count: int
+    ) -> None:
+        """Record ``count`` identical samples into histogram ``name``."""
+        if count <= 0:
+            return
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = Histogram()
+            self._histograms[name] = histogram
+        histogram.observe_many(value, count)
 
     # ------------------------------------------------------------------
     # reading

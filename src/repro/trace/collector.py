@@ -7,15 +7,15 @@ analyses can align events with iterations, and marks the end of the
 start-up phase so it can be dropped (the paper excludes start-up messages
 from its traces).
 
-Events are held twice: as :class:`TraceEvent` objects for every consumer,
-and as a flat ``array('q')`` of 7 ints per event kept in lockstep by
-:meth:`~TraceCollector.record`.  The flat copy exists for checkpoints --
-the accumulated trace dominates a checkpoint's size, and pickling one
-int array is a single buffer copy where pickling ~100k frozen
-dataclasses of enums costs ~100ms *per checkpoint* (which made
-per-iteration checkpointing quadratic in trace length).  The lockstep
-append costs nanoseconds on the record hot path; the snapshot itself
-becomes a memcpy.
+The primary store is a flat ``array('q')`` of 7 ints per event: the
+record hot path (once per simulated message delivery) is a single
+``array.extend`` -- no :class:`TraceEvent` allocation, no enum boxing --
+and a checkpoint snapshot is a memcpy of one buffer (pickling ~100k
+frozen dataclasses of enums cost ~100ms *per checkpoint*, which made
+per-iteration checkpointing quadratic in trace length).  The
+:class:`TraceEvent` objects every analysis consumes are materialized
+lazily, once, on first access via :attr:`events` / :attr:`all_events`;
+a simulation that only ever checkpoints never builds them at all.
 """
 
 from __future__ import annotations
@@ -26,8 +26,8 @@ from typing import Iterator, List, Optional
 from ..protocol.messages import MessageType, Role
 from .events import TraceEvent
 
-#: Ints per event in the flat checkpoint encoding, in
-#: :data:`repro.trace.io.FIELDS` order (role as 0/1).
+#: Ints per event in the flat encoding, in :data:`repro.trace.io.FIELDS`
+#: order (role as 0/1).
 _EVENT_WIDTH = 7
 _ROLE_CODE = {Role.CACHE: 0, Role.DIRECTORY: 1}
 _CODE_ROLE = (Role.CACHE, Role.DIRECTORY)
@@ -37,9 +37,12 @@ class TraceCollector:
     """Accumulates trace events in memory."""
 
     def __init__(self) -> None:
-        self._events: List[TraceEvent] = []
         self._flat = array("q")
+        #: Materialized prefix of ``_flat`` (always a prefix: the flat
+        #: store is append-only between ``clear``/``restore_state``).
+        self._events: List[TraceEvent] = []
         self.iteration = 0
+        #: Event count recorded before the main iterations began.
         self._startup_boundary: Optional[int] = None
 
     def record(
@@ -52,17 +55,6 @@ class TraceCollector:
         mtype: MessageType,
     ) -> None:
         """Record one message reception at the current iteration."""
-        self._events.append(
-            TraceEvent(
-                time=time,
-                iteration=self.iteration,
-                node=node,
-                role=role,
-                block=block,
-                sender=sender,
-                mtype=mtype,
-            )
-        )
         self._flat.extend(
             (
                 time,
@@ -77,29 +69,56 @@ class TraceCollector:
 
     def mark_startup_complete(self) -> None:
         """Everything recorded so far belongs to the start-up phase."""
-        self._startup_boundary = len(self._events)
+        self._startup_boundary = len(self._flat) // _EVENT_WIDTH
+
+    def _materialized(self) -> List[TraceEvent]:
+        """The full event list, building only the unmaterialized tail."""
+        flat = self._flat
+        events = self._events
+        total = len(flat) // _EVENT_WIDTH
+        if len(events) < total:
+            append = events.append
+            for base in range(
+                len(events) * _EVENT_WIDTH, total * _EVENT_WIDTH, _EVENT_WIDTH
+            ):
+                append(
+                    TraceEvent(
+                        time=flat[base],
+                        iteration=flat[base + 1],
+                        node=flat[base + 2],
+                        role=_CODE_ROLE[flat[base + 3]],
+                        block=flat[base + 4],
+                        sender=flat[base + 5],
+                        mtype=MessageType(flat[base + 6]),
+                    )
+                )
+        return events
 
     @property
     def events(self) -> List[TraceEvent]:
         """All recorded events, with the start-up phase removed."""
+        events = self._materialized()
         if self._startup_boundary is None:
-            return list(self._events)
-        return self._events[self._startup_boundary :]
+            return list(events)
+        return events[self._startup_boundary :]
 
     @property
     def all_events(self) -> List[TraceEvent]:
         """All recorded events, including the start-up phase."""
-        return list(self._events)
+        return list(self._materialized())
 
     def __len__(self) -> int:
-        return len(self.events)
+        total = len(self._flat) // _EVENT_WIDTH
+        if self._startup_boundary is None:
+            return total
+        return total - self._startup_boundary
 
     def __iter__(self) -> Iterator[TraceEvent]:
         return iter(self.events)
 
     def clear(self) -> None:
-        self._events.clear()
         del self._flat[:]
+        self._events = []
         self.iteration = 0
         self._startup_boundary = None
 
@@ -117,19 +136,7 @@ class TraceCollector:
 
     def restore_state(self, state: dict) -> None:
         """Restore state captured by :meth:`snapshot_state`."""
-        flat = state["events"]
-        self._flat = array("q", flat)
-        self._events = [
-            TraceEvent(
-                time=flat[base],
-                iteration=flat[base + 1],
-                node=flat[base + 2],
-                role=_CODE_ROLE[flat[base + 3]],
-                block=flat[base + 4],
-                sender=flat[base + 5],
-                mtype=MessageType(flat[base + 6]),
-            )
-            for base in range(0, len(flat), _EVENT_WIDTH)
-        ]
+        self._flat = array("q", state["events"])
+        self._events = []
         self.iteration = state["iteration"]
         self._startup_boundary = state["startup_boundary"]

@@ -16,7 +16,7 @@ from typing import Tuple
 from ..protocol.messages import MessageType, Role
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceEvent:
     """One coherence-message reception."""
 

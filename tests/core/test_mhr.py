@@ -1,6 +1,7 @@
 """Tests for the Message History Register."""
 
 from repro.core.mhr import MessageHistoryRegister
+from repro.core.tuples import pack_pattern, unpack_pattern
 from repro.protocol.messages import MessageType
 
 A = (1, MessageType.GET_RO_REQUEST)
@@ -22,29 +23,35 @@ class TestShiftRegister:
         assert mhr.pattern() is None
         mhr.shift(B)
         assert mhr.full
-        assert mhr.pattern() == (A, B)
+        assert mhr.pattern() == pack_pattern((A, B))
 
     def test_oldest_drops_first(self):
         mhr = MessageHistoryRegister(2)
         for tup in (A, B, C):
             mhr.shift(tup)
-        assert mhr.pattern() == (B, C)
+        assert mhr.pattern() == pack_pattern((B, C))
 
     def test_depth_one(self):
         mhr = MessageHistoryRegister(1)
         mhr.shift(A)
-        assert mhr.pattern() == (A,)
+        assert mhr.pattern() == pack_pattern((A,))
         mhr.shift(B)
-        assert mhr.pattern() == (B,)
+        assert mhr.pattern() == pack_pattern((B,))
 
     def test_snapshot_shows_partial(self):
         mhr = MessageHistoryRegister(3)
         mhr.shift(A)
         assert mhr.snapshot() == (A,)
 
-    def test_pattern_is_immutable_tuple(self):
+    def test_pattern_word_is_a_value(self):
         mhr = MessageHistoryRegister(1)
         mhr.shift(A)
         pattern = mhr.pattern()
         mhr.shift(B)
-        assert pattern == (A,)  # earlier snapshot unaffected
+        assert pattern == pack_pattern((A,))  # earlier value unaffected
+
+    def test_pattern_word_round_trips(self):
+        mhr = MessageHistoryRegister(2)
+        for tup in (A, B, C):
+            mhr.shift(tup)
+        assert unpack_pattern(mhr.pattern()) == (B, C)

@@ -1,6 +1,7 @@
 """Tests for the Pattern History Table and the noise filter."""
 
 from repro.core.pht import PatternHistoryTable, PHTEntry
+from repro.core.tuples import pack_pattern
 from repro.protocol.messages import MessageType
 
 A = (1, MessageType.GET_RO_REQUEST)
@@ -85,4 +86,10 @@ class TestEntry:
         assert PATTERN in pht
         assert (B,) not in pht
         items = dict(pht.items())
-        assert items[PATTERN].prediction == B
+        assert items[pack_pattern(PATTERN)].prediction == B
+
+    def test_packed_and_tuple_patterns_alias(self):
+        pht = PatternHistoryTable()
+        pht.train(pack_pattern(PATTERN), B)
+        assert pht.predict(PATTERN) == B
+        assert pack_pattern(PATTERN) in pht

@@ -254,3 +254,148 @@ class TestCallbackFailureContext:
         with pytest.raises(SimulationError, match="boom.*t=7.*seq 0") as excinfo:
             engine.run()
         assert isinstance(excinfo.value.__cause__, ValueError)
+
+
+class TestIntegerTimeEnforcement:
+    """Simulated time is integer nanoseconds, enforced at scheduling.
+
+    A float delay would silently drift event ordering (and replay
+    determinism) long before anything crashed, so the engine rejects it
+    immediately with an error naming the offending callback.
+    """
+
+    def test_float_delay_rejected_naming_callback(self):
+        engine = Engine()
+
+        def my_timeout_handler():
+            pass  # pragma: no cover
+
+        with pytest.raises(
+            SimulationError, match="float.*2.5.*my_timeout_handler"
+        ):
+            engine.schedule(2.5, my_timeout_handler)
+        assert engine.pending() == 0
+
+    def test_whole_valued_float_still_rejected(self):
+        # 10.0 == 10 but the type, not the value, is the contract: a
+        # float that happens to be whole today drifts tomorrow.
+        engine = Engine()
+        with pytest.raises(SimulationError, match="float"):
+            engine.schedule(10.0, lambda: None)
+
+    def test_bool_delay_rejected(self):
+        # bool passes isinstance(int) checks; the engine wants real ints.
+        engine = Engine()
+        with pytest.raises(SimulationError, match="bool"):
+            engine.schedule(True, lambda: None)
+
+    def test_schedule_at_float_time_rejected_naming_callback(self):
+        engine = Engine()
+
+        def deadline_check():
+            pass  # pragma: no cover
+
+        with pytest.raises(
+            SimulationError, match="float.*99.9.*deadline_check"
+        ):
+            engine.schedule_at(99.9, deadline_check)
+
+    def test_schedule_fifo_float_delay_rejected(self):
+        engine = Engine()
+        with pytest.raises(SimulationError, match="float.*1.5"):
+            engine.schedule_fifo(1.5, lambda: None)
+
+    def test_int_delays_still_accepted(self):
+        engine = Engine()
+        log = []
+        engine.schedule(0, log.append, "zero")
+        engine.schedule(10, log.append, "ten")
+        engine.run()
+        assert log == ["zero", "ten"]
+
+
+class TestFifoLane:
+    """schedule_fifo merges with the heap in exact (time, seq) order."""
+
+    def test_fifo_only_dispatch_order(self):
+        engine = Engine()
+        log = []
+        for index in range(5):
+            engine.schedule_fifo(index, log.append, index)
+        engine.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_interleaved_lanes_dispatch_in_global_time_order(self):
+        engine = Engine()
+        log = []
+        engine.schedule(30, log.append, "heap-30")
+        engine.schedule_fifo(10, log.append, "fifo-10")
+        engine.schedule(5, log.append, "heap-5")
+        engine.schedule_fifo(20, log.append, "fifo-20")
+        engine.run()
+        assert log == ["heap-5", "fifo-10", "fifo-20", "heap-30"]
+
+    def test_equal_times_across_lanes_keep_insertion_order(self):
+        engine = Engine()
+        log = []
+        engine.schedule(7, log.append, "heap-a")
+        engine.schedule_fifo(7, log.append, "fifo-b")
+        engine.schedule(7, log.append, "heap-c")
+        engine.schedule_fifo(7, log.append, "fifo-d")
+        engine.run()
+        assert log == ["heap-a", "fifo-b", "heap-c", "fifo-d"]
+
+    def test_out_of_order_fifo_falls_back_to_heap(self):
+        # An earlier-than-tail fifo event must not be reordered: it falls
+        # back to the heap internally and still dispatches by (time, seq).
+        engine = Engine()
+        log = []
+        engine.schedule_fifo(50, log.append, "late")
+        engine.schedule_fifo(10, log.append, "early")
+        engine.run()
+        assert log == ["early", "late"]
+
+    def test_pending_and_describe_cover_both_lanes(self):
+        engine = Engine()
+        engine.schedule(5, lambda: None)
+        engine.schedule_fifo(10, lambda: None)
+        assert engine.pending() == 2
+        description = engine.describe_pending()
+        assert "t=5" in description and "t=10" in description
+
+    def test_iter_pending_sees_fifo_events(self):
+        engine = Engine()
+        engine.schedule_fifo(10, lambda: None, "payload")
+        entries = list(engine.iter_pending())
+        assert len(entries) == 1
+        assert entries[0][0] == 10 and entries[0][3] == ("payload",)
+
+    def test_max_events_budget_covers_fifo_lane(self):
+        engine = Engine()
+        log = []
+        for index in range(4):
+            engine.schedule_fifo(index, log.append, index)
+        assert engine.run(max_events=2) == 2
+        assert log == [0, 1]
+        assert engine.pending() == 2
+        engine.run()
+        assert log == [0, 1, 2, 3]
+
+    def test_snapshot_refuses_pending_fifo_events(self):
+        engine = Engine()
+        engine.schedule_fifo(5, lambda: None)
+        with pytest.raises(SimulationError, match="non-quiescent"):
+            engine.snapshot_state()
+
+    def test_nested_fifo_scheduling_during_dispatch(self):
+        engine = Engine()
+        log = []
+
+        def chain_next(tag):
+            log.append((engine.now, tag))
+            if tag < 3:
+                engine.schedule_fifo(10, chain_next, tag + 1)
+
+        engine.schedule_fifo(10, chain_next, 1)
+        engine.run()
+        assert log == [(10, 1), (20, 2), (30, 3)]

@@ -212,3 +212,34 @@ class TestFaultDeterminism:
             fault_seed=99,
         )
         assert plain.events == nulled.events
+
+
+class TestLatencyMetricsWithObsOff:
+    """Regression: the faulty network's per-send latency samples (with
+    real jitter) must reach the histogram with observability off."""
+
+    def test_jittered_latency_histogram_populated(self):
+        from repro.obs.log import OBS
+
+        assert not OBS.msg
+        METRICS.reset()
+        engine, network, delivered = make_faulty(FaultProfile(jitter=20))
+        for block in range(0, 64 * 10, 64):
+            network.send(msg(block=block))
+        engine.run()
+        histogram = METRICS.histogram("net.msg.latency_ns")
+        assert histogram is not None
+        assert histogram.count == 10
+        assert histogram.min >= PAPER_PARAMS.one_way_message_ns
+        assert histogram.max <= PAPER_PARAMS.one_way_message_ns + 20
+
+    def test_dropped_messages_record_no_latency_sample(self):
+        METRICS.reset()
+        engine, network, delivered = make_faulty(FaultProfile(drop=0.999))
+        for block in range(0, 64 * 20, 64):
+            network.send(msg(block=block))
+        engine.run()
+        histogram = METRICS.histogram("net.msg.latency_ns")
+        recorded = histogram.count if histogram is not None else 0
+        assert recorded == network.fault_counts["sent"] - \
+            network.fault_counts["dropped"]

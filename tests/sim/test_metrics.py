@@ -346,3 +346,33 @@ class TestFormatMetrics:
         assert "net.msg.latency_ns" in text
         # Two samples in the (64, 128] bucket render as "128:2".
         assert "128:2" in text
+
+
+class TestObserveMany:
+    def test_matches_repeated_observe(self):
+        from repro.sim.metrics import Histogram
+
+        one_by_one = Histogram()
+        for _ in range(7):
+            one_by_one.observe(160)
+        bulk = Histogram()
+        bulk.observe_many(160, 7)
+        assert bulk.snapshot() == one_by_one.snapshot()
+
+    def test_zero_and_negative_counts_are_noops(self):
+        from repro.sim.metrics import Histogram
+
+        histogram = Histogram()
+        histogram.observe_many(160, 0)
+        histogram.observe_many(160, -3)
+        assert histogram.count == 0 and histogram.min is None
+
+    def test_registry_observe_many(self):
+        from repro.sim.metrics import Metrics
+
+        metrics = Metrics()
+        metrics.observe_many("x.latency", 32, 4)
+        metrics.observe("x.latency", 100)
+        histogram = metrics.histogram("x.latency")
+        assert histogram.count == 5
+        assert histogram.min == 32 and histogram.max == 100

@@ -42,3 +42,56 @@ class TestNetwork:
         for _ in range(5):
             network.send(msg())
         assert network.messages_sent == 5
+
+
+class TestLatencyMetricsWithObsOff:
+    """Regression: the latency histogram is a ``--metrics-json`` quantity
+    and must be populated even when observability is disabled (it was
+    once recorded only inside the ``if OBS.msg:`` block)."""
+
+    def test_flush_populates_histogram_without_obs(self):
+        from repro.obs.log import OBS
+        from repro.sim.metrics import METRICS
+
+        assert not OBS.msg  # tests run with observability off
+        METRICS.reset()
+        engine, network, _ = make_network()
+        for _ in range(5):
+            network.send(msg())
+        engine.run()
+        network.flush_metrics()
+        histogram = METRICS.histogram("net.msg.latency_ns")
+        assert histogram is not None
+        assert histogram.count == 5
+        assert histogram.min == histogram.max == network.latency_ns
+        assert histogram.total == 5 * network.latency_ns
+
+    def test_flush_is_idempotent_and_incremental(self):
+        from repro.sim.metrics import METRICS
+
+        METRICS.reset()
+        engine, network, _ = make_network()
+        network.send(msg())
+        network.flush_metrics()
+        network.flush_metrics()  # nothing new: must not double-count
+        assert METRICS.histogram("net.msg.latency_ns").count == 1
+        network.send(msg())
+        network.send(msg())
+        network.flush_metrics()
+        assert METRICS.histogram("net.msg.latency_ns").count == 3
+        engine.run()
+
+    def test_simulated_run_records_latency_histogram_obs_off(self):
+        from repro.obs.log import OBS
+        from repro.experiments.common import workload_for
+        from repro.sim.machine import Machine
+        from repro.sim.metrics import METRICS
+
+        assert not OBS.msg
+        METRICS.reset()
+        machine = Machine(seed=0)
+        machine.run_workload(workload_for("moldyn", quick=True), 4)
+        histogram = METRICS.histogram("net.msg.latency_ns")
+        assert histogram is not None
+        assert histogram.count == machine.network.messages_sent
+        assert histogram.count > 0

@@ -12,7 +12,7 @@ from repro.core.memory import MemoryOverhead
 from repro.core.mhr import MessageHistoryRegister
 from repro.core.pht import PatternHistoryTable
 from repro.core.predictor import CosmosPredictor
-from repro.core.tuples import pack, unpack
+from repro.core.tuples import pack, pack_pattern, unpack, unpack_pattern
 from repro.protocol.messages import MessageType, Role
 from repro.sim.engine import Engine
 from repro.trace.events import TraceEvent
@@ -72,9 +72,16 @@ def test_mhr_holds_last_depth_tuples(depth, stream):
     expected = tuple(stream[-depth:])
     assert mhr.snapshot() == expected
     if len(stream) >= depth:
-        assert mhr.pattern() == expected
+        assert mhr.pattern() == pack_pattern(expected)
+        assert unpack_pattern(mhr.pattern()) == expected
     else:
         assert mhr.pattern() is None
+
+
+@given(tuples=st.lists(st.tuples(st.integers(min_value=0, max_value=4095),
+                                 message_types), max_size=6))
+def test_pattern_word_roundtrip(tuples):
+    assert unpack_pattern(pack_pattern(tuples)) == tuple(tuples)
 
 
 # ---------------------------------------------------------------------------
