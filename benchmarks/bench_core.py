@@ -275,8 +275,22 @@ def compare_to_baseline(report, baseline):
     return failures
 
 
+def pr_snapshot_path(bench_json, pr):
+    """Where the dated per-PR snapshot for ``--pr N`` lands.
+
+    Next to the ``--bench-json`` report, so CI picks both up with one
+    artifact glob and local runs leave the snapshot at the repo root.
+    """
+    import os
+
+    return os.path.join(
+        os.path.dirname(os.path.abspath(bench_json)), f"BENCH_pr{pr}.json"
+    )
+
+
 def main(argv=None):
     import argparse
+    import datetime
     import json
     import sys
 
@@ -294,7 +308,16 @@ def main(argv=None):
         help="compare against a recorded report; exit 1 on a >"
         f"{REGRESSION_BUDGET:.0%} events/sec regression",
     )
+    parser.add_argument(
+        "--pr",
+        type=int,
+        metavar="N",
+        help="also write a dated BENCH_pr<N>.json snapshot next to "
+        "--bench-json, extending the committed throughput trajectory",
+    )
     args = parser.parse_args(argv)
+    if args.pr is not None and not args.bench_json:
+        parser.error("--pr requires --bench-json")
 
     report = collect_throughput()
     for key, value in report.items():
@@ -306,6 +329,15 @@ def main(argv=None):
             json.dump(report, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"wrote {args.bench_json}")
+        if args.pr is not None:
+            snapshot = dict(report)
+            snapshot["pr"] = args.pr
+            snapshot["date"] = datetime.date.today().isoformat()
+            path = pr_snapshot_path(args.bench_json, args.pr)
+            with open(path, "w") as handle:
+                json.dump(snapshot, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"wrote {path}")
 
     if args.baseline:
         with open(args.baseline) as handle:

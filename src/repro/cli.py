@@ -8,6 +8,7 @@ Subcommands::
     repro-trace resume ckpts/checkpoint-0020.ckpt -o appbt.jsonl
     repro-trace evaluate appbt.jsonl --depth 2 --filter 1
     repro-trace explain appbt.jsonl --block 0x12340 --last 4
+    repro-trace critical-path dsmc --quick --top 3
     repro-trace info appbt.jsonl
     repro-trace dot appbt.jsonl --role cache -o appbt_cache.dot
 
@@ -18,6 +19,13 @@ methodology.  ``--trace-events`` additionally captures a structured
 event log during simulation and exports it as Chrome trace-event /
 Perfetto JSON (load it at https://ui.perfetto.dev); ``explain`` replays
 a saved trace with misprediction forensics (see
+``docs/observability.md``).
+
+``critical-path`` runs a workload with causal span tracing on,
+reconstructs every coherence transaction's span tree, segments its
+critical path (indirection / transfer / queue / retry /
+predicted-shortcut), and attributes latency to prediction outcomes --
+the per-transaction view of the paper's central claim (see
 ``docs/observability.md``).
 
 ``--checkpoint-dir`` snapshots the whole machine at iteration
@@ -330,6 +338,131 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_critical_path(args: argparse.Namespace) -> int:
+    from .core.bank import PredictorBank
+    from .experiments.common import iterations_for, workload_for
+    from .obs.critpath import (
+        attributed_paths,
+        fold_critpath_metrics,
+        replay_outcomes,
+        summarize,
+    )
+    from .obs.spans import SPANS, build_transactions, format_span_tree
+
+    if args.quick:
+        workload = workload_for(args.app, quick=True)
+        iterations = (
+            args.iterations
+            if args.iterations is not None
+            else iterations_for(args.app, quick=True)
+        )
+    else:
+        workload = make_workload(args.app)
+        iterations = args.iterations
+    faults = None
+    if args.fault_profile is not None:
+        profile = FaultProfile.parse(args.fault_profile)
+        if profile.is_active:
+            faults = profile
+    if args.trace_events:
+        OBS.configure("msg")
+    SPANS.enable()
+    try:
+        with METRICS.timer("trace.critical_path"):
+            collector = simulate(
+                workload,
+                iterations=iterations,
+                seed=args.seed,
+                faults=faults,
+                fault_seed=args.fault_seed,
+            )
+        transactions = build_transactions(SPANS.records)
+    finally:
+        SPANS.disable()
+        if args.trace_events:
+            obs_events = OBS.events()
+            obs_dropped = OBS.dropped
+            OBS.disable()
+
+    latency_ns = PAPER_PARAMS.one_way_message_ns
+    baseline = summarize(attributed_paths(transactions, {}, latency_ns))
+    bank = PredictorBank(CosmosConfig(depth=args.depth))
+    outcomes = replay_outcomes(collector.all_events, transactions, bank)
+    paths = attributed_paths(transactions, outcomes, latency_ns)
+    fold_critpath_metrics(paths)
+
+    if args.block is not None:
+        try:
+            block = int(args.block, 0)
+        except ValueError:
+            raise ReproError(
+                f"bad block address {args.block!r}; expected decimal or "
+                "0x-prefixed hex"
+            ) from None
+        paths = [p for p in paths if p.block == block]
+        if not paths:
+            raise ReproError(
+                f"no transactions touched block 0x{block:x}"
+            )
+        print(f"{args.app} block 0x{block:x} (cosmos depth={args.depth}):")
+        print(summarize(paths).format())
+    else:
+        print(f"{args.app}: no-predictor baseline")
+        print(baseline.format())
+        print()
+        print(f"{args.app}: cosmos depth={args.depth}")
+        print(summarize(paths).format())
+
+    worst = sorted(paths, key=lambda p: (-p.total_ns, p.txn))[: args.top]
+    for rank, path in enumerate(worst, 1):
+        print()
+        print(
+            f"#{rank}: {path.total_ns} ns on the critical path, "
+            f"outcome={path.outcome or 'none'}, "
+            f"saved={path.saved_ns:.0f} ns, "
+            f"penalty={path.penalty_ns:.0f} ns"
+        )
+        print(
+            "  segments: "
+            + "  ".join(
+                f"{s.kind}[{s.start_ns}..{s.end_ns}]"
+                for s in path.segments
+            )
+        )
+        print(format_span_tree(transactions[path.txn]))
+
+    if args.trace_events:
+        manifest = build_manifest(
+            "repro-trace critical-path",
+            app=args.app,
+            iterations=iterations,
+            seed=args.seed,
+            quick=args.quick,
+            fault_profile=args.fault_profile,
+            fault_seed=args.fault_seed,
+            depth=args.depth,
+        )
+        document = export_trace_events(
+            obs_events,
+            PAPER_PARAMS.n_nodes,
+            manifest=manifest,
+            dropped=obs_dropped,
+            spans=transactions.values(),
+        )
+        errors = validate_trace_events(document)
+        if errors:
+            raise ReproError(
+                "timeline export failed validation: "
+                + "; ".join(errors[:5])
+            )
+        save_trace_events(document, args.trace_events)
+        print(
+            f"\nwrote {document['otherData']['events']} timeline events "
+            f"to {args.trace_events} ({obs_dropped} dropped)"
+        )
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     events = load_trace(args.trace)
     print(summarize_traffic(events).format())
@@ -559,6 +692,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="rows in the whole-trace rankings; default 10",
     )
     exp.set_defaults(func=_cmd_explain)
+
+    crit = sub.add_parser(
+        "critical-path",
+        help=(
+            "trace a workload's transactions causally and attribute "
+            "critical-path latency to prediction outcomes"
+        ),
+    )
+    crit.add_argument("app", choices=BENCHMARK_NAMES)
+    crit.add_argument("--iterations", type=int, default=None)
+    crit.add_argument("--seed", type=int, default=0)
+    crit.add_argument(
+        "--quick",
+        action="store_true",
+        help="use the experiments' shrunken quick-scale workload",
+    )
+    crit.add_argument(
+        "--depth", type=int, default=2, help="Cosmos MHR depth (default 2)"
+    )
+    crit.add_argument(
+        "--block",
+        default=None,
+        help=(
+            "restrict the report to one block address (decimal or "
+            "0x-hex)"
+        ),
+    )
+    crit.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        help="worst transactions to print with span trees; default 5",
+    )
+    crit.add_argument(
+        "--fault-profile",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "inject interconnect faults: a preset "
+            f"({', '.join(PRESETS)}) or 'drop=0.05,reorder=0.2,...'"
+        ),
+    )
+    crit.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for the fault-injection RNG (default 0)",
+    )
+    crit.add_argument(
+        "--trace-events",
+        metavar="PATH",
+        default=None,
+        help=(
+            "also export the run as Chrome trace-event / Perfetto JSON "
+            "with per-transaction async spans and cross-lane flow "
+            "arrows"
+        ),
+    )
+    crit.set_defaults(func=_cmd_critical_path)
 
     info = sub.add_parser("info", help="traffic characterization of a trace")
     info.add_argument("trace")

@@ -51,6 +51,7 @@ from ..sim.faults import PRESETS, FaultProfile
 from .bounds import run_bounds
 from .common import configure_faults, configure_trace_cache
 from .corruption import run_corruption_study
+from .critical_path import run_critical_path
 from .faults import run_fault_study
 from .mispredict import run_mispredict_profile
 from .figure2 import run_figure2
@@ -131,6 +132,9 @@ EXPERIMENTS: Dict[str, Callable[[bool, int], str]] = {
         quick=quick, seed=seed
     ).format(),
     "mispredict-profile": lambda quick, seed: run_mispredict_profile(
+        quick=quick, seed=seed
+    ).format(),
+    "critical-path": lambda quick, seed: run_critical_path(
         quick=quick, seed=seed
     ).format(),
 }

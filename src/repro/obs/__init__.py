@@ -1,6 +1,6 @@
 """repro.obs: the deep observability layer.
 
-Four cooperating pieces, all off by default and all zero-cost-when-off:
+Six cooperating pieces, all off by default and all zero-cost-when-off:
 
 * :mod:`repro.obs.log` -- the structured event log: a process-global,
   levelled, ring-buffered :data:`OBS` that the simulator, protocol
@@ -17,16 +17,33 @@ Four cooperating pieces, all off by default and all zero-cost-when-off:
 * :mod:`repro.obs.manifest` -- deterministic run manifests attached to
   metrics JSON, timeline exports, and trace-cache entries so every
   artifact names the run that produced it.
+* :mod:`repro.obs.spans` -- causal transaction spans: a stable id per
+  coherence transaction, threaded through every message that serves it
+  (same ``if SPANS.enabled`` gating discipline as :data:`OBS`).
+* :mod:`repro.obs.critpath` -- offline critical-path analysis over the
+  span records: segment classification (indirection / transfer / queue /
+  retry / predicted-shortcut) and per-prediction-outcome latency
+  attribution (``repro-trace critical-path``, the ``critical-path``
+  experiment).
 
 See ``docs/observability.md`` for the end-to-end story.
 """
 
-# Only ``.log`` (dependency-free) is imported eagerly.  Everything else
+# Only ``.log`` and ``.spans`` (dependency-free) are imported eagerly.
+# Everything else
 # resolves lazily via PEP 562: the hot-path modules (network, faults,
 # controllers) import ``OBS`` from this package, while ``.forensics``
 # pulls in the predictor/trace/sim stack -- importing it here eagerly
 # would close an import cycle back through those very hot-path modules.
 from .log import DEFAULT_CAPACITY, LEVELS, OBS, ObsLog
+from .spans import (
+    SEGMENT_KINDS,
+    SPANS,
+    SpanTracer,
+    Transaction,
+    build_transactions,
+    format_span_tree,
+)
 
 _LAZY = {
     "build_failure_bundle": ".bundle",
@@ -41,6 +58,14 @@ _LAZY = {
     "export_trace_events": ".timeline",
     "save_trace_events": ".timeline",
     "validate_trace_events": ".timeline",
+    "CriticalPath": ".critpath",
+    "CritPathSummary": ".critpath",
+    "Segment": ".critpath",
+    "attribute": ".critpath",
+    "critical_path": ".critpath",
+    "fold_critpath_metrics": ".critpath",
+    "replay_outcomes": ".critpath",
+    "summarize": ".critpath",
 }
 
 
@@ -61,6 +86,8 @@ def __dir__():
     return sorted(set(globals()) | set(_LAZY))
 
 __all__ = [
+    "CritPathSummary",
+    "CriticalPath",
     "DEFAULT_CAPACITY",
     "ForensicsReport",
     "LEVELS",
@@ -68,13 +95,24 @@ __all__ = [
     "OBS",
     "OBS_SCHEMA_VERSION",
     "ObsLog",
+    "SEGMENT_KINDS",
+    "SPANS",
+    "Segment",
+    "SpanTracer",
+    "Transaction",
+    "attribute",
     "build_failure_bundle",
     "build_manifest",
+    "build_transactions",
+    "critical_path",
     "explain_trace",
-    "save_bundle",
-    "export_trace_events",
+    "fold_critpath_metrics",
     "format_pattern",
     "format_tuple",
+    "replay_outcomes",
+    "save_bundle",
     "save_trace_events",
+    "export_trace_events",
+    "summarize",
     "validate_trace_events",
 ]

@@ -27,6 +27,7 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from .log import ObsEvent
+from .spans import Transaction
 
 #: Thread ids on node process lanes.
 TID_CACHE = 0
@@ -76,12 +77,21 @@ def export_trace_events(
     n_nodes: int,
     manifest: Optional[dict] = None,
     dropped: int = 0,
+    spans: Optional[Iterable[Transaction]] = None,
 ) -> dict:
     """Render log ``events`` as a Chrome trace-event JSON object.
 
     ``n_nodes`` sizes the per-node lanes; ``manifest`` (see
     :func:`repro.obs.manifest.build_manifest`) and the ring's ``dropped``
     count land in ``otherData`` so the artifact is self-describing.
+
+    ``spans`` (reconstructed transactions from
+    :func:`repro.obs.spans.build_transactions`) additionally emits, per
+    closed transaction, an async ``b``/``e`` pair on the requester's
+    lane spanning open to close, and one ``s``/``f`` flow pair per wire
+    transfer -- Perfetto then draws arrows hopping across node lanes,
+    making a transaction's causal chain (request, invalidation round,
+    forward, response, retries) followable by eye.
     """
     net_pid = n_nodes
     trace_events: List[dict] = []
@@ -192,6 +202,49 @@ def export_trace_events(
             add(node if 0 <= node < n_nodes else net_pid, TID_CACHE, "i",
                 time_ns, f"{category}.{name}", category, args)
 
+    if spans is not None:
+        for txn in spans:
+            if not txn.closed:
+                continue
+            span_id = f"txn-{txn.txn}"
+            span_name = f"txn {txn.kind} 0x{txn.block:x}"
+            for ph, ts_ns in (("b", txn.t_open), ("e", txn.t_close)):
+                used_threads[(txn.requester, TID_CACHE)] = None
+                trace_events.append(
+                    {
+                        "pid": txn.requester,
+                        "tid": TID_CACHE,
+                        "ph": ph,
+                        "ts": ts_ns / 1000.0,
+                        "id": span_id,
+                        "name": span_name,
+                        "cat": "txn",
+                        "args": {
+                            "home": txn.home,
+                            "block": f"0x{txn.block:x}",
+                        },
+                    }
+                )
+            for index, x in enumerate(txn.xfers):
+                flow_id = f"{span_id}-x{index}"
+                flow_name = f"txn {txn.txn} hop"
+                for ph, pid, ts_ns in (
+                    ("s", x.src, x.send_ns),
+                    ("f", x.dst, x.arrive_ns),
+                ):
+                    used_threads[(pid, TID_CACHE)] = None
+                    trace_events.append(
+                        {
+                            "pid": pid,
+                            "tid": TID_CACHE,
+                            "ph": ph,
+                            "ts": ts_ns / 1000.0,
+                            "id": flow_id,
+                            "name": flow_name,
+                            "cat": "txn",
+                        }
+                    )
+
     metadata: List[dict] = []
     for node in range(n_nodes):
         if not any(pid == node for pid, _ in used_threads):
@@ -243,8 +296,12 @@ def validate_trace_events(payload: object) -> List[str]:
             errors.append(f"{where}: not an object")
             continue
         ph = event.get("ph")
-        if ph not in ("M", "i", "X"):
+        if ph not in ("M", "i", "X", "b", "e", "s", "f"):
             errors.append(f"{where}: bad phase {ph!r}")
+        if ph in ("b", "e", "s", "f") and not isinstance(
+            event.get("id"), str
+        ):
+            errors.append(f"{where}: async/flow phase needs a string id")
         for field in ("pid", "tid"):
             if not isinstance(event.get(field), int):
                 errors.append(f"{where}: {field} must be an integer")

@@ -29,6 +29,7 @@ from typing import Callable, Dict, Optional
 
 from ..errors import ProtocolError
 from ..obs.log import OBS
+from ..obs.spans import SPANS
 from .messages import Message, MessageType
 from .recovery import RecoveryConfig, Scheduler
 from .stache import DEFAULT_OPTIONS, StacheOptions
@@ -55,6 +56,8 @@ class _Outstanding:
     retries: int = 0
     #: Timeout armed for the current attempt (ns).
     timeout_ns: int = 0
+    #: Causal span id (:mod:`repro.obs.spans`); ``None`` with tracing off.
+    trace_id: Optional[int] = None
 
 
 class CacheController:
@@ -279,6 +282,10 @@ class CacheController:
             )
         self._allocate_slot(block)
         txn = _Outstanding(home=home, is_write=is_write, done_cb=done_cb)
+        if SPANS.enabled:
+            txn.trace_id = SPANS.open(
+                self.node_id, home, block, "write" if is_write else "read"
+            )
         self._outstanding[block] = txn
         self._issue(block, txn)
         return False
@@ -311,6 +318,7 @@ class CacheController:
                 mtype=self._request_type(block, txn),
                 block=block,
                 seq=seq,
+                txn=txn.trace_id,
             )
         )
         if self._recovery is not None:
@@ -342,6 +350,8 @@ class CacheController:
                 block,
                 {"attempt": txn.retries, "timeout_ns": txn.timeout_ns},
             )
+        if SPANS.enabled and txn.trace_id is not None:
+            SPANS.retry(txn.trace_id, self.node_id, "timeout", txn.retries)
         self._issue(block, txn)
 
     def _poison_outstanding(self, block: int) -> None:
@@ -367,6 +377,13 @@ class CacheController:
                     self.node_id,
                     block,
                     {"stale_seq": txn.seq},
+                )
+            if SPANS.enabled and txn.trace_id is not None:
+                SPANS.retry(
+                    txn.trace_id,
+                    self.node_id,
+                    "poison",
+                    self.poisoned_reissues,
                 )
             self._issue(block, txn)
 
@@ -399,6 +416,8 @@ class CacheController:
                 f"0x{block:x} with no outstanding transaction"
             )
         self._set_state(block, new_state)
+        if SPANS.enabled and txn.trace_id is not None:
+            SPANS.close(txn.trace_id, self.node_id)
         txn.done_cb()
 
     def _on_get_ro_response(self, msg: Message) -> None:
@@ -443,6 +462,7 @@ class CacheController:
                 mtype=mtype,
                 block=msg.block,
                 ack_seq=msg.seq,
+                txn=msg.txn,
             )
         )
 
@@ -524,6 +544,7 @@ class CacheController:
                 mtype=reply,
                 block=msg.block,
                 ack_seq=msg.requester_seq,
+                txn=msg.txn,
             )
         )
         self._send(
@@ -533,6 +554,7 @@ class CacheController:
                 mtype=MessageType.REVISION,
                 block=msg.block,
                 ack_seq=msg.seq,
+                txn=msg.txn,
             )
         )
 

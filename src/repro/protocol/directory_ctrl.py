@@ -31,6 +31,7 @@ from typing import Callable, Deque, Dict, Optional, Set
 
 from ..errors import ProtocolError
 from ..obs.log import OBS
+from ..obs.spans import SPANS
 from .messages import Message, MessageType
 from .recovery import RecoveryConfig, Scheduler
 from .stache import DEFAULT_OPTIONS, StacheOptions
@@ -68,6 +69,9 @@ class _Request:
     #: Sequence number of the requester's message (recovery mode), echoed
     #: in the response so the requester can match it to its attempt.
     req_seq: Optional[int] = None
+    #: Causal span id carried by the request (:mod:`repro.obs.spans`);
+    #: every message this transaction sends propagates it.
+    txn: Optional[int] = None
 
     @property
     def is_local(self) -> bool:
@@ -258,6 +262,13 @@ class DirectoryController:
             was_upgrade=False,
             done_cb=done_cb,
         )
+        if SPANS.enabled:
+            request.txn = SPANS.open(
+                self.node_id,
+                self.node_id,
+                block,
+                "write" if is_write else "read",
+            )
         self._admit(block, request)
         return False
 
@@ -274,6 +285,7 @@ class DirectoryController:
                 was_upgrade=msg.mtype is MessageType.UPGRADE_REQUEST,
                 done_cb=None,
                 req_seq=msg.seq,
+                txn=msg.txn,
             )
             self._admit(msg.block, request)
         elif msg.mtype in _ACK_TYPES:
@@ -289,6 +301,8 @@ class DirectoryController:
     # ------------------------------------------------------------------
 
     def _admit(self, block: int, request: _Request) -> None:
+        if SPANS.enabled and request.txn is not None:
+            SPANS.admit(request.txn, self.node_id)
         if self.is_busy(block):
             if self._merge_duplicate(block, request):
                 return
@@ -330,6 +344,8 @@ class DirectoryController:
         return False
 
     def _start(self, block: int, request: _Request) -> None:
+        if SPANS.enabled and request.txn is not None:
+            SPANS.start(request.txn, self.node_id)
         self.transactions += 1
         entry = self.entry_of(block)
         if self._options.check_invariants:
@@ -390,7 +406,12 @@ class DirectoryController:
         if self._recovery is not None:
             seq = self._take_seq()
         msg = Message(
-            src=self.node_id, dst=dst, mtype=mtype, block=block, seq=seq
+            src=self.node_id,
+            dst=dst,
+            mtype=mtype,
+            block=block,
+            seq=seq,
+            txn=txn.request.txn,
         )
         self._send(msg)
         self.invalidations_sent += 1
@@ -512,6 +533,8 @@ class DirectoryController:
                 f"{self._recovery.max_retries} invalidation retries for "
                 f"block 0x{block:x}: livelock on the unreliable network"
             )
+        if SPANS.enabled and txn.request.txn is not None:
+            SPANS.retry(txn.request.txn, self.node_id, "inval", txn.retries)
         for dst in sorted(txn.pending_acks):
             seq = self._take_seq()
             msg = replace(txn.pending_msg[dst], seq=seq)
@@ -587,7 +610,11 @@ class DirectoryController:
         entry.sharers = txn.final_sharers
         if self._options.check_invariants:
             entry.check_invariants()
+        if SPANS.enabled and txn.request.txn is not None:
+            SPANS.finish(txn.request.txn, self.node_id)
         if txn.request.is_local:
+            if SPANS.enabled and txn.request.txn is not None:
+                SPANS.close(txn.request.txn, self.node_id)
             assert txn.request.done_cb is not None
             txn.request.done_cb()
         elif txn.reply_type is not None:
@@ -598,6 +625,7 @@ class DirectoryController:
                     mtype=txn.reply_type,
                     block=block,
                     ack_seq=txn.request.req_seq,
+                    txn=txn.request.txn,
                 )
             )
         # reply_type None on a remote request means another module (a

@@ -151,6 +151,12 @@ class Message:
         requester_seq: for forwarded requests, the ``seq`` of the
             requester's original request, so the owner's direct response
             carries the right ``ack_seq``.
+        txn: causal transaction id (see :mod:`repro.obs.spans`): the id
+            assigned at the module whose access this message ultimately
+            serves, propagated through every hop -- requests, collection
+            rounds, Origin forwards, revisions, responses, and retries
+            all carry the same id.  ``None`` whenever span tracing is
+            off (the default).
     """
 
     src: int
@@ -161,6 +167,7 @@ class Message:
     seq: Optional[int] = None
     ack_seq: Optional[int] = None
     requester_seq: Optional[int] = None
+    txn: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.src < 0 or self.dst < 0:

@@ -90,6 +90,7 @@ class OriginDirectoryController(DirectoryController):
             # The owner answers the requester directly; it needs the
             # requester's own attempt seq to stamp that response with.
             requester_seq=request.req_seq,
+            txn=request.txn,
         )
         self._send(msg)
         txn = _Txn(

@@ -26,6 +26,7 @@ from typing import Callable, Dict
 
 from ..errors import ConfigError
 from ..obs.log import OBS
+from ..obs.spans import SPANS
 from ..protocol.messages import Message
 from .engine import Engine
 from .metrics import METRICS
@@ -252,6 +253,8 @@ class FaultyNetwork:
                     msg.block,
                     {"dst": msg.dst, "mtype": msg.mtype.name},
                 )
+            if SPANS.enabled and msg.txn is not None:
+                SPANS.drop(msg.txn, msg.src, msg.dst, msg.mtype.value)
             return
         delay = self._delay_for(msg)
         # Metrics are not an observability feature: the latency histogram
@@ -271,6 +274,8 @@ class FaultyNetwork:
                     "delay_ns": delay,
                 },
             )
+        if SPANS.enabled and msg.txn is not None:
+            SPANS.xfer(msg.txn, msg.src, msg.dst, msg.mtype.value, delay)
         self._engine.schedule(delay, self._deliver_one, msg)
         if self.profile.dup and self._rng.random() < self.profile.dup:
             self._count("duplicated")
@@ -283,6 +288,15 @@ class FaultyNetwork:
                     msg.src,
                     msg.block,
                     {"dst": msg.dst, "extra_delay_ns": dup_delay},
+                )
+            if SPANS.enabled and msg.txn is not None:
+                SPANS.xfer(
+                    msg.txn,
+                    msg.src,
+                    msg.dst,
+                    msg.mtype.value,
+                    dup_delay,
+                    dup=True,
                 )
             self._engine.schedule(dup_delay, self._deliver_one, msg)
 

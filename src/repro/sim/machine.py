@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
 
 from ..errors import ProtocolError, SimulationError
 from ..obs.log import OBS
+from ..obs.spans import SPANS
 from ..protocol.messages import Message, Role
 from ..protocol.recovery import RecoveryConfig
 from ..protocol.stache import DEFAULT_OPTIONS, StacheOptions
@@ -154,6 +155,7 @@ class Machine:
         # OBS is process-global, so the most recently built machine owns
         # it -- fine for the sequential capture runs observability uses.
         OBS.set_clock(lambda: self.engine.now)
+        SPANS.set_clock(lambda: self.engine.now)
 
     def _make_replacement_hook(self, node_id: int):
         def hook(block: int) -> None:

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Callable
 
 from ..obs.log import OBS
+from ..obs.spans import SPANS
 from ..protocol.messages import Message
 from .engine import Engine
 from .metrics import METRICS
@@ -87,6 +88,10 @@ class Network:
                     "mtype": msg.mtype.name,
                     "delay_ns": self._latency,
                 },
+            )
+        if SPANS.enabled and msg.txn is not None:
+            SPANS.xfer(
+                msg.txn, msg.src, msg.dst, msg.mtype.value, self._latency
             )
         self._engine.schedule_fifo(self._latency, self._deliver, msg)
 

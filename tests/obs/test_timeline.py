@@ -249,3 +249,63 @@ class TestSave:
         written = save_trace_events(doc, path)
         assert written == path
         assert json.loads(path.read_text()) == doc
+
+
+class TestSpanExport:
+    def _closed_txn(self):
+        from repro.obs.spans import build_transactions
+
+        records = [
+            ("open", 3, 100, 2, 1, 0x80, "write"),
+            ("xfer", 3, 100, 2, 1, 1, 160, False),
+            ("xfer", 3, 300, 1, 2, 8, 160, False),
+            ("close", 3, 460, 2),
+        ]
+        return build_transactions(records).values()
+
+    def test_closed_transaction_emits_async_and_flow_pairs(self):
+        doc = export_trace_events([], N_NODES, spans=self._closed_txn())
+        events = real_events(doc)
+        by_phase = {}
+        for event in events:
+            by_phase.setdefault(event["ph"], []).append(event)
+        (begin,) = by_phase["b"]
+        (end,) = by_phase["e"]
+        assert begin["id"] == end["id"] == "txn-3"
+        assert begin["pid"] == end["pid"] == 2  # requester's lane
+        assert (begin["ts"], end["ts"]) == (0.1, 0.46)  # ns -> us
+        assert len(by_phase["s"]) == len(by_phase["f"]) == 2
+        starts = {e["id"]: e for e in by_phase["s"]}
+        finishes = {e["id"]: e for e in by_phase["f"]}
+        assert set(starts) == set(finishes) == {"txn-3-x0", "txn-3-x1"}
+        assert starts["txn-3-x0"]["pid"] == 2  # flows hop src -> dst
+        assert finishes["txn-3-x0"]["pid"] == 1
+
+    def test_open_transactions_are_skipped(self):
+        from repro.obs.spans import build_transactions
+
+        records = [
+            ("open", 1, 0, 0, 1, 0x40, "read"),
+            ("xfer", 1, 0, 0, 1, 0, 160, False),
+        ]
+        spans = build_transactions(records).values()
+        doc = export_trace_events([], N_NODES, spans=spans)
+        assert real_events(doc) == []
+
+    def test_span_export_passes_validator_and_schema(self):
+        doc = export_trace_events([], N_NODES, spans=self._closed_txn())
+        assert validate_trace_events(doc) == []
+        errors = validate(doc, load_schema(SCHEMA_PATH))
+        assert errors == []
+
+    def test_flow_events_without_id_fail_validation(self):
+        errors = validate_trace_events(
+            {
+                "traceEvents": [
+                    {"ph": "s", "pid": 0, "tid": 0, "name": "hop", "ts": 1}
+                ],
+                "displayTimeUnit": "ns",
+                "otherData": {},
+            }
+        )
+        assert any("string id" in error for error in errors)

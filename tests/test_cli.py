@@ -184,3 +184,67 @@ class TestDot:
             == 0
         )
         assert out_path.read_text().startswith("digraph")
+
+
+class TestCriticalPath:
+    BASE = ["critical-path", "moldyn", "--quick", "--seed", "1"]
+
+    @pytest.fixture(autouse=True)
+    def spans_off_after(self):
+        yield
+        from repro.obs.spans import SPANS
+
+        SPANS.disable()
+        SPANS.set_clock(None)
+
+    def test_reports_segments_and_attribution(self, capsys):
+        assert main(self.BASE + ["--top", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "no-predictor baseline" in out
+        assert "cosmos depth=2" in out
+        assert "indirection" in out and "predicted-shortcut" in out
+        assert "saved_ns" in out and "penalty_ns" in out
+        assert "txn #" in out  # worst transaction's span tree
+
+    def test_block_filter(self, capsys):
+        assert main(self.BASE + ["--top", "1"]) == 0
+        out = capsys.readouterr().out
+        block = next(
+            line.split("block=")[1].split()[0]
+            for line in out.splitlines()
+            if "block=" in line
+        )
+        assert main(self.BASE + ["--block", block, "--top", "0"]) == 0
+        filtered = capsys.readouterr().out
+        assert f"block {block}" in filtered
+
+    def test_bad_block_address(self, capsys):
+        assert main(self.BASE + ["--block", "zap"]) == 1
+        assert "bad block address" in capsys.readouterr().err
+
+    def test_unknown_block_is_an_error(self, capsys):
+        assert main(self.BASE + ["--block", "0xdead0000"]) == 1
+        assert "no transactions" in capsys.readouterr().err
+
+    def test_trace_events_export_is_valid(self, tmp_path, capsys):
+        import json
+        from pathlib import Path
+
+        from repro.obs.log import OBS
+        from repro.obs.schema import load_schema, validate
+
+        out_path = tmp_path / "spans.json"
+        assert (
+            main(self.BASE + ["--top", "0", "--trace-events", str(out_path)])
+            == 0
+        )
+        assert not OBS.enabled  # capture turned back off
+        document = json.loads(out_path.read_text())
+        phases = {e["ph"] for e in document["traceEvents"]}
+        assert {"b", "e", "s", "f"} <= phases
+        schema = load_schema(
+            Path(__file__).resolve().parent.parent
+            / "docs"
+            / "trace_event.schema.json"
+        )
+        assert validate(document, schema) == []
