@@ -42,8 +42,16 @@ class CheckpointError(ReproError):
     Raised for version/magic mismatches, checksum failures (bit rot or a
     torn write that somehow survived the atomic-rename discipline), and
     attempts to restore a checkpoint into an incompatible configuration
-    (different machine parameters or workload fingerprint).
+    (different machine parameters or workload fingerprint).  ``cause``
+    names the failure mode (``truncated-header``, ``truncated-payload``,
+    ``checksum-mismatch``, ``bad-magic``, ``version-mismatch``,
+    ``fingerprint-mismatch``, ``no-valid-checkpoint``, ...) so fallback
+    logic can branch without parsing the message.
     """
+
+    def __init__(self, message, cause=None) -> None:
+        super().__init__(message)
+        self.cause = cause
 
 
 class WatchdogError(SimulationError):
@@ -84,6 +92,16 @@ class RunInterrupted(ReproError):
     def __init__(self, message: str, run_dir=None) -> None:
         super().__init__(message)
         self.run_dir = run_dir
+
+
+class ServeError(ReproError):
+    """The online prediction service hit an unrecoverable condition.
+
+    Client-visible overload (``RETRY_AFTER``) and degraded responses are
+    *not* errors -- they are part of the service's contract.  This is
+    raised for genuine failures: a request exhausting its retry budget,
+    a malformed wire message, or a service that cannot start.
+    """
 
 
 class ShardError(ReproError):

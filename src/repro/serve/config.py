@@ -1,0 +1,111 @@
+"""Configuration for the online prediction service.
+
+One frozen dataclass carries every tunable the service layers share:
+shard count, queue bounds, the per-request deadline, the supervisor's
+hang budget, and the checkpoint cadence.  Validation names the offending
+field the way :class:`~repro.sim.faults.FaultProfile` does, and
+:meth:`ServeConfig.fingerprint` hashes the fields a shard checkpoint
+must agree on -- restoring predictor state into a service with a
+different shard count (a different hash ring) would silently route
+blocks to predictors that never saw them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+
+from ..errors import ConfigError
+
+#: Bump when the shard-checkpoint schema changes.
+STATE_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Shared knobs for the front-end, supervisor, and workers."""
+
+    #: Worker processes; each owns one shard of every tenant's blocks.
+    shards: int = 2
+    #: Virtual nodes per shard on the consistent-hash ring.
+    vnodes: int = 64
+    #: Bind address for the TCP front-end (port 0 = ephemeral).
+    host: str = "127.0.0.1"
+    port: int = 0
+    #: In-flight observations per shard before admission sheds load.
+    queue_depth: int = 32
+    #: Admitted-but-unshipped observations tolerated while a shard is
+    #: down (the replay outbox); beyond this, admission sheds load.
+    max_backlog: int = 512
+    #: Per-request deadline: past it the front-end answers degraded.
+    deadline_ms: float = 250.0
+    #: Supervisor hang budget: a worker silent this long after being
+    #: handed an observation is declared stuck and SIGKILLed (the
+    #: serving-side analogue of a watchdog wall-clock budget).
+    hang_timeout_ms: float = 2_000.0
+    #: Hint clients receive with a ``RETRY_AFTER`` rejection.
+    retry_after_ms: float = 20.0
+    #: A shard checkpoints its predictor banks every this many trained
+    #: observations (count-based, so cadence is deterministic).
+    checkpoint_every: int = 64
+    #: Consecutive successful responses a restored shard must serve in
+    #: HALF_OPEN before the circuit breaker closes again.
+    probe_requests: int = 4
+    #: ``(client, seq)`` response cache entries kept for idempotency.
+    dedupe_capacity: int = 4_096
+    #: Base seed; per-shard worker seeds derive from it via
+    #: :func:`~repro.parallel.seeds.derive_seed`.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "shards",
+            "vnodes",
+            "queue_depth",
+            "max_backlog",
+            "checkpoint_every",
+            "probe_requests",
+            "dedupe_capacity",
+        ):
+            value = getattr(self, name)
+            if value < 1:
+                raise ConfigError(
+                    f"serve config field {name!r}: {value} must be >= 1"
+                )
+        for name in ("deadline_ms", "hang_timeout_ms", "retry_after_ms"):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ConfigError(
+                    f"serve config field {name!r}: {value} ms must be "
+                    f"positive"
+                )
+        if self.hang_timeout_ms < self.deadline_ms:
+            raise ConfigError(
+                f"serve config field 'hang_timeout_ms': hang budget "
+                f"{self.hang_timeout_ms} ms must be >= the request "
+                f"deadline ({self.deadline_ms} ms); otherwise every "
+                f"deadline miss would SIGKILL a healthy worker"
+            )
+
+    def fingerprint(self) -> str:
+        """Hash of everything a shard checkpoint must agree on.
+
+        Only fields that change *which state a shard owns* or how it is
+        framed participate: shard count and vnodes (the ring), the
+        checkpoint cadence (outbox-trim arithmetic), the seed, and the
+        state format version.  Latency knobs deliberately do not -- a
+        deadline tweak must not discard learned state.
+        """
+        fields = asdict(self)
+        descriptor = {
+            "format": STATE_FORMAT,
+            "shards": fields["shards"],
+            "vnodes": fields["vnodes"],
+            "checkpoint_every": fields["checkpoint_every"],
+            "seed": fields["seed"],
+        }
+        canonical = json.dumps(
+            descriptor, sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

@@ -1,0 +1,205 @@
+"""Trace-replay load generation and the external correctness oracle.
+
+:func:`replay_trace` streams a simulator trace (the exact
+:class:`~repro.trace.events.TraceEvent` records the offline evaluation
+consumes) through the service, one tenant per receiving module, and
+records every answer together with the shard and admission ordinal the
+service reported.  Client-side chaos actions (``flood``: a burst of
+concurrent requests over ephemeral connections; ``slow``: a window of
+slow-reading responses) are consumed here.
+
+:func:`verify_predictions` is the oracle the acceptance criteria lean
+on: because every accepted response carries ``(shard, index)`` and a
+shard trains strictly in ordinal order, replaying the accepted
+observations per shard in index order through mirror predictors
+reproduces each worker's exact state sequence -- every non-degraded
+answer must equal the mirror's, *regardless* of kills, stalls, replays,
+or concurrent interleavings.  Latency/throughput are published as
+mergeable histograms through :mod:`repro.sim.metrics`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.predictor import CosmosPredictor
+from ..core.tuples import pack
+from ..sim.metrics import METRICS
+from .chaos import ChaosAction
+from .client import RetryPolicy, ServeClient
+from .protocol import Response
+
+
+@dataclass
+class ObservationResult:
+    """One accepted observation, as the service acknowledged it."""
+
+    tenant: str
+    block: int
+    word: int
+    shard: int
+    index: int
+    degraded: bool
+    predicted: int
+
+
+@dataclass
+class LoadReport:
+    """What one replay run produced."""
+
+    sent: int = 0
+    ok: int = 0
+    degraded: int = 0
+    retry_after: int = 0
+    errors: int = 0
+    wall_seconds: float = 0.0
+    results: List[ObservationResult] = field(default_factory=list)
+
+    @property
+    def throughput(self) -> float:
+        return self.sent / self.wall_seconds if self.wall_seconds else 0.0
+
+    def record(self, result: ObservationResult) -> None:
+        self.sent += 1
+        self.results.append(result)
+        if result.degraded:
+            self.degraded += 1
+        else:
+            self.ok += 1
+
+
+def tenant_of(event) -> str:
+    """The serving tenant for one trace event: the receiving module."""
+    return f"n{event.node}.{event.role.name.lower()}"
+
+
+async def replay_trace(
+    host: str,
+    port: int,
+    events: Sequence,
+    client_id: str = "loadgen",
+    chaos_actions: Iterable[ChaosAction] = (),
+    policy: RetryPolicy = RetryPolicy(),
+    rate: Optional[float] = None,
+) -> LoadReport:
+    """Replay ``events`` against the service; returns the report.
+
+    Sequential by default (one observation in flight), which keeps the
+    run deterministic; ``rate`` paces submissions to roughly that many
+    observations per second.  Chaos ``flood`` actions fire their burst
+    concurrently over ephemeral connections; ``slow`` actions delay
+    response reads for a window of observations.
+    """
+    floods: Dict[int, ChaosAction] = {}
+    slow_until: Dict[int, float] = {}
+    for action in chaos_actions:
+        if action.kind == "flood":
+            floods[action.at] = action
+        elif action.kind == "slow":
+            for offset in range(action.count):
+                slow_until[action.at + offset] = action.ms / 1_000.0
+    report = LoadReport()
+    started = time.perf_counter()
+    async with ServeClient(host, port, client_id, policy) as client:
+        index = 0
+        total = len(events)
+        while index < total:
+            if rate:
+                expected = started + report.sent / rate
+                now = time.perf_counter()
+                if expected > now:
+                    await asyncio.sleep(expected - now)
+            flood = floods.get(index + 1)
+            if flood is not None and flood.burst > 1:
+                burst = list(events[index : index + flood.burst])
+                METRICS.inc("serve.loadgen.floods")
+                responses = await asyncio.gather(
+                    *(
+                        _flooded_observe(
+                            host, port, f"{client_id}-f{index + j}",
+                            policy, burst[j],
+                        )
+                        for j in range(len(burst))
+                    )
+                )
+                for event, response in zip(burst, responses):
+                    _tally(report, event, response)
+                index += len(burst)
+                continue
+            event = events[index]
+            begin = time.perf_counter()
+            response = await client.observe(
+                tenant_of(event),
+                event.block,
+                event.sender,
+                int(event.mtype),
+                slow_read_s=slow_until.get(index + 1, 0.0),
+            )
+            METRICS.observe(
+                "serve.loadgen.latency_us",
+                (time.perf_counter() - begin) * 1e6,
+            )
+            _tally(report, event, response)
+            index += 1
+    report.wall_seconds = time.perf_counter() - started
+    METRICS.observe("serve.loadgen.throughput", report.throughput)
+    return report
+
+
+async def _flooded_observe(
+    host: str, port: int, client_id: str, policy: RetryPolicy, event
+) -> Response:
+    """One burst member: its own connection, its own retry budget."""
+    async with ServeClient(host, port, client_id, policy) as client:
+        return await client.observe(
+            tenant_of(event), event.block, event.sender, int(event.mtype)
+        )
+
+
+def _tally(report: LoadReport, event, response: Response) -> None:
+    # The client library already absorbed RETRY_AFTER rounds; count the
+    # shed attempts from the metrics-side instead of per response.
+    report.record(
+        ObservationResult(
+            tenant=tenant_of(event),
+            block=event.block,
+            word=pack((event.sender, event.mtype)),
+            shard=response.shard,
+            index=response.index,
+            degraded=response.degraded,
+            predicted=response.predicted,
+        )
+    )
+
+
+def verify_predictions(
+    results: Iterable[ObservationResult],
+) -> Tuple[int, int]:
+    """Check every non-degraded answer against mirror predictors.
+
+    Replays the accepted observations per shard in admission-ordinal
+    order through fresh per-tenant :class:`CosmosPredictor` mirrors and
+    compares.  Returns ``(checked, wrong)`` -- the acceptance bar is
+    ``wrong == 0``.  Raising here would hide *how many* answers were
+    wrong, which is the first thing a failing run needs to report.
+    """
+    by_shard: Dict[int, List[ObservationResult]] = {}
+    for result in results:
+        by_shard.setdefault(result.shard, []).append(result)
+    checked = wrong = 0
+    for shard_results in by_shard.values():
+        shard_results.sort(key=lambda result: result.index)
+        mirrors: Dict[str, CosmosPredictor] = {}
+        for result in shard_results:
+            mirror = mirrors.get(result.tenant)
+            if mirror is None:
+                mirror = mirrors[result.tenant] = CosmosPredictor()
+            expected = mirror.observe_word(result.block, result.word)
+            if not result.degraded:
+                checked += 1
+                if result.predicted != expected:
+                    wrong += 1
+    return checked, wrong

@@ -1,0 +1,168 @@
+"""The service wire format: one JSON object per line.
+
+Requests carry the client identity and a per-client sequence number --
+the same idempotency discipline as :mod:`repro.protocol.recovery`: a
+client that times out re-sends the *same* sequence number, and the
+front-end answers duplicates from its response cache instead of
+training twice.  Responses carry the packed prediction word (``-1`` for
+"no prediction"), the ``degraded`` tag, the owning shard, and the
+shard-local admission ordinal ``index`` -- the ordinal is what lets an
+external oracle reconstruct each shard's exact training order and check
+every non-degraded answer against a mirror predictor.
+
+JSON lines rather than pickles: the protocol crosses a trust boundary
+(any TCP client), and a malformed line must raise a clean
+:class:`~repro.errors.ServeError`, never execute anything.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ServeError
+from ..protocol.messages import MessageType
+
+
+class Status:
+    """Response status strings (a class namespace, not an enum, so the
+    wire format is plain strings end to end)."""
+
+    OK = "ok"
+    RETRY_AFTER = "retry_after"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Request:
+    """One streamed observation: ``<block, sender, type>`` for a tenant."""
+
+    client: str
+    seq: int
+    tenant: str
+    block: int
+    sender: int
+    mtype: int
+
+    def encode(self) -> bytes:
+        return (
+            json.dumps(
+                {
+                    "op": "observe",
+                    "client": self.client,
+                    "seq": self.seq,
+                    "tenant": self.tenant,
+                    "block": self.block,
+                    "sender": self.sender,
+                    "mtype": self.mtype,
+                },
+                separators=(",", ":"),
+            )
+            + "\n"
+        ).encode("utf-8")
+
+
+@dataclass(frozen=True)
+class Response:
+    """The service's answer to one observation."""
+
+    seq: int
+    status: str
+    #: Packed 16-bit prediction word; ``-1`` means "no prediction".
+    predicted: int = -1
+    degraded: bool = False
+    shard: int = -1
+    #: Shard-local admission ordinal (1-based); ``-1`` for rejections.
+    index: int = -1
+    #: Backoff hint, only meaningful with ``status == RETRY_AFTER``.
+    retry_after_ms: float = 0.0
+    error: Optional[str] = None
+
+    @property
+    def predicted_tuple(self):
+        """The decoded ``(sender, MessageType)`` tuple, or ``None``."""
+        if self.predicted < 0:
+            return None
+        from ..core.tuples import tuple_of_word
+
+        return tuple_of_word(self.predicted)
+
+    def encode(self) -> bytes:
+        record = {
+            "seq": self.seq,
+            "status": self.status,
+            "predicted": self.predicted,
+            "degraded": self.degraded,
+            "shard": self.shard,
+            "index": self.index,
+        }
+        if self.status == Status.RETRY_AFTER:
+            record["retry_after_ms"] = self.retry_after_ms
+        if self.error is not None:
+            record["error"] = self.error
+        return (json.dumps(record, separators=(",", ":")) + "\n").encode(
+            "utf-8"
+        )
+
+
+def decode_request(line: bytes) -> dict:
+    """Parse one request line into its raw dict; validate ``observe``.
+
+    Returns the dict (the front-end dispatches on ``op``: ``observe``
+    requests are fully validated here, control operations like ``stat``
+    pass through).  Raises :class:`~repro.errors.ServeError` on garbage.
+    """
+    try:
+        record = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ServeError(f"malformed request line: {exc}") from exc
+    if not isinstance(record, dict) or "op" not in record:
+        raise ServeError(f"request is not an operation object: {record!r}")
+    if record["op"] != "observe":
+        return record
+    for name, kind in (
+        ("client", str),
+        ("seq", int),
+        ("tenant", str),
+        ("block", int),
+        ("sender", int),
+        ("mtype", int),
+    ):
+        if not isinstance(record.get(name), kind):
+            raise ServeError(
+                f"observe request field {name!r} missing or not "
+                f"{kind.__name__}: {record!r}"
+            )
+    try:
+        MessageType(record["mtype"])
+    except ValueError as exc:
+        raise ServeError(
+            f"observe request mtype {record['mtype']} is not a coherence "
+            f"message type"
+        ) from exc
+    if record["sender"] < 0 or record["block"] < 0 or record["seq"] < 0:
+        raise ServeError(
+            f"observe request fields must be non-negative: {record!r}"
+        )
+    return record
+
+
+def decode_response(line: bytes) -> Response:
+    """Parse one response line (the client library's half)."""
+    try:
+        record = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ServeError(f"malformed response line: {exc}") from exc
+    if not isinstance(record, dict) or "status" not in record:
+        raise ServeError(f"response is not a status object: {record!r}")
+    return Response(
+        seq=record.get("seq", -1),
+        status=record["status"],
+        predicted=record.get("predicted", -1),
+        degraded=record.get("degraded", False),
+        shard=record.get("shard", -1),
+        index=record.get("index", -1),
+        retry_after_ms=record.get("retry_after_ms", 0.0),
+        error=record.get("error"),
+    )

@@ -1,0 +1,123 @@
+"""Shard predictor-state checkpoints for warm restores.
+
+A shard worker checkpoints its per-tenant predictor banks every
+``checkpoint_every`` trained observations, in the exact two-frame
+format of :mod:`repro.sim.checkpoint` (pickled header with CRC-32 and a
+config fingerprint, atomic rename) under its own magic string.  The
+supervisor restores a replacement worker from the newest checkpoint
+that verifies cleanly -- a torn newest file falls back one frame via
+:func:`~repro.sim.checkpoint.load_newest_valid` -- and replays the
+admitted observations past that point from its outbox, so a SIGKILLed
+shard loses no admitted learning and at most one checkpoint interval
+has to be replayed.
+
+Workers keep the last :data:`KEEP_CHECKPOINTS` files per shard: one to
+restore from plus one to fall back to when the newest is torn.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+import pickle
+
+from ..core.predictor import CosmosPredictor
+from ..errors import CheckpointError
+from ..sim.checkpoint import load_newest_valid, read_framed, write_framed
+
+#: Magic string of shard checkpoint headers (distinct from simulation
+#: checkpoints so neither loader ever resumes from the other's files).
+SHARD_MAGIC = "repro-serve-shard"
+
+#: Checkpoint files retained per shard.
+KEEP_CHECKPOINTS = 2
+
+
+def shard_checkpoint_path(
+    directory: Union[str, Path], shard: int, trained: int
+) -> Path:
+    """Canonical file name for shard ``shard`` after ``trained`` obs."""
+    return Path(directory) / f"shard-{shard:02d}-{trained:08d}.ckpt"
+
+
+def save_shard_checkpoint(
+    directory: Union[str, Path],
+    shard: int,
+    trained: int,
+    fingerprint: str,
+    banks: Dict[str, CosmosPredictor],
+) -> Path:
+    """Atomically write one shard checkpoint and prune old ones."""
+    body = {
+        "trained": trained,
+        "tenants": {
+            tenant: predictor.snapshot_state()
+            for tenant, predictor in banks.items()
+        },
+    }
+    payload = pickle.dumps(body, protocol=pickle.HIGHEST_PROTOCOL)
+    path = write_framed(
+        shard_checkpoint_path(directory, shard, trained),
+        {"fingerprint": fingerprint, "shard": shard, "trained": trained},
+        payload,
+        magic=SHARD_MAGIC,
+    )
+    for stale in shard_checkpoints(directory, shard)[:-KEEP_CHECKPOINTS]:
+        stale.unlink(missing_ok=True)
+    return path
+
+
+def shard_checkpoints(directory: Union[str, Path], shard: int) -> list:
+    """This shard's checkpoint files, oldest first."""
+    return sorted(Path(directory).glob(f"shard-{shard:02d}-*.ckpt"))
+
+
+def load_shard_checkpoint(
+    path: Union[str, Path], fingerprint: str
+) -> Tuple[int, Dict[str, dict]]:
+    """Load one shard checkpoint: ``(trained, tenant -> predictor state)``.
+
+    Verifies framing, checksum, and the serve-config fingerprint; every
+    failure is a :class:`~repro.errors.CheckpointError` with a named
+    cause, so :func:`load_newest_valid` can fall back past it.
+    """
+    header, payload = read_framed(path, magic=SHARD_MAGIC)
+    if header.get("fingerprint") != fingerprint:
+        raise CheckpointError(
+            f"serve config fingerprint mismatch in {path}: the checkpoint "
+            f"was written by a service with a different shard layout",
+            cause="fingerprint-mismatch",
+        )
+    try:
+        body = pickle.loads(payload)
+    except Exception as exc:
+        raise CheckpointError(
+            f"cannot unpickle shard checkpoint body in {path}: {exc}",
+            cause="unreadable-body",
+        ) from exc
+    return body["trained"], body["tenants"]
+
+
+def load_latest_shard_state(
+    directory: Union[str, Path], shard: int, fingerprint: str
+) -> Tuple[int, Dict[str, dict], Optional[Path]]:
+    """The newest valid checkpoint for ``shard``, or a cold start.
+
+    Returns ``(trained, tenant states, path)``; ``(0, {}, None)`` when
+    the shard has no loadable checkpoint at all (first boot, or every
+    frame corrupt -- the supervisor then replays whatever its outbox
+    still holds).
+    """
+    candidates = list(reversed(shard_checkpoints(directory, shard)))
+    if not candidates:
+        return 0, {}, None
+    try:
+        loaded, path, _skipped = load_newest_valid(
+            candidates,
+            lambda p: load_shard_checkpoint(p, fingerprint),
+        )
+    except CheckpointError:
+        return 0, {}, None
+    trained, tenants = loaded
+    return trained, tenants, path

@@ -1,0 +1,118 @@
+"""The shard worker process: predictor banks behind a pipe.
+
+One worker owns one shard's slice of every tenant's blocks, as a bank
+of per-tenant :class:`~repro.core.predictor.CosmosPredictor` instances.
+The loop is deliberately single-threaded and synchronous: receive one
+observation, run the fused predict/score/train hot path, maybe
+checkpoint, respond.  The pipe is FIFO, so the shard's training order
+*is* its admission order -- the property every recovery guarantee in
+this package leans on.
+
+Determinism around crashes comes from careful sequencing per
+observation: **train, stall (chaos), checkpoint, respond, die
+(chaos)**.  A scripted kill fires only after the response for its
+observation is in the pipe (``Connection.send`` completes the write
+before returning), so the supervisor always knows exactly how far a
+dead worker got; and scripted faults fire only in a worker's first
+incarnation (``epoch == 0``), so a restored worker replaying the same
+ordinals does not die in a loop.
+
+Workers run in ``spawn`` processes (fresh interpreters, same as
+:mod:`repro.parallel.pool`) and seed ambient randomness from
+:func:`~repro.parallel.seeds.derive_seed` on their shard identity.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import time
+from typing import Dict
+
+from ..core.predictor import CosmosPredictor
+from ..parallel.seeds import derive_seed
+from ..sim.metrics import METRICS
+from .config import ServeConfig
+from .state import load_latest_shard_state, save_shard_checkpoint
+
+
+def worker_main(
+    conn,
+    shard: int,
+    config: ServeConfig,
+    checkpoint_dir: str,
+    epoch: int,
+    chaos: dict,
+) -> None:
+    """Entry point of one shard worker process.
+
+    ``conn`` is the child end of a duplex pipe.  The worker first warm-
+    restores from the newest valid shard checkpoint, then announces
+    ``{"op": "ready", "trained": N}`` so the supervisor knows where
+    outbox replay must start, then serves observations until the pipe
+    closes or a ``stop`` arrives.
+    """
+    # Workers must not inherit the parent's interrupt handling: the
+    # supervisor owns worker lifetime (stop message or SIGKILL).
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    METRICS.reset()
+    random.seed(derive_seed("serve-shard", str(shard), None, config.seed))
+    fingerprint = config.fingerprint()
+    trained, tenant_states, _path = load_latest_shard_state(
+        checkpoint_dir, shard, fingerprint
+    )
+    banks: Dict[str, CosmosPredictor] = {}
+    for tenant, state in tenant_states.items():
+        predictor = CosmosPredictor()
+        predictor.restore_state(state)
+        banks[tenant] = predictor
+    last_checkpoint = trained
+    kill_at = set(chaos.get("kill_at", ())) if epoch == 0 else set()
+    stall_at = dict(chaos.get("stall_at", {})) if epoch == 0 else {}
+
+    conn.send({"op": "ready", "shard": shard, "trained": trained})
+    while True:
+        try:
+            request = conn.recv()
+        except (EOFError, OSError):
+            return
+        op = request.get("op")
+        if op == "stop":
+            conn.send({"op": "stopped", "trained": trained})
+            return
+        if op == "ping":
+            conn.send({"op": "pong", "trained": trained})
+            continue
+        # observe: train first -- state advances even if everything
+        # after this line dies, which is what makes the supervisor's
+        # "response received == training happened" accounting exact
+        # in the other direction: no response, no harm in replaying.
+        tenant = request["tenant"]
+        predictor = banks.get(tenant)
+        if predictor is None:
+            predictor = banks[tenant] = CosmosPredictor()
+        predicted = predictor.observe_word(request["block"], request["word"])
+        trained += 1
+        stall_s = stall_at.get(trained)
+        if stall_s:
+            time.sleep(stall_s)
+        if trained % config.checkpoint_every == 0:
+            save_shard_checkpoint(
+                checkpoint_dir, shard, trained, fingerprint, banks
+            )
+            last_checkpoint = trained
+        conn.send(
+            {
+                "op": "observed",
+                "seq": request["seq"],
+                "predicted": predicted,
+                "trained": trained,
+                "ckpt": last_checkpoint,
+                "replay": bool(request.get("replay")),
+            }
+        )
+        if trained in kill_at:
+            # The response above is already written into the pipe; this
+            # models a crash *between* serving and the next request.
+            os.kill(os.getpid(), signal.SIGKILL)

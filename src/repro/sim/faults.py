@@ -54,6 +54,16 @@ class FaultProfile:
     #: Upper bound (ns) of always-on per-message latency jitter
     #: (drawn uniformly from [0, jitter]; 0 disables jitter).
     jitter: int = 0
+    #: Probability a message suffers a rare long-tail latency spike --
+    #: the occasional multi-round-trip stall a congested or flapping
+    #: link produces, far beyond ordinary jitter.  Spiked messages are
+    #: still delivered (never dropped); the serve chaos suite and
+    #: ``repro-trace simulate --fault-profile spike`` both lean on this.
+    spike: float = 0.0
+    #: Magnitude ceiling (ns) of a latency spike; a spiked message draws
+    #: its extra delay uniformly from [spike_ns // 2 + 1, spike_ns], so
+    #: every spike is genuinely long-tail rather than jitter-sized.
+    spike_ns: int = 4_000
     #: Probability, per predictor observation, that a random bit flips
     #: in a stored MHT/PHT entry (soft-error model for the predictor
     #: SRAM; see :mod:`repro.core.corruption`).
@@ -63,7 +73,7 @@ class FaultProfile:
     loss: float = 0.0
 
     def __post_init__(self) -> None:
-        for name in ("drop", "dup", "reorder", "flip", "loss"):
+        for name in ("drop", "dup", "reorder", "spike", "flip", "loss"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ConfigError(
@@ -80,6 +90,12 @@ class FaultProfile:
                 f"fault profile field 'jitter': {self.jitter} ns is "
                 f"negative; jitter must be >= 0"
             )
+        if self.spike_ns < 2:
+            raise ConfigError(
+                f"fault profile field 'spike_ns': spike ceiling "
+                f"{self.spike_ns} ns must be >= 2 so a spike always "
+                f"exceeds half its own ceiling"
+            )
 
     @property
     def is_active(self) -> bool:
@@ -90,7 +106,9 @@ class FaultProfile:
         corruption-only profile keeps the timing-exact reliable
         interconnect (and its golden traces) untouched.
         """
-        return bool(self.drop or self.dup or self.reorder or self.jitter)
+        return bool(
+            self.drop or self.dup or self.reorder or self.jitter or self.spike
+        )
 
     @property
     def corrupts_predictor(self) -> bool:
@@ -100,7 +118,11 @@ class FaultProfile:
     @property
     def max_skew_ns(self) -> int:
         """Worst-case extra delay any single message can suffer."""
-        return self.jitter + (self.window if self.reorder else 0)
+        return (
+            self.jitter
+            + (self.window if self.reorder else 0)
+            + (self.spike_ns if self.spike else 0)
+        )
 
     def spec(self) -> str:
         """Canonical ``key=value,...`` string; ``parse`` round-trips it."""
@@ -144,7 +166,9 @@ class FaultProfile:
                 )
             try:
                 value: object = (
-                    int(raw) if name in ("window", "jitter") else float(raw)
+                    int(raw)
+                    if name in ("window", "jitter", "spike_ns")
+                    else float(raw)
                 )
             except ValueError:
                 raise ConfigError(
@@ -160,6 +184,9 @@ PRESETS: Dict[str, FaultProfile] = {
     "light": FaultProfile(drop=0.01, dup=0.005, reorder=0.05, jitter=10),
     "moderate": FaultProfile(drop=0.05, dup=0.02, reorder=0.15, jitter=20),
     "heavy": FaultProfile(drop=0.15, dup=0.05, reorder=0.30, jitter=40),
+    # Rare long-tail latency spikes on an otherwise healthy link: no
+    # loss, mild jitter, and a 2% chance of a multi-microsecond stall.
+    "spike": FaultProfile(spike=0.02, spike_ns=4_000, jitter=10),
 }
 
 
@@ -203,6 +230,7 @@ class FaultyNetwork:
             "dropped": 0,
             "duplicated": 0,
             "reordered": 0,
+            "spiked": 0,
         }
 
     @property
@@ -232,6 +260,24 @@ class FaultyNetwork:
                     self._engine.now,
                     "net",
                     "reorder",
+                    msg.src,
+                    msg.block,
+                    {"dst": msg.dst, "extra_ns": bump},
+                )
+        # Spike last, and only when the profile enables it: profiles
+        # without spikes consume exactly the RNG stream they always did,
+        # so every pre-spike golden trace stays byte-identical.
+        if self.profile.spike and self._rng.random() < self.profile.spike:
+            bump = self._rng.randrange(
+                self.profile.spike_ns // 2 + 1, self.profile.spike_ns + 1
+            )
+            delay += bump
+            self._count("spiked")
+            if OBS.proto:
+                OBS.emit(
+                    self._engine.now,
+                    "net",
+                    "spike",
                     msg.src,
                     msg.block,
                     {"dst": msg.dst, "extra_ns": bump},

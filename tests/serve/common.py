@@ -1,0 +1,62 @@
+"""Shared helpers for the serving test suite.
+
+Synthetic observation streams keep the service tests independent of the
+simulator (and fast): a seeded stream over a small block/tenant space
+produces plenty of repeated patterns for Cosmos to learn, which is what
+makes the mirror-oracle checks meaningful.
+"""
+
+import asyncio
+import random
+
+from repro.protocol.messages import MessageType, Role
+from repro.trace.events import TraceEvent
+
+#: Message types a cache-side module legitimately receives.
+_CACHE_TYPES = (
+    MessageType.GET_RO_RESPONSE,
+    MessageType.GET_RW_RESPONSE,
+    MessageType.UPGRADE_RESPONSE,
+    MessageType.INVAL_RO_REQUEST,
+    MessageType.INVAL_RW_REQUEST,
+    MessageType.DOWNGRADE_REQUEST,
+)
+
+
+def synthetic_events(count, seed=0, nodes=3, blocks=12):
+    """A seeded observation stream with learnable per-block patterns."""
+    rng = random.Random(seed)
+    patterns = {}
+    events = []
+    for index in range(count):
+        block = rng.randrange(blocks) * 64
+        cycle = patterns.setdefault(
+            block,
+            [
+                (rng.randrange(nodes), rng.choice(_CACHE_TYPES))
+                for _ in range(rng.randrange(2, 4))
+            ],
+        )
+        sender, mtype = cycle[index % len(cycle)]
+        events.append(
+            TraceEvent(
+                time=index,
+                iteration=0,
+                node=index % nodes,
+                role=Role.CACHE,
+                block=block,
+                sender=sender,
+                mtype=mtype,
+            )
+        )
+    return events
+
+
+async def wait_all_closed(client, attempts=400, pause_s=0.05):
+    """Poll ``stat`` until every breaker is closed; False on timeout."""
+    for _ in range(attempts):
+        stat = await client.stat()
+        if all(shard["state"] == "closed" for shard in stat["shards"]):
+            return True
+        await asyncio.sleep(pause_s)
+    return False

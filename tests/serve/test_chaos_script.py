@@ -1,0 +1,63 @@
+"""Chaos scripts: grammar, validation, seeded battery determinism."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve.chaos import ChaosScript
+
+
+def test_parse_and_spec_round_trip():
+    spec = (
+        "kill:shard=1,at=200; stall:shard=0,at=120,ms=400; "
+        "flood:at=300,burst=64; slow:at=400,count=50,delay_ms=20"
+    )
+    script = ChaosScript.parse(spec)
+    assert ChaosScript.parse(script.spec()) == script
+    kinds = [action.kind for action in script.actions]
+    assert kinds == ["kill", "stall", "flood", "slow"]
+
+
+def test_worker_and_client_action_split():
+    script = ChaosScript.parse(
+        "kill:shard=1,at=200; stall:shard=1,at=50,ms=100; "
+        "kill:shard=0,at=9; flood:at=300,burst=8"
+    )
+    shard1 = script.worker_actions(1)
+    assert shard1["kill_at"] == (200,)
+    assert shard1["stall_at"] == {50: 0.1}
+    assert script.worker_actions(0)["kill_at"] == (9,)
+    assert script.worker_actions(7) == {"kill_at": (), "stall_at": {}}
+    assert [a.kind for a in script.client_actions()] == ["flood"]
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        "explode:at=3",  # unknown action
+        "kill:at=3",  # missing shard
+        "kill:shard=0,at=0",  # ordinal below 1
+        "kill:shard=0,at=3,ms=9",  # field the action does not take
+        "stall:shard=0,at=3,ms=banana",  # unparsable value
+    ],
+)
+def test_bad_specs_raise_config_error(spec):
+    with pytest.raises(ConfigError):
+        ChaosScript.parse(spec)
+
+
+def test_battery_is_seed_deterministic():
+    one = ChaosScript.battery(seed=11, shards=2, observations=600)
+    two = ChaosScript.battery(seed=11, shards=2, observations=600)
+    other = ChaosScript.battery(seed=12, shards=2, observations=600)
+    assert one == two
+    assert one != other
+    kinds = sorted(action.kind for action in one.actions)
+    assert kinds == ["flood", "kill", "slow", "stall"]
+    kill = next(a for a in one.actions if a.kind == "kill")
+    stall = next(a for a in one.actions if a.kind == "stall")
+    assert kill.shard != stall.shard  # recovery and stall hit distinct shards
+
+
+def test_battery_rejects_tiny_runs():
+    with pytest.raises(ConfigError):
+        ChaosScript.battery(seed=0, shards=2, observations=10)

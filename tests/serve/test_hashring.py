@@ -1,0 +1,42 @@
+"""Consistent-hash routing: deterministic, bounded, reasonably even."""
+
+from repro.serve.hashring import HashRing
+
+
+def test_routing_is_deterministic_across_instances():
+    one = HashRing(shards=4, vnodes=64)
+    two = HashRing(shards=4, vnodes=64)
+    for block in range(0, 4096, 64):
+        for tenant in ("n0.cache", "n1.directory", "tenant-x"):
+            assert one.shard_for(tenant, block) == two.shard_for(
+                tenant, block
+            )
+
+
+def test_every_assignment_is_a_valid_shard():
+    ring = HashRing(shards=3, vnodes=16)
+    for block in range(0, 8192, 64):
+        assert 0 <= ring.shard_for("t", block) < 3
+
+
+def test_load_spreads_across_all_shards():
+    ring = HashRing(shards=4, vnodes=64)
+    counts = [0, 0, 0, 0]
+    for block in range(0, 64 * 2000, 64):
+        counts[ring.shard_for("tenant", block)] += 1
+    total = sum(counts)
+    assert total == 2000
+    # With 64 vnodes each shard should land within a loose factor of
+    # its fair share -- the point is "no shard starves", not perfection.
+    for count in counts:
+        assert 0.4 * total / 4 <= count <= 1.8 * total / 4, counts
+
+
+def test_tenants_are_routed_independently():
+    ring = HashRing(shards=8, vnodes=64)
+    block = 128
+    owners = {
+        ring.shard_for(f"tenant-{index}", block) for index in range(64)
+    }
+    # The same block must not glue every tenant to one shard.
+    assert len(owners) > 1

@@ -1,0 +1,91 @@
+"""The wire format: round trips, validation, malformed input."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.protocol.messages import MessageType
+from repro.serve.protocol import (
+    Request,
+    Response,
+    Status,
+    decode_request,
+    decode_response,
+)
+
+
+def test_request_round_trip():
+    request = Request(
+        client="c1",
+        seq=7,
+        tenant="n0.cache",
+        block=256,
+        sender=3,
+        mtype=int(MessageType.GET_RO_RESPONSE),
+    )
+    record = decode_request(request.encode())
+    assert record["op"] == "observe"
+    assert record["client"] == "c1"
+    assert record["seq"] == 7
+    assert record["block"] == 256
+    assert record["mtype"] == int(MessageType.GET_RO_RESPONSE)
+
+
+def test_response_round_trip_and_tuple_decode():
+    from repro.core.tuples import pack
+
+    word = pack((5, MessageType.INVAL_RO_REQUEST))
+    response = Response(
+        seq=3, status=Status.OK, predicted=word, degraded=False,
+        shard=1, index=42,
+    )
+    decoded = decode_response(response.encode())
+    assert decoded == response
+    assert decoded.predicted_tuple == (5, MessageType.INVAL_RO_REQUEST)
+
+
+def test_no_prediction_decodes_to_none():
+    decoded = decode_response(
+        Response(seq=1, status=Status.OK, predicted=-1).encode()
+    )
+    assert decoded.predicted_tuple is None
+
+
+def test_retry_after_carries_backoff_hint():
+    decoded = decode_response(
+        Response(
+            seq=9, status=Status.RETRY_AFTER, retry_after_ms=35.0
+        ).encode()
+    )
+    assert decoded.status == Status.RETRY_AFTER
+    assert decoded.retry_after_ms == 35.0
+
+
+@pytest.mark.parametrize(
+    "line",
+    [
+        b"not json at all\n",
+        b"[1, 2, 3]\n",
+        b'{"no": "op"}\n',
+        b'{"op": "observe", "client": "c"}\n',  # missing fields
+        b'{"op": "observe", "client": "c", "seq": "x", "tenant": "t",'
+        b' "block": 1, "sender": 0, "mtype": 0}\n',  # seq not an int
+        b'{"op": "observe", "client": "c", "seq": 0, "tenant": "t",'
+        b' "block": 1, "sender": 0, "mtype": 99}\n',  # bad message type
+        b'{"op": "observe", "client": "c", "seq": -1, "tenant": "t",'
+        b' "block": 1, "sender": 0, "mtype": 0}\n',  # negative seq
+    ],
+)
+def test_malformed_requests_raise_serve_error(line):
+    with pytest.raises(ServeError):
+        decode_request(line)
+
+
+def test_control_operations_pass_through():
+    assert decode_request(b'{"op": "stat"}\n') == {"op": "stat"}
+
+
+def test_malformed_response_raises_serve_error():
+    with pytest.raises(ServeError):
+        decode_response(b"garbage\n")
+    with pytest.raises(ServeError):
+        decode_response(b'{"seq": 1}\n')

@@ -36,14 +36,19 @@ class TestFaultProfile:
         assert FaultProfile(dup=0.1).is_active
         assert FaultProfile(reorder=0.1).is_active
         assert FaultProfile(jitter=5).is_active
+        assert FaultProfile(spike=0.1).is_active
 
-    @pytest.mark.parametrize("field", ["drop", "dup", "reorder", "flip", "loss"])
+    @pytest.mark.parametrize(
+        "field", ["drop", "dup", "reorder", "spike", "flip", "loss"]
+    )
     @pytest.mark.parametrize("value", [-0.1, -1.0, 1.0001, 2.0])
     def test_probabilities_must_be_unit_interval(self, field, value):
         with pytest.raises(ConfigError, match=field):
             FaultProfile(**{field: value})
 
-    @pytest.mark.parametrize("field", ["drop", "dup", "reorder", "flip", "loss"])
+    @pytest.mark.parametrize(
+        "field", ["drop", "dup", "reorder", "spike", "flip", "loss"]
+    )
     @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
     def test_probability_endpoints_are_valid(self, field, value):
         profile = FaultProfile(**{field: value})
@@ -55,10 +60,30 @@ class TestFaultProfile:
         with pytest.raises(ConfigError, match="jitter"):
             FaultProfile(jitter=-1)
 
+    def test_spike_ceiling_bounds(self):
+        with pytest.raises(ConfigError, match="spike_ns"):
+            FaultProfile(spike_ns=1)
+        with pytest.raises(ConfigError, match="spike_ns"):
+            FaultProfile(spike_ns=0)
+
     def test_max_skew_counts_reorder_window_only_when_reordering(self):
         assert FaultProfile(jitter=10).max_skew_ns == 10
         assert FaultProfile(reorder=0.1, window=50, jitter=10).max_skew_ns == 60
         assert FaultProfile(drop=0.1, window=50).max_skew_ns == 0
+
+    def test_max_skew_counts_spike_ceiling_only_when_spiking(self):
+        assert FaultProfile(spike=0.1, spike_ns=5_000).max_skew_ns == 5_000
+        assert FaultProfile(drop=0.1, spike_ns=5_000).max_skew_ns == 0
+        assert (
+            FaultProfile(spike=0.1, spike_ns=5_000, jitter=10).max_skew_ns
+            == 5_010
+        )
+
+    def test_spike_preset_exists(self):
+        profile = PRESETS["spike"]
+        assert profile.spike > 0
+        assert profile.spike_ns >= 2
+        assert profile.is_active
 
     def test_spec_roundtrip(self):
         for profile in PRESETS.values():
@@ -127,6 +152,50 @@ class TestFaultyNetwork:
             block * 64 for block in range(50)
         ]
         assert engine.now <= network.latency_ns + profile.max_skew_ns
+
+    def test_spikes_delay_but_deliver_everything(self):
+        profile = FaultProfile(spike=0.999, spike_ns=4_000)
+        engine, network, delivered = make_faulty(profile)
+        for block in range(30):
+            network.send(msg(block=block * 64))
+        engine.run()
+        assert len(delivered) == 30  # long-tail latency, never loss
+        assert network.fault_counts["spiked"] > 0
+        assert engine.now <= network.latency_ns + profile.max_skew_ns
+
+    def test_spike_bump_is_within_the_ceiling(self):
+        profile = FaultProfile(spike=0.999, spike_ns=4_000)
+        engine, network, _delivered = make_faulty(profile)
+        METRICS.reset()
+        for block in range(20):
+            network.send(msg(block=block * 64))
+        engine.run()
+        histogram = METRICS.histogram("net.msg.latency_ns")
+        assert histogram.count == 20
+        # A spiked send is delayed by at least half the ceiling -- a
+        # spike is a *long-tail* event, not more jitter.
+        assert histogram.max > network.latency_ns + profile.spike_ns // 2
+        assert histogram.max <= network.latency_ns + profile.spike_ns
+
+    def test_spike_free_profile_leaves_rng_stream_untouched(self):
+        """Adding the spike field must not perturb existing presets:
+        a spike=0 profile consumes no extra randomness, so traces from
+        pre-spike seeds stay byte-identical."""
+        orders = []
+        for profile in (
+            FaultProfile(drop=0.3, dup=0.2),
+            FaultProfile(drop=0.3, dup=0.2, spike=0.0, spike_ns=9_999),
+        ):
+            engine, network, delivered = make_faulty(profile, fault_seed=11)
+            for block in range(100):
+                network.send(msg(block=block * 64))
+            engine.run()
+            orders.append(
+                ([m.block for m in delivered], dict(network.fault_counts))
+            )
+        orders[0][1].pop("spiked", None)
+        orders[1][1].pop("spiked", None)
+        assert orders[0] == orders[1]
 
     def test_same_fault_seed_same_outcome(self):
         outcomes = []

@@ -45,6 +45,7 @@ class TestPublicAPI:
         import repro.obs
         import repro.predictors
         import repro.protocol
+        import repro.serve
         import repro.sim
         import repro.trace
         import repro.workloads
