@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Iterable, List, Optional
 
 from .analysis.arcs import measure_arcs
 from .analysis.dot import signature_graph_dot
@@ -49,6 +49,7 @@ from .analysis.traffic import summarize_traffic
 from .core.config import CosmosConfig
 from .core.corruption import CorruptionInjector, CorruptionProfile
 from .core.evaluation import evaluate_trace
+from .core.eviction import EVICTION_POLICIES
 from .core.predictor import CosmosPredictor
 from .errors import ReproError
 from .ioutil import atomic_write_text
@@ -69,8 +70,10 @@ from .sim.machine import simulate
 from .sim.metrics import METRICS, dump_metrics_json
 from .sim.params import PAPER_PARAMS
 from .sim.watchdog import DEFAULT_WATCHDOG, Watchdog, WatchdogConfig
+from .trace.events import TraceEvent
 from .trace.io import load_trace, save_trace
-from .workloads.registry import BENCHMARK_NAMES, make_workload
+from .workloads.registry import BENCHMARK_NAMES, WORKLOAD_NAMES, make_workload
+from .workloads.zipf import zipf_trace
 
 #: Observability levels selectable from the command line.
 OBS_LEVEL_CHOICES = ("proto", "msg", "pred", "full")
@@ -210,11 +213,25 @@ def _export_timeline(args: argparse.Namespace) -> None:
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
-    events = load_trace(args.trace)
+    if args.trace == "zipf":
+        # Streamed, never materialized: bounded predictors replaying it
+        # run in bounded memory regardless of distinct-block count.
+        events: Iterable[TraceEvent] = zipf_trace(
+            args.zipf_events,
+            args.zipf_blocks,
+            alpha=args.zipf_alpha,
+            tenants=args.zipf_tenants,
+            seed=args.zipf_seed,
+        )
+    else:
+        events = load_trace(args.trace)
     config = CosmosConfig(
         depth=args.depth,
         filter_max_count=args.filter,
         macroblock_bytes=args.macroblock,
+        mhr_capacity=args.mhr_capacity,
+        pht_capacity=args.pht_capacity,
+        eviction=args.eviction,
     )
     corruption = None
     if args.corrupt is not None:
@@ -244,7 +261,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         )
     else:
         result = evaluate_trace(events, config, track_arcs=False)
-    print(f"{config.describe()} over {len(events)} events:")
+    print(f"{config.describe()} over {result.overall.refs} events:")
     print(f"  cache     {result.cache_accuracy:7.1%}")
     print(f"  directory {result.directory_accuracy:7.1%}")
     print(f"  overall   {result.overall_accuracy:7.1%}")
@@ -253,6 +270,16 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
             f"  memory    ratio {result.overhead.ratio:.1f}, "
             f"{result.overhead.overhead_percent:.1f}% of a "
             f"{config.block_bytes}-byte block"
+        )
+    if config.mhr_capacity or config.pht_capacity:
+        print(
+            f"  bounded   live {METRICS.counter('pred.mem.mhr_live')} MHR / "
+            f"{METRICS.counter('pred.mem.pht_live')} PHT entries "
+            f"(peak {METRICS.counter('pred.mem.peak_mhr')}/"
+            f"{METRICS.counter('pred.mem.peak_pht')}), evicted "
+            f"{METRICS.counter('pred.mem.evictions_mhr')} MHR / "
+            f"{METRICS.counter('pred.mem.evictions_pht')} PHT, "
+            f"~{METRICS.counter('pred.mem.bytes_est')} bytes est"
         )
     if created:
         flips = sum(p.corrupt_flips for p in created)
@@ -569,7 +596,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sim = sub.add_parser("simulate", help="run a workload, save its trace")
-    sim.add_argument("app", choices=BENCHMARK_NAMES)
+    sim.add_argument("app", choices=WORKLOAD_NAMES)
     sim.add_argument("-o", "--output", required=True)
     sim.add_argument("--iterations", type=int, default=None)
     sim.add_argument("--seed", type=int, default=0)
@@ -632,7 +659,14 @@ def build_parser() -> argparse.ArgumentParser:
     res.set_defaults(func=_cmd_resume)
 
     ev = sub.add_parser("evaluate", help="score Cosmos on a saved trace")
-    ev.add_argument("trace")
+    ev.add_argument(
+        "trace",
+        help=(
+            "a saved trace file, or the literal 'zipf' to stream a "
+            "synthetic Zipf pressure workload (see --zipf-*) without "
+            "materializing a trace"
+        ),
+    )
     ev.add_argument("--depth", type=int, default=1)
     ev.add_argument("--filter", type=int, default=0,
                     help="noise-filter saturating-counter maximum")
@@ -653,6 +687,44 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="seed for the corruption-injection RNG (default 0)",
+    )
+    ev.add_argument(
+        "--mhr-capacity",
+        type=int,
+        default=0,
+        help="bound MHR entries per predictor module (0 = unbounded)",
+    )
+    ev.add_argument(
+        "--pht-capacity",
+        type=int,
+        default=0,
+        help="bound total PHT entries per predictor module (0 = unbounded)",
+    )
+    ev.add_argument(
+        "--eviction",
+        choices=EVICTION_POLICIES,
+        default="lru",
+        help="replacement policy for bounded tables (default lru)",
+    )
+    ev.add_argument(
+        "--zipf-events", type=int, default=1_000_000,
+        help="events to stream when trace is 'zipf' (default 1M)",
+    )
+    ev.add_argument(
+        "--zipf-blocks", type=int, default=1_000_000,
+        help="distinct-block rank space when trace is 'zipf' (default 1M)",
+    )
+    ev.add_argument(
+        "--zipf-alpha", type=float, default=0.99,
+        help="Zipf skew in (0, 1) when trace is 'zipf' (default 0.99)",
+    )
+    ev.add_argument(
+        "--zipf-tenants", type=int, default=4,
+        help="interleaved tenants when trace is 'zipf' (default 4)",
+    )
+    ev.add_argument(
+        "--zipf-seed", type=int, default=0,
+        help="generator seed when trace is 'zipf' (default 0)",
     )
     ev.set_defaults(func=_cmd_evaluate)
 

@@ -95,6 +95,26 @@ class PredictorBank:
         return sum(p.pht_entries for p in self._predictors.values())
 
     @property
+    def peak_mhr_entries(self) -> int:
+        """Machine-wide high-water MHR entry count."""
+        return sum(p.peak_mhr_entries for p in self._predictors.values())
+
+    @property
+    def peak_pht_entries(self) -> int:
+        """Machine-wide high-water PHT entry count."""
+        return sum(p.peak_pht_entries for p in self._predictors.values())
+
+    @property
+    def evictions_mhr(self) -> int:
+        """Machine-wide capacity evictions of MHR entries."""
+        return sum(p.evictions_mhr for p in self._predictors.values())
+
+    @property
+    def evictions_pht(self) -> int:
+        """Machine-wide capacity evictions of PHT entries."""
+        return sum(p.evictions_pht for p in self._predictors.values())
+
+    @property
     def corrupt_injected(self) -> int:
         """Machine-wide injected corruption events (flips + losses)."""
         return sum(

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import ConfigError
+from .eviction import EVICTION_POLICIES
 
 
 @dataclass(frozen=True)
@@ -36,6 +37,21 @@ class CosmosConfig:
             precision that speculative actions need (Section 4's
             misprediction costs).  Requires ``filter_max_count >=
             confidence_threshold``; 0 (default) predicts always.
+        mhr_capacity: bound the MHR table to this many entries per
+            predictor module, evicting per the configured ``eviction``
+            policy; an evicted block's PHT goes with it.  ``0`` (the
+            default) is unbounded.  Unlike the legacy ``mht_capacity``
+            (always whole-bank LRU), this composes with ``pht_capacity``
+            and the policy knob, and the predictor keeps live/peak/
+            eviction accounting for the memory-frontier studies.
+        pht_capacity: bound the *total* pattern entries per predictor
+            module (across all blocks), evicting individual
+            ``(block, pattern)`` entries per the ``eviction`` policy.
+            ``0`` (the default) is unbounded.
+        eviction: replacement policy for the bounded tables -- ``lru``
+            (exact, default), ``clock`` (second chance), or ``decay``
+            (clock with a saturating use counter).  Ignored while both
+            capacities are 0.
     """
 
     depth: int = 1
@@ -45,6 +61,9 @@ class CosmosConfig:
     macroblock_bytes: "int | None" = None
     mht_capacity: "int | None" = None
     confidence_threshold: int = 0
+    mhr_capacity: int = 0
+    pht_capacity: int = 0
+    eviction: str = "lru"
 
     def __post_init__(self) -> None:
         if self.depth < 1:
@@ -71,6 +90,28 @@ class CosmosConfig:
                 "confidence_threshold cannot exceed filter_max_count: the "
                 "counter saturates there and would never reach a higher bar"
             )
+        if self.mhr_capacity < 0:
+            raise ConfigError(
+                f"mhr_capacity must be >= 0 (0 = unbounded), "
+                f"got {self.mhr_capacity}"
+            )
+        if self.pht_capacity < 0:
+            raise ConfigError(
+                f"pht_capacity must be >= 0 (0 = unbounded), "
+                f"got {self.pht_capacity}"
+            )
+        if self.eviction not in EVICTION_POLICIES:
+            raise ConfigError(
+                f"eviction must be one of {EVICTION_POLICIES}, "
+                f"got {self.eviction!r}"
+            )
+        if self.mht_capacity is not None and (
+            self.mhr_capacity or self.pht_capacity
+        ):
+            raise ConfigError(
+                "mht_capacity (legacy whole-bank LRU) cannot be combined "
+                "with mhr_capacity/pht_capacity; use the new knobs alone"
+            )
 
     @property
     def has_filter(self) -> bool:
@@ -87,4 +128,12 @@ class CosmosConfig:
             if self.macroblock_bytes is not None
             else ""
         )
-        return f"Cosmos(depth={self.depth}, filter={filt}{macro})"
+        bound = ""
+        if self.mhr_capacity or self.pht_capacity:
+            caps = []
+            if self.mhr_capacity:
+                caps.append(f"mhr<={self.mhr_capacity}")
+            if self.pht_capacity:
+                caps.append(f"pht<={self.pht_capacity}")
+            bound = f", {self.eviction}[{', '.join(caps)}]"
+        return f"Cosmos(depth={self.depth}, filter={filt}{macro}{bound})"

@@ -26,7 +26,7 @@ from ..protocol.messages import MessageType, Role
 from ..sim.metrics import METRICS
 from ..trace.events import TraceEvent
 from .config import CosmosConfig
-from .memory import MemoryOverhead
+from .memory import MemoryOverhead, estimated_table_bytes
 from .predictor import CosmosPredictor
 from .tuples import TUPLE_BITS, TYPE_BITS, MessageTuple
 
@@ -242,6 +242,7 @@ def evaluate_trace(
             for size in pht_sizes():
                 METRICS.observe("pred.pht.block_entries", size)
 
+    _fold_memory_metrics(predictors)
     overhead = _measure_bank_overhead(predictors)
     return EvaluationResult(
         config=config,
@@ -270,6 +271,13 @@ def _evaluate_trace_flat(
     dict lookups, and list-slot counter bumps -- no method dispatch, no
     ``Observation`` allocation, no enum hashing.
     """
+    if cosmos_config.mhr_capacity or cosmos_config.pht_capacity:
+        # Capacity-bounded banks drive the fused observe_word kernel
+        # instead of re-inlining the eviction machinery here: one
+        # implementation to prove identical across layouts.
+        return _evaluate_trace_flat_bounded(
+            events, config, cosmos_config, checkpoint_iterations, track_arcs
+        )
     depth_full_at = 1 << (TUPLE_BITS * cosmos_config.depth)
     full_mask = depth_full_at - 1
     macro = cosmos_config.macroblock_bytes
@@ -421,6 +429,122 @@ def _evaluate_trace_flat(
     )
 
 
+def _evaluate_trace_flat_bounded(
+    events: Iterable[TraceEvent],
+    config: Optional[CosmosConfig],
+    cosmos_config: CosmosConfig,
+    checkpoint_iterations: Iterable[int],
+    track_arcs: bool,
+) -> EvaluationResult:
+    """The capacity-bounded flat replay.
+
+    Each event runs :meth:`CosmosPredictor.observe_word` -- the single
+    implementation of the bounded kernel, shared with the object layout's
+    ``update`` path -- so eviction decisions here are the ones the
+    differential suite certifies.  Tallies, arcs, and checkpoints fold
+    exactly as the unbounded inline loop's do.
+    """
+    directory = Role.DIRECTORY
+    predictors: Dict[Tuple[int, Role], CosmosPredictor] = {}
+    # (node << 1) | role-bit -> [predictor, last-type-by-block]
+    modules: Dict[int, list] = {}
+    arc_counts: Dict[int, list] = {}
+
+    remaining = sorted(set(checkpoint_iterations))
+    checkpoints: List[IterationCheckpoint] = []
+    track_iterations = bool(remaining)
+    current_iteration: Optional[int] = None
+
+    def snapshot(iteration: int) -> IterationCheckpoint:
+        overall, by_role = _fold_predictor_tallies(modules)
+        return IterationCheckpoint(
+            iteration=iteration,
+            overall=overall,
+            by_role=by_role,
+            arcs=_arc_tallies(arc_counts),
+        )
+
+    def flush_checkpoints(next_iteration: Optional[int]) -> None:
+        while remaining and (
+            next_iteration is None or remaining[0] < next_iteration
+        ):
+            checkpoints.append(snapshot(remaining.pop(0)))
+
+    for event in events:
+        if track_iterations:
+            iteration = event.iteration
+            if (
+                current_iteration is not None
+                and iteration > current_iteration
+            ):
+                flush_checkpoints(iteration)
+            current_iteration = iteration
+
+        role = event.role
+        module_key = (event.node << 1) | (role is directory)
+        module = modules.get(module_key)
+        if module is None:
+            predictor = CosmosPredictor(cosmos_config)
+            predictors[(event.node, role)] = predictor
+            module = modules[module_key] = [predictor, {}]
+        block = event.block
+        word = (event.sender << TYPE_BITS) | event.mtype
+        predicted = module[0].observe_word(block, word)
+        hit = predicted == word
+
+        if track_arcs:
+            last_type = module[1]
+            previous = last_type.get(block)
+            mtype = event.mtype
+            if previous is not None:
+                arc_key = (
+                    ((module_key & 1) << 8) | (previous << TYPE_BITS) | mtype
+                )
+                arc = arc_counts.get(arc_key)
+                if arc is None:
+                    arc = arc_counts[arc_key] = [0, 0]
+                arc[1] += 1
+                if hit:
+                    arc[0] += 1
+            last_type[block] = mtype
+
+    flush_checkpoints(None)
+
+    for predictor in predictors.values():
+        for size in predictor.pht_sizes():
+            METRICS.observe("pred.pht.block_entries", size)
+    _fold_memory_metrics(predictors)
+
+    overall, by_role = _fold_predictor_tallies(modules)
+    return EvaluationResult(
+        config=config,
+        overall=overall,
+        by_role=by_role,
+        arcs=ArcStats(tallies=_arc_tallies(arc_counts)),
+        checkpoints=checkpoints,
+        overhead=_measure_bank_overhead(predictors),
+    )
+
+
+def _fold_predictor_tallies(
+    modules: Dict[int, list]
+) -> Tuple[Tally, Dict[Role, Tally]]:
+    """Tallies from bounded-loop modules (counters live on predictors)."""
+    by_role = {Role.CACHE: Tally(), Role.DIRECTORY: Tally()}
+    for module_key, module in modules.items():
+        predictor = module[0]
+        tally = by_role[
+            Role.DIRECTORY if module_key & 1 else Role.CACHE
+        ]
+        tally.hits += predictor.hits
+        tally.refs += predictor.predictions + predictor.no_prediction
+    overall = Tally(
+        hits=by_role[Role.CACHE].hits + by_role[Role.DIRECTORY].hits,
+        refs=by_role[Role.CACHE].refs + by_role[Role.DIRECTORY].refs,
+    )
+    return overall, by_role
+
+
 def _fold_module_tallies(
     modules: Dict[int, list]
 ) -> Tuple[Tally, Dict[Role, Tally]]:
@@ -468,4 +592,46 @@ def _measure_bank_overhead(
         depth=config.depth,
         tuple_bytes=config.tuple_bytes,
         block_bytes=config.block_bytes,
+        peak_mhr_entries=sum(p.peak_mhr_entries for p in cosmos),
+        peak_pht_entries=sum(p.peak_pht_entries for p in cosmos),
+    )
+
+
+def _fold_memory_metrics(
+    predictors: Dict[Tuple[int, Role], object]
+) -> None:
+    """Emit ``pred.mem.*`` for capacity-bounded banks.
+
+    Emitted only when a capacity is actually configured, so unbounded
+    runs produce byte-identical metrics to before the knobs existed.
+    Byte estimates use the Table 7 cost model (core/memory.py).
+    """
+    cosmos = [
+        p for p in predictors.values() if isinstance(p, CosmosPredictor)
+    ]
+    if not cosmos:
+        return
+    config = cosmos[0].config
+    if not (config.mhr_capacity or config.pht_capacity):
+        return
+    mhr_live = sum(p.mhr_entries for p in cosmos)
+    pht_live = sum(p.pht_entries for p in cosmos)
+    mhr_peak = sum(p.peak_mhr_entries for p in cosmos)
+    pht_peak = sum(p.peak_pht_entries for p in cosmos)
+    METRICS.inc("pred.mem.mhr_live", mhr_live)
+    METRICS.inc("pred.mem.pht_live", pht_live)
+    METRICS.inc("pred.mem.peak_mhr", mhr_peak)
+    METRICS.inc("pred.mem.peak_pht", pht_peak)
+    METRICS.inc(
+        "pred.mem.evictions_mhr", sum(p.evictions_mhr for p in cosmos)
+    )
+    METRICS.inc(
+        "pred.mem.evictions_pht", sum(p.evictions_pht for p in cosmos)
+    )
+    METRICS.inc(
+        "pred.mem.bytes_est", estimated_table_bytes(config, mhr_live, pht_live)
+    )
+    METRICS.inc(
+        "pred.mem.peak_bytes_est",
+        estimated_table_bytes(config, mhr_peak, pht_peak),
     )

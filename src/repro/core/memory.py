@@ -23,13 +23,49 @@ from .config import CosmosConfig
 
 @dataclass(frozen=True)
 class MemoryOverhead:
-    """Table 7 quantities for one predictor configuration."""
+    """Table 7 quantities for one predictor configuration.
+
+    Entry counts are *live* entries; a capacity-bounded bank that has
+    been evicting reports smaller tables than it once held, so the
+    high-water marks ride along (``-1`` = not tracked, treat as live)
+    and back the ``pred.mem.peak_*`` metrics.
+    """
 
     mhr_entries: int
     pht_entries: int
     depth: int
     tuple_bytes: int
     block_bytes: int
+    peak_mhr_entries: int = -1
+    peak_pht_entries: int = -1
+
+    @property
+    def peak_mhr(self) -> int:
+        """High-water MHR count (falls back to live when untracked)."""
+        if self.peak_mhr_entries < 0:
+            return self.mhr_entries
+        return self.peak_mhr_entries
+
+    @property
+    def peak_pht(self) -> int:
+        """High-water PHT count (falls back to live when untracked)."""
+        if self.peak_pht_entries < 0:
+            return self.pht_entries
+        return self.peak_pht_entries
+
+    @property
+    def table_bytes(self) -> int:
+        """Estimated live predictor storage under the Table 7 model."""
+        return _table_bytes(
+            self.depth, self.tuple_bytes, self.mhr_entries, self.pht_entries
+        )
+
+    @property
+    def peak_table_bytes(self) -> int:
+        """Estimated high-water storage under the Table 7 model."""
+        return _table_bytes(
+            self.depth, self.tuple_bytes, self.peak_mhr, self.peak_pht
+        )
 
     @property
     def ratio(self) -> float:
@@ -56,8 +92,35 @@ class MemoryOverhead:
         )
 
 
+def _table_bytes(
+    depth: int, tuple_bytes: int, mhr_entries: int, pht_entries: int
+) -> int:
+    """Table 7's per-entry costs applied to whole-table entry counts.
+
+    An MHR entry holds ``depth`` tuples; a PHT entry holds one pattern
+    (``depth`` tuples) plus one prediction tuple.
+    """
+    return tuple_bytes * (
+        mhr_entries * depth + pht_entries * (depth + 1)
+    )
+
+
+def estimated_table_bytes(
+    config: CosmosConfig, mhr_entries: int, pht_entries: int
+) -> int:
+    """Estimated predictor storage for given entry counts (Table 7 model)."""
+    return _table_bytes(
+        config.depth, config.tuple_bytes, mhr_entries, pht_entries
+    )
+
+
 def measure_overhead(bank: PredictorBank) -> MemoryOverhead:
-    """Aggregate Table 7 quantities over a whole predictor bank."""
+    """Aggregate Table 7 quantities over a whole predictor bank.
+
+    Live entry counts only: a bounded bank's evicted entries are gone
+    from the tables and from this measurement.  Peaks are reported
+    alongside so bounded runs don't silently deflate memory reports.
+    """
     config: CosmosConfig = bank.config
     return MemoryOverhead(
         mhr_entries=bank.mhr_entries,
@@ -65,4 +128,6 @@ def measure_overhead(bank: PredictorBank) -> MemoryOverhead:
         depth=config.depth,
         tuple_bytes=config.tuple_bytes,
         block_bytes=config.block_bytes,
+        peak_mhr_entries=bank.peak_mhr_entries,
+        peak_pht_entries=bank.peak_pht_entries,
     )

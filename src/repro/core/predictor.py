@@ -37,6 +37,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from .config import CosmosConfig
+from .eviction import ClockOrder
 from .corruption import (
     CorruptionInjector,
     ParityMessageHistoryRegister,
@@ -93,6 +94,36 @@ class CosmosPredictor:
         self._full_at = 1 << (TUPLE_BITS * config.depth)
         self._corruption = corruption
         self._flat = corruption is None
+        # Capacity-bounded tables (mhr_capacity / pht_capacity; see
+        # core/eviction.py).  LRU MHR bounding needs no side structure:
+        # recency is the table's own insertion order in both layouts.
+        # clock/decay keep a ClockOrder per bounded table; a bounded PHT
+        # under LRU keeps a cross-block recency dict.  All of it is None
+        # (and costs nothing on the hot path) when unbounded.
+        mhr_cap = config.mhr_capacity
+        pht_cap = config.pht_capacity
+        self._mhr_cap = mhr_cap
+        self._pht_cap = pht_cap
+        self._bounded = bool(mhr_cap or pht_cap)
+        clocked = config.eviction != "lru"
+        decayed = config.eviction == "decay"
+        self._lru_mhr = bool(mhr_cap) and not clocked
+        self._mhr_clock = (
+            ClockOrder(decayed) if mhr_cap and clocked else None
+        )
+        self._pht_lru: Optional[Dict[int, None]] = (
+            {} if pht_cap and not clocked else None
+        )
+        self._pht_clock = (
+            ClockOrder(decayed) if pht_cap and clocked else None
+        )
+        # Packed (block, pattern) key for the PHT order structures: a
+        # full marker-led pattern word is < 2 * full_at, so shifting the
+        # block past it never collides.
+        self._pkey_shift = TUPLE_BITS * config.depth + 1
+        self._pht_total = 0
+        self._peak_mhr = 0
+        self._peak_pht = 0
         if self._flat:
             # block -> marker-led packed history word (insertion order is
             # LRU order for bounded tables).
@@ -107,6 +138,8 @@ class CosmosPredictor:
         self.hits = 0
         self.no_prediction = 0
         self.capacity_evictions = 0
+        self.evictions_mhr = 0
+        self.evictions_pht = 0
         self.corrupt_flips = 0
         self.corrupt_losses = 0
         self.corrupt_detected = 0
@@ -144,9 +177,13 @@ class CosmosPredictor:
                 del mht[victim]
                 self._phts.pop(victim, None)
                 self.capacity_evictions += 1
+            elif self._bounded:
+                self._bound_mhr_insert(block)
             return -1
-        if self._capacity is not None:
+        if self._capacity is not None or self._lru_mhr:
             del mht[block]  # re-inserted below == move to LRU tail
+        elif self._mhr_clock is not None:
+            self._mhr_clock.touch(block)
         predicted = -1
         full_at = self._full_at
         if hist >= full_at:
@@ -159,6 +196,8 @@ class CosmosPredictor:
             if entry is None:
                 self.no_prediction += 1
                 pht[hist] = [word, 0]
+                if self._bounded:
+                    self._bound_pht_insert(block, hist)
             else:
                 stored = entry[0]
                 counter = entry[1]
@@ -178,12 +217,153 @@ class CosmosPredictor:
                     entry[1] = counter - 1
                 else:
                     entry[0] = word
+                if self._pht_cap:
+                    self._touch_pht(block, hist)
             hist = full_at | (((hist << TUPLE_BITS) | word) & (full_at - 1))
         else:
             self.no_prediction += 1
             hist = (hist << TUPLE_BITS) | word
         mht[block] = hist
         return predicted
+
+    # ------------------------------------------------------------------
+    # capacity bounding (mhr_capacity / pht_capacity; core/eviction.py)
+    # ------------------------------------------------------------------
+    #
+    # Both layouts call the same helpers in the same order with the same
+    # integer keys, so their eviction decisions are identical -- the
+    # property the differential suite pins.  Live PHT totals are kept
+    # incrementally (O(1) accounting even while thrashing), and peaks
+    # are noted just before any removal, the only moments a table can
+    # shrink, so ``peak_*_entries`` stays exact without per-observation
+    # bookkeeping.
+
+    def _note_peaks(self) -> None:
+        if len(self._mht) > self._peak_mhr:
+            self._peak_mhr = len(self._mht)
+        if self._pht_total > self._peak_pht:
+            self._peak_pht = self._pht_total
+
+    def _pht_words(self, table):
+        """The pattern-word keys of one block's PHT, either layout."""
+        return table if self._flat else table._entries
+
+    def _bound_mhr_insert(self, block: int) -> None:
+        """Track a just-inserted MHR entry; evict if over capacity."""
+        clock = self._mhr_clock
+        if clock is not None:
+            clock.touch(block)
+        if self._mhr_cap and len(self._mht) > self._mhr_cap:
+            self._evict_mhr()
+
+    def _bound_pht_insert(self, block: int, pattern: int) -> None:
+        """Track a just-inserted PHT entry; evict if over capacity."""
+        self._pht_total += 1
+        pht_cap = self._pht_cap
+        if not pht_cap:
+            return
+        key = (block << self._pkey_shift) | pattern
+        lru = self._pht_lru
+        if lru is not None:
+            lru[key] = None
+        else:
+            self._pht_clock.touch(key)
+        if self._pht_total > pht_cap:
+            self._evict_pht()
+
+    def _touch_pht(self, block: int, pattern: int) -> None:
+        """Record a use of an existing PHT entry (bounded PHT only)."""
+        key = (block << self._pkey_shift) | pattern
+        lru = self._pht_lru
+        if lru is not None:
+            del lru[key]  # re-inserted below == move to LRU tail
+            lru[key] = None
+        else:
+            self._pht_clock.touch(key)
+
+    def _evict_mhr(self) -> None:
+        """Evict one block's MHR -- and, wholesale, its PHT."""
+        self._note_peaks()
+        mht = self._mht
+        clock = self._mhr_clock
+        if clock is not None:
+            victim = clock.victim()
+            del mht[victim]
+        elif self._flat:
+            victim = next(iter(mht))
+            del mht[victim]
+        else:
+            victim, _ = mht.popitem(last=False)
+        dropped = self._phts.pop(victim, None)
+        if dropped is not None:
+            count = len(dropped)
+            self._pht_total -= count
+            self.evictions_pht += count
+            if self._pht_cap:
+                base = victim << self._pkey_shift
+                lru = self._pht_lru
+                if lru is not None:
+                    for pword in self._pht_words(dropped):
+                        lru.pop(base | pword, None)
+                else:
+                    for pword in self._pht_words(dropped):
+                        self._pht_clock.discard(base | pword)
+        self.evictions_mhr += 1
+
+    def _evict_pht(self) -> None:
+        """Evict one (block, pattern) entry from the bounded PHT."""
+        self._note_peaks()
+        lru = self._pht_lru
+        if lru is not None:
+            key = next(iter(lru))
+            del lru[key]
+        else:
+            key = self._pht_clock.victim()
+        shift = self._pkey_shift
+        block = key >> shift
+        pword = key & ((1 << shift) - 1)
+        table = self._phts[block]
+        entries = self._pht_words(table)
+        del entries[pword]
+        if not entries:
+            del self._phts[block]
+        self._pht_total -= 1
+        self.evictions_pht += 1
+
+    def _discard_tracking(self, block: int, dropped) -> None:
+        """Unbook a block removed outside eviction (forget, corruption)."""
+        self._note_peaks()
+        clock = self._mhr_clock
+        if clock is not None:
+            clock.discard(block)
+        if dropped is not None:
+            self._pht_total -= len(dropped)
+            if self._pht_cap:
+                base = block << self._pkey_shift
+                lru = self._pht_lru
+                if lru is not None:
+                    for pword in self._pht_words(dropped):
+                        lru.pop(base | pword, None)
+                else:
+                    for pword in self._pht_words(dropped):
+                        self._pht_clock.discard(base | pword)
+
+    def enforce_capacity(self) -> int:
+        """Evict until within the configured capacities; count evicted.
+
+        Restoring a snapshot does not evict (round-trips must be exact),
+        so state captured under a larger -- or no -- budget can leave the
+        tables oversized.  ``repro-serve`` workers call this after a
+        warm restore to re-enforce the current budget on old checkpoints.
+        """
+        before = self.evictions_mhr + self.evictions_pht
+        if self._mhr_cap:
+            while len(self._mht) > self._mhr_cap:
+                self._evict_mhr()
+        if self._pht_cap:
+            while self._pht_total > self._pht_cap:
+                self._evict_pht()
+        return self.evictions_mhr + self.evictions_pht - before
 
     # ------------------------------------------------------------------
     # the two paper operations
@@ -215,6 +395,12 @@ class CosmosPredictor:
             # history and stay as good as any learned knowledge.
             self.corrupt_detected += 1
             self._mht.pop(block, None)
+            if self._bounded:
+                # The block's PHT survives a history drop, so only the
+                # MHR-side tracking is unbooked.
+                self._note_peaks()
+                if self._mhr_clock is not None:
+                    self._mhr_clock.discard(block)
             return None
         pattern = mhr.pattern()
         if pattern is None:
@@ -227,6 +413,14 @@ class CosmosPredictor:
             # Flipped prediction: drop the single entry and relearn.
             self.corrupt_detected += 1
             pht.drop(pattern)
+            if self._bounded:
+                self._note_peaks()
+                self._pht_total -= 1
+                key = (block << self._pkey_shift) | pattern
+                if self._pht_lru is not None:
+                    self._pht_lru.pop(key, None)
+                elif self._pht_clock is not None:
+                    self._pht_clock.discard(key)
             return None
         if self._confidence == 0:
             return pht.predict(pattern)
@@ -253,9 +447,13 @@ class CosmosPredictor:
                     del mht[victim]
                     self._phts.pop(victim, None)
                     self.capacity_evictions += 1
+                elif self._bounded:
+                    self._bound_mhr_insert(block)
                 return
-            if self._capacity is not None:
+            if self._capacity is not None or self._lru_mhr:
                 del mht[block]
+            elif self._mhr_clock is not None:
+                self._mhr_clock.touch(block)
             full_at = self._full_at
             if hist >= full_at:
                 pht = self._phts.get(block)
@@ -264,6 +462,8 @@ class CosmosPredictor:
                 entry = pht.get(hist)
                 if entry is None:
                     pht[hist] = [word, 0]
+                    if self._bounded:
+                        self._bound_pht_insert(block, hist)
                 else:
                     stored = entry[0]
                     counter = entry[1]
@@ -274,6 +474,8 @@ class CosmosPredictor:
                         entry[1] = counter - 1
                     else:
                         entry[0] = word
+                    if self._pht_cap:
+                        self._touch_pht(block, hist)
                 hist = full_at | (
                     ((hist << TUPLE_BITS) | word) & (full_at - 1)
                 )
@@ -290,8 +492,12 @@ class CosmosPredictor:
                 victim, _ = self._mht.popitem(last=False)
                 self._phts.pop(victim, None)
                 self.capacity_evictions += 1
-        elif self._capacity is not None:
+            elif self._bounded:
+                self._bound_mhr_insert(block)
+        elif self._capacity is not None or self._lru_mhr:
             self._mht.move_to_end(block)
+        elif self._mhr_clock is not None:
+            self._mhr_clock.touch(block)
         pattern = mhr.pattern()
         if pattern is not None:
             pht = self._phts.get(block)
@@ -300,7 +506,15 @@ class CosmosPredictor:
                     self.config.filter_max_count, entry_cls=ParityPHTEntry
                 )
                 self._phts[block] = pht
-            pht.train(pattern, actual)
+            if self._bounded:
+                inserted = pattern not in pht
+                pht.train(pattern, actual)
+                if inserted:
+                    self._bound_pht_insert(block, pattern)
+                elif self._pht_cap:
+                    self._touch_pht(block, pattern)
+            else:
+                pht.train(pattern, actual)
         mhr.shift(actual)
 
     def forget(self, block: int) -> None:
@@ -314,7 +528,9 @@ class CosmosPredictor:
         """
         key = self._key(block)
         self._mht.pop(key, None)
-        self._phts.pop(key, None)
+        dropped = self._phts.pop(key, None)
+        if self._bounded:
+            self._discard_tracking(key, dropped)
 
     def _inject_corruption(self) -> None:
         """Maybe corrupt this module's SRAM before the next use.
@@ -331,7 +547,9 @@ class CosmosPredictor:
         if injector.draw_loss():
             victim = injector.choose(list(self._mht))
             self._mht.pop(victim, None)
-            self._phts.pop(victim, None)
+            dropped = self._phts.pop(victim, None)
+            if self._bounded:
+                self._discard_tracking(victim, dropped)
             self.corrupt_losses += 1
             injector.injected_losses += 1
         if not self._mht:
@@ -391,8 +609,24 @@ class CosmosPredictor:
 
     @property
     def pht_entries(self) -> int:
-        """Total pattern entries across all blocks (Table 7's numerator)."""
+        """Total *live* pattern entries across all blocks (Table 7's
+        numerator).  Bounded predictors keep the total incrementally, so
+        the read is O(1) even while eviction is churning the tables."""
+        if self._bounded:
+            return self._pht_total
         return sum(len(pht) for pht in self._phts.values())
+
+    @property
+    def peak_mhr_entries(self) -> int:
+        """High-water MHR entry count (== live unless entries were shed)."""
+        live = len(self._mht)
+        return live if live > self._peak_mhr else self._peak_mhr
+
+    @property
+    def peak_pht_entries(self) -> int:
+        """High-water PHT entry count (== live unless entries were shed)."""
+        live = self.pht_entries
+        return live if live > self._peak_pht else self._peak_pht
 
     def pht_of(self, block: int) -> Optional[PatternHistoryTable]:
         """The block's PHT: the live table (object layout) or a read-only
@@ -440,6 +674,8 @@ class CosmosPredictor:
         "hits",
         "no_prediction",
         "capacity_evictions",
+        "evictions_mhr",
+        "evictions_pht",
         "corrupt_flips",
         "corrupt_losses",
         "corrupt_detected",
@@ -493,6 +729,23 @@ class CosmosPredictor:
                 name: getattr(self, name) for name in self._STAT_FIELDS
             },
         }
+        if self._bounded:
+            # Recency is implicit in MHT order for LRU; clock/decay ring
+            # state (stale slots included) and the cross-block PHT order
+            # ride along so a restored predictor makes byte-identical
+            # eviction decisions.
+            eviction = {
+                "pht_total": self._pht_total,
+                "peak_mhr": self._peak_mhr,
+                "peak_pht": self._peak_pht,
+            }
+            if self._mhr_clock is not None:
+                eviction["mhr"] = self._mhr_clock.snapshot()
+            if self._pht_lru is not None:
+                eviction["pht"] = list(self._pht_lru)
+            elif self._pht_clock is not None:
+                eviction["pht"] = self._pht_clock.snapshot()
+            state["eviction"] = eviction
         if self._corruption is not None:
             state["corruption"] = self._corruption.snapshot_state()
         return state
@@ -542,6 +795,67 @@ class CosmosPredictor:
                     pht._entries[pattern_word(item["pattern"])] = entry
                 self._phts[block] = pht
         for name in self._STAT_FIELDS:
-            setattr(self, name, state["stats"][name])
+            # Snapshots predate some counters (evictions_* landed after
+            # capacity_evictions); absent ones restore to zero.
+            setattr(self, name, state["stats"].get(name, 0))
+        if self._bounded:
+            self._restore_eviction(state.get("eviction"))
         if self._corruption is not None and "corruption" in state:
             self._corruption.restore_state(state["corruption"])
+
+    def _restore_eviction(self, eviction: Optional[dict]) -> None:
+        """Rebuild eviction bookkeeping after the tables are restored.
+
+        With recorded state (a bounded predictor's snapshot) the order
+        structures round-trip exactly.  Without it (a snapshot captured
+        unbounded, or before capacities existed) the tracking is seeded
+        from table order -- and possibly over budget: restore never
+        evicts, so callers that need the budget re-applied follow up
+        with :meth:`enforce_capacity`.
+        """
+        self._pht_total = sum(len(pht) for pht in self._phts.values())
+        if eviction is None:
+            self._peak_mhr = 0
+            self._peak_pht = 0
+            if self._mhr_clock is not None:
+                self._mhr_clock.seed(self._mht)
+            if self._pht_lru is not None:
+                self._pht_lru = {
+                    (block << self._pkey_shift) | pword: None
+                    for block, table in self._phts.items()
+                    for pword in self._pht_words(table)
+                }
+            elif self._pht_clock is not None:
+                self._pht_clock.seed(
+                    (block << self._pkey_shift) | pword
+                    for block, table in self._phts.items()
+                    for pword in self._pht_words(table)
+                )
+            return
+        self._peak_mhr = eviction["peak_mhr"]
+        self._peak_pht = eviction["peak_pht"]
+        if self._mhr_clock is not None:
+            if "mhr" in eviction:
+                self._mhr_clock.restore(eviction["mhr"])
+            else:
+                self._mhr_clock.seed(self._mht)
+        if self._pht_lru is not None:
+            recorded = eviction.get("pht")
+            if recorded is not None and not isinstance(recorded, dict):
+                self._pht_lru = dict.fromkeys(recorded)
+            else:
+                self._pht_lru = {
+                    (block << self._pkey_shift) | pword: None
+                    for block, table in self._phts.items()
+                    for pword in self._pht_words(table)
+                }
+        elif self._pht_clock is not None:
+            recorded = eviction.get("pht")
+            if isinstance(recorded, dict):
+                self._pht_clock.restore(recorded)
+            else:
+                self._pht_clock.seed(
+                    (block << self._pkey_shift) | pword
+                    for block, table in self._phts.items()
+                    for pword in self._pht_words(table)
+                )

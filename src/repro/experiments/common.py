@@ -38,6 +38,8 @@ DEFAULT_ITERATIONS: Dict[str, int] = {
     "dsmc": 400,
     "moldyn": 60,
     "unstructured": 40,
+    # Synthetic pressure workload (not a Table 4 benchmark).
+    "zipf": 20,
 }
 
 #: Constructor overrides that shrink each workload for quick runs.
@@ -47,6 +49,7 @@ _SCALE_KWARGS: Dict[str, Dict[str, int]] = {
     "dsmc": {"buffers_per_proc": 1, "rare_blocks_per_proc": 6, "contended_buffers": 2},
     "moldyn": {"force_blocks": 16, "coord_blocks": 16},
     "unstructured": {"mesh_blocks": 24},
+    "zipf": {"n_blocks": 64, "accesses_per_proc": 8},
 }
 
 _TRACE_CACHE: Dict[

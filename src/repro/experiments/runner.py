@@ -58,6 +58,7 @@ from .figure2 import run_figure2
 from .figure5 import run_figure5
 from .figure8 import run_figure8
 from .figures6_7 import run_figures6_7
+from .capacity import run_capacity_study
 from .hardware import run_hardware
 from .integration import run_integration
 from .protocols import run_protocol_comparison
@@ -135,6 +136,9 @@ EXPERIMENTS: Dict[str, Callable[[bool, int], str]] = {
         quick=quick, seed=seed
     ).format(),
     "critical-path": lambda quick, seed: run_critical_path(
+        quick=quick, seed=seed
+    ).format(),
+    "capacity": lambda quick, seed: run_capacity_study(
         quick=quick, seed=seed
     ).format(),
 }

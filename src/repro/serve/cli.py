@@ -20,6 +20,7 @@ import json
 import sys
 from typing import Optional
 
+from ..core.eviction import EVICTION_POLICIES
 from ..sim.metrics import METRICS, dump_metrics_json
 from .chaos import ChaosScript
 from .client import ServeClient
@@ -27,7 +28,7 @@ from .config import ServeConfig
 from .frontend import PredictionService
 from .loadgen import replay_trace, verify_predictions
 
-WORKLOADS = ("appbt", "barnes", "dsmc", "moldyn", "unstructured")
+WORKLOADS = ("appbt", "barnes", "dsmc", "moldyn", "unstructured", "zipf")
 
 
 def _add_config_args(parser: argparse.ArgumentParser) -> None:
@@ -40,6 +41,24 @@ def _add_config_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--checkpoint-every", type=int, default=64)
     parser.add_argument("--checkpoint-dir", default=None)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--tenant-mhr-budget",
+        type=int,
+        default=0,
+        help="MHR entries per tenant bank per shard (0 = unbounded)",
+    )
+    parser.add_argument(
+        "--tenant-pht-budget",
+        type=int,
+        default=0,
+        help="PHT entries per tenant bank per shard (0 = unbounded)",
+    )
+    parser.add_argument(
+        "--eviction",
+        choices=EVICTION_POLICIES,
+        default="lru",
+        help="replacement policy for budgeted tenant banks",
+    )
 
 
 def _config_of(args: argparse.Namespace) -> ServeConfig:
@@ -52,6 +71,9 @@ def _config_of(args: argparse.Namespace) -> ServeConfig:
         hang_timeout_ms=args.hang_timeout_ms,
         checkpoint_every=args.checkpoint_every,
         seed=args.seed,
+        tenant_mhr_budget=args.tenant_mhr_budget,
+        tenant_pht_budget=args.tenant_pht_budget,
+        eviction=args.eviction,
     )
 
 
@@ -91,12 +113,13 @@ async def _run_replay(args, chaos: Optional[ChaosScript], events) -> dict:
         stats = service.supervisor.stats()
     finally:
         await service.stop()
-    checked, wrong = verify_predictions(report.results)
+    checked, wrong = verify_predictions(report.results, config)
     latency = METRICS.histogram("serve.latency.ok_us")
     return {
         "observations": report.sent,
         "ok": report.ok,
         "degraded": report.degraded,
+        "evicting": report.evicting,
         "shed": METRICS.counter("serve.response.retry_after"),
         "deadline_missed": METRICS.counter("serve.deadline.missed"),
         "restores": METRICS.counter("serve.restore.count"),
@@ -147,9 +170,19 @@ def main(argv=None) -> int:
     )
     chaos.add_argument("--metrics-json", default=None)
 
+    stat = commands.add_parser(
+        "stat",
+        help="query a running service: breaker states, training "
+        "progress, and per-shard predictor memory",
+    )
+    stat.add_argument("--host", default="127.0.0.1")
+    stat.add_argument("--port", type=int, required=True)
+
     args = parser.parse_args(argv)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "stat":
+        return _cmd_stat(args)
     if args.command == "bench":
         return _cmd_replay(args, chaos_script=None)
     return _cmd_replay(args, chaos_script=_chaos_script(args))
@@ -185,6 +218,15 @@ def _cmd_serve(args) -> int:
         asyncio.run(_run())
     except KeyboardInterrupt:
         pass
+    return 0
+
+
+def _cmd_stat(args) -> int:
+    async def _run() -> dict:
+        async with ServeClient(args.host, args.port, "cli-stat") as client:
+            return await client.stat()
+
+    print(json.dumps(asyncio.run(_run()), indent=2, sort_keys=True))
     return 0
 
 

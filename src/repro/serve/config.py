@@ -16,6 +16,8 @@ import hashlib
 import json
 from dataclasses import asdict, dataclass
 
+from ..core.config import CosmosConfig
+from ..core.eviction import EVICTION_POLICIES
 from ..errors import ConfigError
 
 #: Bump when the shard-checkpoint schema changes.
@@ -57,6 +59,17 @@ class ServeConfig:
     #: Base seed; per-shard worker seeds derive from it via
     #: :func:`~repro.parallel.seeds.derive_seed`.
     seed: int = 0
+    #: Per-tenant predictor memory budgets, in table entries per shard
+    #: (each tenant's bank within a shard gets its own budget; 0 =
+    #: unbounded, the default).  Under a budget a worker *evicts* cold
+    #: state instead of growing -- it never crashes on memory -- and
+    #: responses whose observation evicted carry ``degraded:
+    #: "evicting"`` so clients can tell a budgeted answer from a full
+    #: one.
+    tenant_mhr_budget: int = 0
+    tenant_pht_budget: int = 0
+    #: Replacement policy for budgeted tenant banks.
+    eviction: str = "lru"
 
     def __post_init__(self) -> None:
         for name in (
@@ -80,6 +93,18 @@ class ServeConfig:
                     f"serve config field {name!r}: {value} ms must be "
                     f"positive"
                 )
+        for name in ("tenant_mhr_budget", "tenant_pht_budget"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ConfigError(
+                    f"serve config field {name!r}: {value} must be >= 0 "
+                    f"(0 = unbounded)"
+                )
+        if self.eviction not in EVICTION_POLICIES:
+            raise ConfigError(
+                f"serve config field 'eviction': {self.eviction!r} is not "
+                f"one of {', '.join(EVICTION_POLICIES)}"
+            )
         if self.hang_timeout_ms < self.deadline_ms:
             raise ConfigError(
                 f"serve config field 'hang_timeout_ms': hang budget "
@@ -88,6 +113,14 @@ class ServeConfig:
                 f"deadline miss would SIGKILL a healthy worker"
             )
 
+    def predictor_config(self) -> CosmosConfig:
+        """The Cosmos configuration each tenant bank is built with."""
+        return CosmosConfig(
+            mhr_capacity=self.tenant_mhr_budget,
+            pht_capacity=self.tenant_pht_budget,
+            eviction=self.eviction,
+        )
+
     def fingerprint(self) -> str:
         """Hash of everything a shard checkpoint must agree on.
 
@@ -95,7 +128,10 @@ class ServeConfig:
         framed participate: shard count and vnodes (the ring), the
         checkpoint cadence (outbox-trim arithmetic), the seed, and the
         state format version.  Latency knobs deliberately do not -- a
-        deadline tweak must not discard learned state.
+        deadline tweak must not discard learned state.  Memory budgets
+        do not either, on purpose: tightening a budget must *shrink*
+        restored state (the worker re-enforces it on warm restore), not
+        throw it all away.
         """
         fields = asdict(self)
         descriptor = {

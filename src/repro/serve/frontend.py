@@ -188,11 +188,18 @@ class PredictionService:
                     asyncio.wrap_future(future),
                     timeout=self.config.deadline_ms / 1_000.0,
                 )
+                # A budgeted worker answers for real even while evicting;
+                # the truthy-string tag lets clients (and the oracle)
+                # distinguish "degraded because budget bit" from a full
+                # answer without a wire-format change.
+                evicting = bool(result.get("evicting"))
+                if evicting:
+                    METRICS.inc("serve.response.evicting")
                 response = Response(
                     seq=seq,
                     status=Status.OK,
                     predicted=result["predicted"],
-                    degraded=False,
+                    degraded="evicting" if evicting else False,
                     shard=shard,
                     index=ordinal,
                 )

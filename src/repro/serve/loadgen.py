@@ -30,6 +30,7 @@ from ..core.tuples import pack
 from ..sim.metrics import METRICS
 from .chaos import ChaosAction
 from .client import RetryPolicy, ServeClient
+from .config import ServeConfig
 from .protocol import Response
 
 
@@ -42,7 +43,9 @@ class ObservationResult:
     word: int
     shard: int
     index: int
-    degraded: bool
+    #: ``False``, ``True`` (front-end fallback), or ``"evicting"`` (a
+    #: real answer from a memory-budgeted worker mid-eviction).
+    degraded: object
     predicted: int
 
 
@@ -53,6 +56,7 @@ class LoadReport:
     sent: int = 0
     ok: int = 0
     degraded: int = 0
+    evicting: int = 0
     retry_after: int = 0
     errors: int = 0
     wall_seconds: float = 0.0
@@ -65,7 +69,12 @@ class LoadReport:
     def record(self, result: ObservationResult) -> None:
         self.sent += 1
         self.results.append(result)
-        if result.degraded:
+        if result.degraded == "evicting":
+            # A real (checkable) answer that happened to evict state:
+            # counted as served, tallied separately for visibility.
+            self.evicting += 1
+            self.ok += 1
+        elif result.degraded:
             self.degraded += 1
         else:
             self.ok += 1
@@ -177,15 +186,21 @@ def _tally(report: LoadReport, event, response: Response) -> None:
 
 def verify_predictions(
     results: Iterable[ObservationResult],
+    config: Optional["ServeConfig"] = None,
 ) -> Tuple[int, int]:
-    """Check every non-degraded answer against mirror predictors.
+    """Check every checkable answer against mirror predictors.
 
     Replays the accepted observations per shard in admission-ordinal
     order through fresh per-tenant :class:`CosmosPredictor` mirrors and
-    compares.  Returns ``(checked, wrong)`` -- the acceptance bar is
+    compares.  ``config`` (when given) supplies the tenant memory
+    budgets, so the mirrors evict exactly like the budgeted workers did;
+    ``degraded: "evicting"`` answers are then *real* answers and are
+    checked too.  Only front-end fallbacks (``degraded is True``) are
+    exempt.  Returns ``(checked, wrong)`` -- the acceptance bar is
     ``wrong == 0``.  Raising here would hide *how many* answers were
     wrong, which is the first thing a failing run needs to report.
     """
+    pconfig = config.predictor_config() if config is not None else None
     by_shard: Dict[int, List[ObservationResult]] = {}
     for result in results:
         by_shard.setdefault(result.shard, []).append(result)
@@ -196,9 +211,13 @@ def verify_predictions(
         for result in shard_results:
             mirror = mirrors.get(result.tenant)
             if mirror is None:
-                mirror = mirrors[result.tenant] = CosmosPredictor()
+                mirror = mirrors[result.tenant] = (
+                    CosmosPredictor(pconfig)
+                    if pconfig is not None
+                    else CosmosPredictor()
+                )
             expected = mirror.observe_word(result.block, result.word)
-            if not result.degraded:
+            if not result.degraded or result.degraded == "evicting":
                 checked += 1
                 if result.predicted != expected:
                     wrong += 1

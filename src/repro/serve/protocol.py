@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 from ..errors import ServeError
 from ..protocol.messages import MessageType
@@ -71,7 +71,12 @@ class Response:
     status: str
     #: Packed 16-bit prediction word; ``-1`` means "no prediction".
     predicted: int = -1
-    degraded: bool = False
+    #: ``False`` for a full answer; ``True`` for a front-end fallback
+    #: (worker down or deadline blown); the string ``"evicting"`` for a
+    #: *real* answer from a memory-budgeted worker that evicted state on
+    #: this observation.  Strings are truthy, so boolean consumers keep
+    #: working.
+    degraded: Union[bool, str] = False
     shard: int = -1
     #: Shard-local admission ordinal (1-based); ``-1`` for rejections.
     index: int = -1

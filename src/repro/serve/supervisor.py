@@ -91,6 +91,10 @@ class _Shard:
         self.restores = 0
         self.breaker_opened = 0
         self.breaker_closed = 0
+        #: Last predictor-memory report from the worker (``None`` until
+        #: one arrives; workers attach one to every pong, and to every
+        #: observed response when tenant budgets are configured).
+        self.mem: Optional[dict] = None
 
 
 class ShardSupervisor:
@@ -268,6 +272,8 @@ class ShardSupervisor:
                     )
                     return
                 with shard.lock:
+                    if response.get("mem") is not None:
+                        shard.mem = response["mem"]
                     self._count_probe(shard)
                 continue
             ordinal, tenant, block, word, future = item
@@ -287,6 +293,8 @@ class ShardSupervisor:
             with shard.lock:
                 shard.inflight -= 1
                 shard.trained = response["trained"]
+                if response.get("mem") is not None:
+                    shard.mem = response["mem"]
                 self._trim_outbox(shard, response["ckpt"])
                 self._count_probe(shard)
             try:
@@ -485,6 +493,7 @@ class ShardSupervisor:
                         "restores": shard.restores,
                         "breaker_opened": shard.breaker_opened,
                         "breaker_closed": shard.breaker_closed,
+                        "memory": shard.mem,
                     }
                 )
         return report

@@ -30,11 +30,31 @@ import signal
 import time
 from typing import Dict
 
+from ..core.memory import estimated_table_bytes
 from ..core.predictor import CosmosPredictor
 from ..parallel.seeds import derive_seed
 from ..sim.metrics import METRICS
 from .config import ServeConfig
 from .state import load_latest_shard_state, save_shard_checkpoint
+
+
+def _mem_report(banks: Dict[str, CosmosPredictor], pconfig) -> dict:
+    """This shard's predictor memory, summed over its tenant banks."""
+    mhr = sum(p.mhr_entries for p in banks.values())
+    pht = sum(p.pht_entries for p in banks.values())
+    peak_mhr = sum(p.peak_mhr_entries for p in banks.values())
+    peak_pht = sum(p.peak_pht_entries for p in banks.values())
+    return {
+        "tenants": len(banks),
+        "mhr_live": mhr,
+        "pht_live": pht,
+        "peak_mhr": peak_mhr,
+        "peak_pht": peak_pht,
+        "evictions_mhr": sum(p.evictions_mhr for p in banks.values()),
+        "evictions_pht": sum(p.evictions_pht for p in banks.values()),
+        "bytes_est": estimated_table_bytes(pconfig, mhr, pht),
+        "peak_bytes_est": estimated_table_bytes(pconfig, peak_mhr, peak_pht),
+    }
 
 
 def worker_main(
@@ -59,13 +79,20 @@ def worker_main(
     METRICS.reset()
     random.seed(derive_seed("serve-shard", str(shard), None, config.seed))
     fingerprint = config.fingerprint()
+    pconfig = config.predictor_config()
+    bounded = bool(config.tenant_mhr_budget or config.tenant_pht_budget)
     trained, tenant_states, _path = load_latest_shard_state(
         checkpoint_dir, shard, fingerprint
     )
     banks: Dict[str, CosmosPredictor] = {}
     for tenant, state in tenant_states.items():
-        predictor = CosmosPredictor()
+        predictor = CosmosPredictor(pconfig)
         predictor.restore_state(state)
+        if bounded:
+            # Budgets are not in the fingerprint, so the checkpoint may
+            # predate (or exceed) this budget: evict down to it now
+            # rather than serving over budget until traffic happens by.
+            predictor.enforce_capacity()
         banks[tenant] = predictor
     last_checkpoint = trained
     kill_at = set(chaos.get("kill_at", ())) if epoch == 0 else set()
@@ -82,7 +109,13 @@ def worker_main(
             conn.send({"op": "stopped", "trained": trained})
             return
         if op == "ping":
-            conn.send({"op": "pong", "trained": trained})
+            conn.send(
+                {
+                    "op": "pong",
+                    "trained": trained,
+                    "mem": _mem_report(banks, pconfig),
+                }
+            )
             continue
         # observe: train first -- state advances even if everything
         # after this line dies, which is what makes the supervisor's
@@ -91,8 +124,12 @@ def worker_main(
         tenant = request["tenant"]
         predictor = banks.get(tenant)
         if predictor is None:
-            predictor = banks[tenant] = CosmosPredictor()
+            predictor = banks[tenant] = CosmosPredictor(pconfig)
+        evictions = predictor.evictions_mhr + predictor.evictions_pht
         predicted = predictor.observe_word(request["block"], request["word"])
+        evicting = (
+            predictor.evictions_mhr + predictor.evictions_pht
+        ) != evictions
         trained += 1
         stall_s = stall_at.get(trained)
         if stall_s:
@@ -102,16 +139,19 @@ def worker_main(
                 checkpoint_dir, shard, trained, fingerprint, banks
             )
             last_checkpoint = trained
-        conn.send(
-            {
-                "op": "observed",
-                "seq": request["seq"],
-                "predicted": predicted,
-                "trained": trained,
-                "ckpt": last_checkpoint,
-                "replay": bool(request.get("replay")),
-            }
-        )
+        response = {
+            "op": "observed",
+            "seq": request["seq"],
+            "predicted": predicted,
+            "trained": trained,
+            "ckpt": last_checkpoint,
+            "replay": bool(request.get("replay")),
+        }
+        if evicting:
+            response["evicting"] = True
+        if bounded:
+            response["mem"] = _mem_report(banks, pconfig)
+        conn.send(response)
         if trained in kill_at:
             # The response above is already written into the pipe; this
             # models a crash *between* serving and the next request.

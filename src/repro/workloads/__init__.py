@@ -9,12 +9,14 @@ from .moldyn import MolDyn
 from .registry import (
     BENCHMARK_NAMES,
     BENCHMARKS,
+    WORKLOAD_NAMES,
     BenchmarkInfo,
     all_workloads,
     format_table4,
     make_workload,
 )
 from .unstructured import Unstructured
+from .zipf import Zipf, ZipfSampler, zipf_trace
 
 __all__ = [
     "Access",
@@ -27,11 +29,15 @@ __all__ = [
     "MolDyn",
     "Phase",
     "Unstructured",
+    "WORKLOAD_NAMES",
     "Workload",
+    "Zipf",
+    "ZipfSampler",
     "all_workloads",
     "format_table4",
     "make_workload",
     "read",
     "read_modify_write",
     "write",
+    "zipf_trace",
 ]

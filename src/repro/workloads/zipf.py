@@ -1,0 +1,231 @@
+"""zipf: synthetic memory-pressure workload (Zipf-α block popularity).
+
+The paper's five benchmarks touch a few thousand blocks on 16 nodes, so
+an unbounded Cosmos bank never feels memory pressure.  This workload
+exists to make capacity *bind*: block popularity follows a Zipf(α)
+distribution over an arbitrarily large block space (millions of distinct
+blocks at evaluate scale), with several tenants interleaved so one hot
+tenant can crowd others out of a shared budget.  Everything is
+deterministic per seed.
+
+Two surfaces share the sampler:
+
+* :class:`Zipf` -- a :class:`~repro.workloads.base.Workload` that runs
+  through the full protocol simulator like any Table 4 benchmark
+  (``repro-trace simulate zipf``).  Necessarily modest scale: the
+  simulator keeps per-block directory state.
+* :func:`zipf_trace` -- a *streaming* generator of coherence-message
+  observations for direct predictor evaluation
+  (``repro-trace evaluate zipf``).  It holds O(1) state beyond the
+  sampler's precomputed zeta constant, so a bounded predictor replaying
+  it runs in bounded memory no matter how many distinct blocks appear --
+  the property the CI ``memory-pressure`` job asserts.
+
+The sampler is the YCSB-style Zipfian generator (Gray et al.'s
+"Quickly generating billion-record synthetic databases" construction):
+O(n) zeta precompute (memoized per ``(n, alpha)``), O(1) per sample.
+
+Each block carries a deterministic short message cycle derived from its
+address, advanced every ``period`` events, so the stream is *learnable*:
+a predictor that can keep a block's history predicts it well, and one
+that evicted it cannot -- which is exactly what makes the
+accuracy-vs-capacity frontier (the ``capacity`` experiment) meaningful.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, List, Tuple
+
+from ..errors import WorkloadError
+from ..protocol.messages import MessageType, Role
+from ..trace.events import TraceEvent
+from .access import Access, Phase
+from .base import Workload
+from ..sim.memory_map import Allocator
+
+#: Message types a cache-side module legitimately receives.
+_CACHE_TYPES = (
+    MessageType.GET_RO_RESPONSE,
+    MessageType.GET_RW_RESPONSE,
+    MessageType.UPGRADE_RESPONSE,
+    MessageType.INVAL_RO_REQUEST,
+    MessageType.INVAL_RW_REQUEST,
+    MessageType.DOWNGRADE_REQUEST,
+)
+
+#: Memoized zeta(n, theta) partial sums -- the O(n) part of the sampler,
+#: paid once per (n, alpha) even across experiment sweeps.
+_ZETA_CACHE: Dict[Tuple[int, float], float] = {}
+
+
+def _zeta(n: int, theta: float) -> float:
+    found = _ZETA_CACHE.get((n, theta))
+    if found is None:
+        found = 0.0
+        for i in range(1, n + 1):
+            found += 1.0 / i ** theta
+        _ZETA_CACHE[(n, theta)] = found
+    return found
+
+
+class ZipfSampler:
+    """Zipf(α) ranks in ``[0, n)``, rank 0 most popular; O(1) per draw."""
+
+    __slots__ = ("n", "theta", "_zetan", "_half", "_alpha", "_eta")
+
+    def __init__(self, n: int, alpha: float = 0.99) -> None:
+        if n < 2:
+            raise WorkloadError(f"zipf needs at least 2 ranks, got {n}")
+        if not 0.0 < alpha < 1.0:
+            raise WorkloadError(
+                f"zipf alpha must be in (0, 1) for the YCSB construction, "
+                f"got {alpha}"
+            )
+        self.n = n
+        self.theta = alpha
+        self._zetan = _zeta(n, alpha)
+        self._half = 0.5 ** alpha
+        self._alpha = 1.0 / (1.0 - alpha)
+        zeta2 = 1.0 + self._half
+        self._eta = (1.0 - (2.0 / n) ** (1.0 - alpha)) / (
+            1.0 - zeta2 / self._zetan
+        )
+    def sample(self, rng: random.Random) -> int:
+        """Draw one rank using ``rng`` (caller owns the seed)."""
+        u = rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + self._half:
+            return 1
+        rank = int(self.n * (self._eta * u - self._eta + 1.0) ** self._alpha)
+        return rank if rank < self.n else self.n - 1
+
+
+def _block_cycle(block: int, nodes: int) -> Tuple[Tuple[int, MessageType], ...]:
+    """The block's deterministic message cycle, derived from its address."""
+    h = (block * 0x9E3779B1) & 0xFFFFFFFF
+    length = 2 + h % 3
+    return tuple(
+        (
+            (h >> (4 * j + 2)) % nodes,
+            _CACHE_TYPES[(h >> (4 * j + 9)) % len(_CACHE_TYPES)],
+        )
+        for j in range(length)
+    )
+
+
+class Zipf(Workload):
+    """Simulator-scale pressure model: Zipf popularity, tenant regions.
+
+    Processors are partitioned into ``tenants`` groups, each owning a
+    private region of ``n_blocks // tenants`` blocks with its own
+    popularity permutation, so every tenant hammers its own hot set --
+    the multi-tenant interleaving that per-tenant serving budgets are
+    tested against.
+    """
+
+    name = "zipf"
+    description = (
+        "synthetic memory pressure; Zipf-alpha block popularity over "
+        "per-tenant regions, interleaved deterministically"
+    )
+    default_iterations = 20
+
+    def __init__(
+        self,
+        n_procs: int = 16,
+        n_blocks: int = 256,
+        alpha: float = 0.99,
+        tenants: int = 4,
+        accesses_per_proc: int = 24,
+        write_fraction: float = 0.25,
+    ) -> None:
+        super().__init__(n_procs)
+        if tenants < 1:
+            raise WorkloadError("zipf needs at least one tenant")
+        if tenants > n_procs:
+            raise WorkloadError("zipf cannot have more tenants than procs")
+        if n_blocks < 2 * tenants:
+            raise WorkloadError(
+                "zipf needs at least 2 blocks per tenant region"
+            )
+        if not 0.0 <= write_fraction <= 1.0:
+            raise WorkloadError("write_fraction must be in [0, 1]")
+        self.n_blocks = n_blocks
+        self.alpha = alpha
+        self.tenants = tenants
+        self.accesses_per_proc = accesses_per_proc
+        self.write_fraction = write_fraction
+        self._regions: List[List[int]] = []
+        self._sampler: ZipfSampler | None = None
+
+    def setup(self, allocator: Allocator, rng: random.Random) -> None:
+        blocks = allocator.alloc_blocks(self.n_blocks)
+        per_tenant = self.n_blocks // self.tenants
+        self._sampler = ZipfSampler(per_tenant, self.alpha)
+        self._regions = []
+        for tenant in range(self.tenants):
+            region = list(
+                blocks[tenant * per_tenant:(tenant + 1) * per_tenant]
+            )
+            # Each tenant gets its own popularity order, so hot blocks
+            # differ per tenant even though regions are allocated
+            # contiguously.
+            rng.shuffle(region)
+            self._regions.append(region)
+
+    def iteration(self, index: int, rng: random.Random) -> List[Phase]:
+        phase: Phase = []
+        for proc in range(self.n_procs):
+            region = self._regions[proc % self.tenants]
+            accesses = []
+            for _ in range(self.accesses_per_proc):
+                block = region[self._sampler.sample(rng)]
+                accesses.append(
+                    Access(block, rng.random() < self.write_fraction)
+                )
+            phase.append(accesses)
+        return [phase]
+
+
+def zipf_trace(
+    n_events: int,
+    n_blocks: int,
+    alpha: float = 0.99,
+    tenants: int = 4,
+    nodes: int = 16,
+    seed: int = 0,
+    period: int = 2048,
+) -> Iterator[TraceEvent]:
+    """Stream ``n_events`` observations over ``n_blocks`` distinct blocks.
+
+    Tenants round-robin the stream; tenant ``t`` is module ``(node=t,
+    CACHE)``, and its rank ``r`` maps to block ``(r * tenants + t) * 64``
+    so block addresses are globally distinct across tenants.  Message
+    content follows each block's :func:`_block_cycle`, advancing one
+    step every ``period`` events -- long predictable runs punctuated by
+    re-learning, like the paper's interaction-list rebuilds.
+    """
+    if tenants < 1:
+        raise WorkloadError("zipf_trace needs at least one tenant")
+    if not 1 <= nodes <= 4096:
+        raise WorkloadError("nodes must fit in the 12-bit sender field")
+    sampler = ZipfSampler(n_blocks, alpha)
+    rngs = [random.Random((seed << 8) | t) for t in range(tenants)]
+    for index in range(n_events):
+        tenant = index % tenants
+        rank = sampler.sample(rngs[tenant])
+        block = (rank * tenants + tenant) * 64
+        cycle = _block_cycle(block, nodes)
+        sender, mtype = cycle[(index // period) % len(cycle)]
+        yield TraceEvent(
+            time=index,
+            iteration=index // period,
+            node=tenant,
+            role=Role.CACHE,
+            block=block,
+            sender=sender,
+            mtype=mtype,
+        )

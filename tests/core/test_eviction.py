@@ -1,0 +1,335 @@
+"""Memory-bounded prediction: capacity limits, eviction, and peaks.
+
+The bounded bank has one correctness obligation above all: the flat
+packed-int layout and the armed object layout must make *identical*
+eviction decisions -- same victims, same order, same stats -- because
+checkpoints cross between them and the serve oracle replays one against
+the other.  These tests pin that differentially (hypothesis streams
+through both layouts), plus the local invariants: capacity is never
+exceeded after an observation, ``capacity=0`` is byte-identical to the
+pre-capacity predictor, peaks record the transient insert-then-evict
+overshoot, MHR eviction drops the block's PHT collaterally, and
+snapshot/restore round-trips recency and clock state exactly.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import CosmosConfig
+from repro.core.eviction import DECAY_MAX, EVICTION_POLICIES, ClockOrder
+from repro.core.predictor import CosmosPredictor
+from repro.core.tuples import pack
+from repro.errors import ConfigError
+from repro.protocol.messages import MessageType
+
+from .test_flat_equivalence import reference_predictor
+
+TUP_A = (1, MessageType.GET_RO_REQUEST)
+TUP_B = (2, MessageType.INVAL_RO_RESPONSE)
+TUP_C = (3, MessageType.UPGRADE_REQUEST)
+
+message_types = st.sampled_from(list(MessageType))
+tuples_ = st.tuples(st.integers(min_value=0, max_value=15), message_types)
+blocks = st.sampled_from([0x40 * i for i in range(10)])
+policies = st.sampled_from(EVICTION_POLICIES)
+
+
+def bounded_config(policy="lru", mhr=3, pht=0, depth=1):
+    return CosmosConfig(
+        depth=depth, mhr_capacity=mhr, pht_capacity=pht, eviction=policy
+    )
+
+
+def fill(predictor, n_blocks, reps=3):
+    for rep in range(reps):
+        for i in range(n_blocks):
+            predictor.observe(0x40 * i, TUP_A if rep % 2 else TUP_B)
+
+
+# ---------------------------------------------------------------------------
+# configuration validation
+# ---------------------------------------------------------------------------
+
+
+class TestConfigValidation:
+    def test_negative_capacities_are_rejected(self):
+        with pytest.raises(ConfigError):
+            CosmosConfig(mhr_capacity=-1)
+        with pytest.raises(ConfigError):
+            CosmosConfig(pht_capacity=-4)
+
+    def test_unknown_eviction_policy_is_rejected(self):
+        with pytest.raises(ConfigError):
+            CosmosConfig(eviction="mru")
+
+    def test_legacy_mht_capacity_excludes_the_new_knobs(self):
+        with pytest.raises(ConfigError):
+            CosmosConfig(mht_capacity=8, mhr_capacity=4)
+        with pytest.raises(ConfigError):
+            CosmosConfig(mht_capacity=8, pht_capacity=4)
+        # Each alone stays valid.
+        CosmosConfig(mht_capacity=8)
+        CosmosConfig(mhr_capacity=4, pht_capacity=4)
+
+    def test_describe_names_the_bound(self):
+        text = CosmosConfig(mhr_capacity=4, eviction="clock").describe()
+        assert "clock" in text and "mhr<=4" in text
+        assert "mhr<=" not in CosmosConfig().describe()
+
+
+# ---------------------------------------------------------------------------
+# ClockOrder unit behavior
+# ---------------------------------------------------------------------------
+
+
+class TestClockOrder:
+    def test_second_chance_victim_order(self):
+        order = ClockOrder(decay=False)
+        for key in ("a", "b", "c"):
+            order.touch(key)
+        # First sweep ages everyone down, then evicts the oldest slot.
+        assert order.victim() == "a"
+        order.touch("b")  # re-reference: b earns a second chance...
+        assert order.victim() == "c"  # ...so untouched c goes first
+        assert order.victim() == "b"
+
+    def test_decay_counts_saturate_and_decrement(self):
+        order = ClockOrder(decay=True)
+        order.touch("hot")
+        for _ in range(10):
+            order.touch("hot")  # saturates at DECAY_MAX
+        order.touch("cold")
+        assert order._bits["hot"] == DECAY_MAX
+        # cold (count 1) decays to 0 and dies before hot does.
+        assert order.victim() == "cold"
+        assert order.victim() == "hot"
+
+    def test_discard_makes_entries_stale_not_corrupt(self):
+        order = ClockOrder(decay=False)
+        for key in ("a", "b", "c"):
+            order.touch(key)
+        order.discard("a")
+        assert len(order) == 2
+        assert order.victim() in ("b", "c")
+
+    def test_snapshot_restore_round_trip(self):
+        order = ClockOrder(decay=True)
+        for key in (1, 2, 3, 4):
+            order.touch(key)
+        order.touch(2)
+        order.victim()
+        snap = order.snapshot()
+        clone = ClockOrder(decay=True)
+        clone.restore(snap)
+        assert clone.snapshot() == snap
+        assert clone.victim() == order.victim()
+
+
+# ---------------------------------------------------------------------------
+# capacity invariants
+# ---------------------------------------------------------------------------
+
+
+class TestCapacityInvariants:
+    @pytest.mark.parametrize("policy", EVICTION_POLICIES)
+    def test_mhr_capacity_holds_after_every_observation(self, policy):
+        predictor = CosmosPredictor(bounded_config(policy, mhr=3))
+        for i in range(40):
+            predictor.observe(0x40 * (i % 7), TUP_A)
+            assert predictor.mhr_entries <= 3
+        assert predictor.evictions_mhr > 0
+
+    @pytest.mark.parametrize("policy", EVICTION_POLICIES)
+    def test_pht_capacity_holds_after_every_observation(self, policy):
+        predictor = CosmosPredictor(bounded_config(policy, mhr=0, pht=4))
+        stream = [TUP_A, TUP_B, TUP_C, TUP_A, TUP_C, TUP_B] * 12
+        for i, tup in enumerate(stream):
+            predictor.observe(0x40 * (i % 5), tup)
+            assert predictor.pht_entries <= 4
+        assert predictor.evictions_pht > 0
+
+    def test_lru_evicts_the_least_recently_used_block(self):
+        predictor = CosmosPredictor(bounded_config("lru", mhr=2))
+        predictor.observe(0x00, TUP_A)
+        predictor.observe(0x40, TUP_A)
+        predictor.observe(0x00, TUP_B)  # touch 0x00: 0x40 is now LRU
+        predictor.observe(0x80, TUP_A)  # insert: evicts 0x40
+        assert set(predictor.blocks()) == {0x00, 0x80}
+
+    def test_mhr_eviction_drops_the_pht_collaterally(self):
+        predictor = CosmosPredictor(bounded_config("lru", mhr=1, depth=1))
+        for tup in (TUP_A, TUP_B, TUP_A, TUP_B):
+            predictor.observe(0x00, tup)
+        assert predictor.pht_entries > 0
+        trained = predictor.pht_entries
+        predictor.observe(0x40, TUP_A)  # evicts 0x00 and its PHT
+        assert predictor.blocks() == (0x40,)
+        assert predictor.pht_entries == 0
+        assert predictor.evictions_pht == trained
+        assert predictor.evictions_mhr == 1
+
+    def test_peaks_record_the_transient_overshoot(self):
+        predictor = CosmosPredictor(bounded_config("lru", mhr=2))
+        fill(predictor, 6)
+        assert predictor.mhr_entries == 2
+        assert predictor.peak_mhr_entries == 3  # insert-then-evict moment
+        unbounded = CosmosPredictor()
+        fill(unbounded, 6)
+        assert unbounded.peak_mhr_entries == unbounded.mhr_entries == 6
+
+    def test_forget_keeps_the_books_straight(self):
+        predictor = CosmosPredictor(bounded_config("clock", mhr=3, pht=6))
+        fill(predictor, 3)
+        predictor.forget(0x40)
+        assert 0x40 not in predictor.blocks()
+        fill(predictor, 5)  # keeps evicting without double-free or leak
+        assert predictor.mhr_entries <= 3
+        assert predictor.pht_entries <= 6
+
+    def test_enforce_capacity_shrinks_restored_oversized_state(self):
+        donor = CosmosPredictor()
+        fill(donor, 8)
+        state = donor.snapshot_state()
+        bounded = CosmosPredictor(bounded_config("lru", mhr=3, pht=4))
+        bounded.restore_state(state)
+        # Restore itself never evicts (round-trips must be exact)...
+        assert bounded.mhr_entries == 8
+        evicted = bounded.enforce_capacity()
+        # ...enforcement does, down to the budget exactly.
+        assert evicted > 0
+        assert bounded.mhr_entries <= 3
+        assert bounded.pht_entries <= 4
+
+
+# ---------------------------------------------------------------------------
+# capacity=0 is byte-identical to the pre-capacity predictor
+# ---------------------------------------------------------------------------
+
+
+class TestUnboundedIdentity:
+    @given(stream=st.lists(st.tuples(blocks, tuples_), max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_default_config_snapshot_is_unchanged(self, stream):
+        plain = CosmosPredictor(CosmosConfig(depth=2))
+        explicit = CosmosPredictor(
+            CosmosConfig(depth=2, mhr_capacity=0, pht_capacity=0)
+        )
+        for block, tup in stream:
+            assert plain.observe(block, tup) == explicit.observe(block, tup)
+        a, b = plain.snapshot_state(), explicit.snapshot_state()
+        a["config"] = b["config"] = None  # configs differ only in knobs
+        assert a == b
+        assert "eviction" not in plain.snapshot_state()
+
+
+# ---------------------------------------------------------------------------
+# differential: flat vs armed layouts evict identically
+# ---------------------------------------------------------------------------
+
+
+def _stats(predictor):
+    return (
+        predictor.predictions,
+        predictor.hits,
+        predictor.no_prediction,
+        predictor.evictions_mhr,
+        predictor.evictions_pht,
+        predictor.mhr_entries,
+        predictor.pht_entries,
+        predictor.peak_mhr_entries,
+        predictor.peak_pht_entries,
+    )
+
+
+class TestDifferentialEquivalence:
+    @given(
+        policy=policies,
+        mhr=st.integers(min_value=0, max_value=4),
+        pht=st.integers(min_value=0, max_value=6),
+        depth=st.integers(min_value=1, max_value=3),
+        stream=st.lists(st.tuples(blocks, tuples_), max_size=120),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_flat_and_armed_agree_entry_for_entry(
+        self, policy, mhr, pht, depth, stream
+    ):
+        config = CosmosConfig(
+            depth=depth, mhr_capacity=mhr, pht_capacity=pht, eviction=policy
+        )
+        flat = CosmosPredictor(config)
+        armed = reference_predictor(config)
+        assert flat._flat and not armed._flat
+        for block, tup in stream:
+            assert flat.observe(block, tup) == armed.observe(block, tup)
+            # Same victims at the same moments: the *tables* agree, not
+            # just the counters.
+            assert flat.blocks() == armed.blocks()
+        assert _stats(flat) == _stats(armed)
+        assert sorted(flat.pht_sizes()) == sorted(armed.pht_sizes())
+
+    @given(
+        policy=policies,
+        stream=st.lists(st.tuples(blocks, tuples_), max_size=100),
+        more=st.lists(st.tuples(blocks, tuples_), max_size=60),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_eviction_is_deterministic(self, policy, stream, more):
+        config = bounded_config(policy, mhr=3, pht=5, depth=2)
+        one = CosmosPredictor(config)
+        two = CosmosPredictor(config)
+        for block, tup in stream + more:
+            assert one.observe(block, tup) == two.observe(block, tup)
+        assert one.snapshot_state() == two.snapshot_state()
+
+
+# ---------------------------------------------------------------------------
+# checkpoints: eviction state round-trips byte-identically
+# ---------------------------------------------------------------------------
+
+
+class TestBoundedCheckpoints:
+    @pytest.mark.parametrize("policy", EVICTION_POLICIES)
+    def test_round_trip_is_byte_identical(self, policy):
+        predictor = CosmosPredictor(bounded_config(policy, mhr=3, pht=5))
+        for i in range(30):
+            predictor.observe(0x40 * (i % 6), TUP_A if i % 3 else TUP_B)
+        state = predictor.snapshot_state()
+        assert "eviction" in state
+        clone = CosmosPredictor(bounded_config(policy, mhr=3, pht=5))
+        clone.restore_state(state)
+        assert clone.snapshot_state() == state
+        # The restored recency/clock/decay order continues identically:
+        # the same future stream evicts the same victims.
+        for i in range(30):
+            tup = TUP_C if i % 2 else TUP_A
+            block = 0x40 * ((i * 3) % 7)
+            assert predictor.observe(block, tup) == clone.observe(block, tup)
+            assert predictor.blocks() == clone.blocks()
+        assert predictor.snapshot_state() == clone.snapshot_state()
+
+    @pytest.mark.parametrize("policy", EVICTION_POLICIES)
+    def test_flat_to_armed_cross_restore_continues_identically(self, policy):
+        config = bounded_config(policy, mhr=3, pht=5, depth=2)
+        flat = CosmosPredictor(config)
+        for i in range(40):
+            flat.observe(0x40 * (i % 6), TUP_A if i % 2 else TUP_B)
+        armed = reference_predictor(config)
+        armed.restore_state(flat.snapshot_state())
+        for i in range(60):
+            tup = (i % 5, MessageType.GET_RO_REQUEST)
+            block = 0x40 * ((i * 5) % 8)
+            assert flat.observe(block, tup) == armed.observe(block, tup)
+        assert _stats(flat) == _stats(armed)
+
+    def test_unbounded_snapshot_restores_into_bounded_without_eviction(self):
+        donor = CosmosPredictor(CosmosConfig())
+        fill(donor, 5)
+        state = donor.snapshot_state()
+        assert "eviction" not in state
+        bounded = CosmosPredictor(bounded_config("lru", mhr=2))
+        bounded.restore_state(state)
+        assert bounded.mhr_entries == 5  # restore is exact...
+        bounded.observe(0x40 * 9, TUP_A)  # ...and the next insert evicts
+        assert bounded.mhr_entries <= 5
+        assert bounded.evictions_mhr >= 1

@@ -1,0 +1,101 @@
+"""Tests for the accuracy-vs-capacity frontier experiment.
+
+The contract under test is graceful degradation: on the identical
+pressure stream, more capacity never hurts, every bounded cell actually
+evicts (the budget binds), and the frontier converges to the unbounded
+baseline.  A module-scoped quick run keeps the sweep to one execution.
+"""
+
+import pytest
+
+from repro.experiments.capacity import (
+    CapacityPoint,
+    run_capacity_study,
+)
+from repro.experiments.runner import EXPERIMENT_TRACES, EXPERIMENTS
+from repro.core.eviction import EVICTION_POLICIES
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_capacity_study(quick=True, seed=0)
+
+
+def _cells(result, policy, alpha=0.99):
+    cells = [
+        p for p in result.points if p.policy == policy and p.alpha == alpha
+    ]
+    # Bounded cells sorted by capacity, unbounded (None) last.
+    return sorted(
+        cells,
+        key=lambda p: (p.mhr_capacity is None, p.mhr_capacity or 0),
+    )
+
+
+class TestFrontier:
+    def test_full_grid_is_present(self, result):
+        # 3 policies x 4 capacity points (16/64/256/inf) at one alpha.
+        assert len(result.points) == len(EVICTION_POLICIES) * 4
+
+    @pytest.mark.parametrize("policy", EVICTION_POLICIES)
+    def test_accuracy_is_monotone_in_capacity(self, result, policy):
+        cells = _cells(result, policy)
+        accuracies = [p.accuracy for p in cells]
+        assert accuracies == sorted(accuracies), (
+            f"{policy}: accuracy must not drop as capacity grows: "
+            f"{accuracies}"
+        )
+
+    @pytest.mark.parametrize("policy", EVICTION_POLICIES)
+    def test_bounded_cells_actually_evict(self, result, policy):
+        for point in _cells(result, policy):
+            if point.mhr_capacity is None:
+                continue
+            assert point.evictions_mhr > 0, point
+            assert point.peak_entries > 0
+            assert point.est_bytes > 0
+
+    @pytest.mark.parametrize("policy", EVICTION_POLICIES)
+    def test_frontier_converges_to_the_unbounded_baseline(
+        self, result, policy
+    ):
+        cells = _cells(result, policy)
+        unbounded = cells[-1]
+        assert unbounded.mhr_capacity is None
+        assert unbounded.accuracy == unbounded.baseline_accuracy
+        assert unbounded.gap_points == 0.0
+        # The largest bounded budget sits close to the baseline; the
+        # smallest pays a real (positive) gap -- pressure is genuine.
+        largest, smallest = cells[-2], cells[0]
+        assert largest.gap_points < smallest.gap_points
+        assert smallest.gap_points > 0.0
+
+    def test_points_share_one_baseline_per_alpha(self, result):
+        baselines = {p.baseline_accuracy for p in result.points}
+        assert len(baselines) == 1
+
+
+class TestDeterminism:
+    def test_rerun_reproduces_the_frontier_exactly(self, result):
+        again = run_capacity_study(quick=True, seed=0)
+        assert again.points == result.points
+
+
+class TestFormat:
+    def test_table_renders_every_row(self, result):
+        text = result.format()
+        assert "Capacity frontier" in text
+        for policy in EVICTION_POLICIES:
+            assert policy in text
+        assert "inf" in text  # the unbounded rows
+
+
+class TestRegistration:
+    def test_capacity_is_a_registered_experiment(self):
+        assert "capacity" in EXPERIMENTS
+        # Purely synthetic: no cached simulator traces needed.
+        assert EXPERIMENT_TRACES.get("capacity", ()) == ()
+
+    def test_runner_entry_formats(self):
+        text = EXPERIMENTS["capacity"](True, 0)
+        assert "Capacity frontier" in text

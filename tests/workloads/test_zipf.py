@@ -1,0 +1,141 @@
+"""Tests for the zipf memory-pressure workload and its streaming trace.
+
+The sampler is checked for the properties the capacity experiment and
+the CI memory-pressure job lean on -- rank 0 hottest, bounded ranks,
+determinism per seed -- not for distributional exactness.  The streaming
+``zipf_trace`` additionally must interleave tenants round-robin with
+globally distinct block spaces, because the simulator maps tenant t to
+module (node=t, CACHE) and the multi-tenant budget tests depend on
+those four banks being independent.
+"""
+
+import itertools
+import random
+from collections import Counter
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.protocol.messages import Role
+from repro.sim.machine import simulate
+from repro.workloads.registry import (
+    BENCHMARK_NAMES,
+    WORKLOAD_NAMES,
+    make_workload,
+)
+from repro.workloads.zipf import Zipf, ZipfSampler, zipf_trace
+
+
+class TestRegistration:
+    def test_zipf_is_a_workload_but_not_a_paper_benchmark(self):
+        assert "zipf" in WORKLOAD_NAMES
+        # The golden tables sweep BENCHMARK_NAMES; zipf must never
+        # creep into them or the Table 4 reproduction changes.
+        assert "zipf" not in BENCHMARK_NAMES
+
+    def test_make_workload_builds_zipf(self):
+        workload = make_workload("zipf")
+        assert isinstance(workload, Zipf)
+        assert workload.name == "zipf"
+
+
+class TestZipfSampler:
+    def test_rank_zero_is_most_popular(self):
+        sampler = ZipfSampler(1000, alpha=0.99)
+        rng = random.Random(7)
+        counts = Counter(sampler.sample(rng) for _ in range(20_000))
+        assert counts.most_common(1)[0][0] == 0
+        # Zipf(0.99): the head dominates a 1000-rank space.
+        assert counts[0] > 20_000 // 20
+
+    def test_samples_stay_in_range(self):
+        sampler = ZipfSampler(10, alpha=0.5)
+        rng = random.Random(3)
+        ranks = {sampler.sample(rng) for _ in range(5_000)}
+        assert min(ranks) == 0
+        assert max(ranks) <= 9
+
+    def test_determinism_per_seed(self):
+        sampler = ZipfSampler(500, alpha=0.99)
+        a = [sampler.sample(random.Random(11)) for _ in range(1)]
+        draws = lambda seed: [
+            sampler.sample(rng)
+            for rng in [random.Random(seed)]
+            for _ in range(200)
+        ]
+        assert draws(11) == draws(11)
+        assert draws(11) != draws(12)
+
+    def test_bad_parameters_are_rejected(self):
+        with pytest.raises(WorkloadError):
+            ZipfSampler(1, alpha=0.5)
+        with pytest.raises(WorkloadError):
+            ZipfSampler(100, alpha=1.0)  # YCSB form needs alpha < 1
+        with pytest.raises(WorkloadError):
+            ZipfSampler(100, alpha=0.0)
+
+
+class TestZipfWorkloadValidation:
+    def test_tenant_bounds(self):
+        with pytest.raises(WorkloadError):
+            Zipf(n_procs=4, tenants=0)
+        with pytest.raises(WorkloadError):
+            Zipf(n_procs=4, tenants=5)
+        with pytest.raises(WorkloadError):
+            Zipf(n_procs=4, tenants=4, n_blocks=7)  # < 2 per region
+        with pytest.raises(WorkloadError):
+            Zipf(write_fraction=1.5)
+
+    def test_simulate_runs_the_pressure_model(self):
+        collector = simulate(make_workload("zipf"), iterations=2, seed=0)
+        assert len(collector.events) > 0
+
+    def test_simulation_is_deterministic(self):
+        a = simulate(make_workload("zipf"), iterations=2, seed=5)
+        b = simulate(make_workload("zipf"), iterations=2, seed=5)
+        assert a.events == b.events
+
+
+class TestZipfTrace:
+    def test_deterministic_per_seed(self):
+        a = list(zipf_trace(500, 1000, seed=3))
+        b = list(zipf_trace(500, 1000, seed=3))
+        c = list(zipf_trace(500, 1000, seed=4))
+        assert a == b
+        assert a != c
+
+    def test_tenants_round_robin_disjoint_block_spaces(self):
+        events = list(zipf_trace(400, 1000, tenants=4))
+        blocks_by_tenant = {}
+        for i, event in enumerate(events):
+            assert event.node == i % 4
+            assert event.role is Role.CACHE
+            blocks_by_tenant.setdefault(event.node, set()).add(event.block)
+        spaces = list(blocks_by_tenant.values())
+        for a, b in itertools.combinations(spaces, 2):
+            assert not (a & b)
+
+    def test_block_space_scales_without_state(self):
+        # A billion-rank space must not precompute per-block anything
+        # beyond the zeta constant: drawing from it stays cheap.
+        events = list(itertools.islice(zipf_trace(64, 1_000_000), 64))
+        assert len(events) == 64
+        assert all(event.block % 64 == 0 for event in events)
+
+    def test_stream_is_learnable_between_cycle_advances(self):
+        # Within one period, a block always carries the same message:
+        # the (sender, mtype) pair is a function of (block, epoch).
+        events = list(zipf_trace(2_000, 50, tenants=1, period=2_048))
+        seen = {}
+        for event in events:
+            key = event.block
+            if key in seen:
+                assert seen[key] == (event.sender, event.mtype)
+            else:
+                seen[key] = (event.sender, event.mtype)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            list(zipf_trace(10, 100, tenants=0))
+        with pytest.raises(WorkloadError):
+            list(zipf_trace(10, 100, nodes=5000))
